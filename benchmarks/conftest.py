@@ -1,0 +1,41 @@
+"""Shared fixtures for the figure-reproduction benchmarks.
+
+Workload preparation (compile + train run + ref run) is expensive and
+shared by several figures, so it is done once per session.  Every
+benchmark writes its rendered table to ``benchmarks/results/`` and
+prints it, so the regenerated figures survive output capturing.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.evalharness import prepare_workload
+from repro.workloads import suite
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def prepared_int_suite():
+    return [prepare_workload(w) for w in suite("int")]
+
+
+@pytest.fixture(scope="session")
+def prepared_fp_suite():
+    return [prepare_workload(w) for w in suite("fp")]
+
+
+def emit(results_dir: pathlib.Path, name: str, text: str) -> None:
+    """Print a figure table and persist it under benchmarks/results/."""
+    print()
+    print(text)
+    (results_dir / name).write_text(text + "\n")

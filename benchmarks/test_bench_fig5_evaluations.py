@@ -1,0 +1,37 @@
+"""Figure 5: expression evaluations versus program size.
+
+The paper plots the number of expression evaluations against instruction
+count over a 50-program collection and observes linear behaviour.  We
+measure over the 20-workload suite plus a size-scaled synthetic family
+and assert near-linearity.
+"""
+
+from benchmarks.conftest import emit
+from repro.evalharness import (
+    format_scatter,
+    linearity_ratio,
+    measure_scaling,
+    measure_workloads,
+)
+
+
+def test_figure5_expression_evaluations(benchmark, results_dir):
+    scaled = benchmark.pedantic(
+        lambda: measure_scaling([2, 4, 8, 16, 32, 64]), rounds=1, iterations=1
+    )
+    workload_counts = measure_workloads()
+
+    points = [(instructions, evaluations) for instructions, evaluations, _ in scaled]
+    lines = ["Figure 5 reproduction: expression evaluations vs instructions", ""]
+    lines.append("Synthetic size-scaled family:")
+    lines.append(format_scatter(points, "instructions", "evaluations"))
+    lines.append("")
+    lines.append("Workload suite:")
+    lines.append(f"{'workload':>12s}  {'instructions':>12s}  {'evaluations':>12s}")
+    for name, instructions, evaluations, _ in workload_counts:
+        lines.append(f"{name:>12s}  {instructions:>12d}  {evaluations:>12d}")
+    emit(results_dir, "fig5_evaluations.txt", "\n".join(lines))
+
+    # The paper's claim: linear in practice.
+    ratio = linearity_ratio(points)
+    assert ratio < 3.0, f"superlinear evaluation growth: ratio {ratio:.2f}"

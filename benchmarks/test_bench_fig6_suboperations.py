@@ -1,0 +1,45 @@
+"""Figure 6: evaluation sub-operations versus program size.
+
+Same methodology as Figure 5, counting the pairwise range operations
+inside each expression evaluation (up to R^2 per evaluation).  Linearity
+here demonstrates that the richer lattice does not change the asymptotic
+behaviour -- the paper's central efficiency claim.
+"""
+
+from benchmarks.conftest import emit
+from repro.evalharness import (
+    format_scatter,
+    linearity_ratio,
+    measure_scaling,
+    measure_workloads,
+)
+
+
+def test_figure6_sub_operations(benchmark, results_dir):
+    scaled = benchmark.pedantic(
+        lambda: measure_scaling([2, 4, 8, 16, 32, 64]), rounds=1, iterations=1
+    )
+    workload_counts = measure_workloads()
+
+    points = [(instructions, subops) for instructions, _, subops in scaled]
+    lines = ["Figure 6 reproduction: evaluation sub-operations vs instructions", ""]
+    lines.append("Synthetic size-scaled family:")
+    lines.append(format_scatter(points, "instructions", "sub-operations"))
+    lines.append("")
+    lines.append("Workload suite:")
+    lines.append(f"{'workload':>12s}  {'instructions':>12s}  {'sub-ops':>12s}")
+    for name, instructions, _, subops in workload_counts:
+        lines.append(f"{name:>12s}  {instructions:>12d}  {subops:>12d}")
+    lines.append("")
+    per_eval = [
+        subops / max(1, evaluations) for _, evaluations, subops in scaled
+    ]
+    lines.append(
+        "sub-operations per evaluation across sizes: "
+        + ", ".join(f"{x:.2f}" for x in per_eval)
+        + "  (paper: bounded by R^2 = 16)"
+    )
+    emit(results_dir, "fig6_suboperations.txt", "\n".join(lines))
+
+    assert linearity_ratio(points) < 3.0
+    assert all(x <= 16.0 for x in per_eval)  # R^2 with R = 4

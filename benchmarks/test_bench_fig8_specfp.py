@@ -1,0 +1,51 @@
+"""Figure 8: prediction accuracy on the SPECfp-like suite.
+
+The paper's headline figure: on numeric code, VRP is substantially more
+accurate than the heuristic approaches and much closer to execution
+profiling, and symbolic ranges add accuracy over numeric-only ranges.
+"""
+
+from benchmarks.conftest import emit
+from repro.evalharness import (
+    SuiteEvaluation,
+    area_under_cdf,
+    evaluate_workload,
+    format_suite_figure,
+)
+
+
+def evaluate(prepared_workloads):
+    return SuiteEvaluation(
+        suite_name="SPECfp-like",
+        evaluations=[
+            evaluate_workload(p.workload, prepared=p) for p in prepared_workloads
+        ],
+    )
+
+
+def test_figure8_specfp(benchmark, results_dir, prepared_fp_suite):
+    evaluation = benchmark.pedantic(
+        lambda: evaluate(prepared_fp_suite), rounds=1, iterations=1
+    )
+    unweighted = format_suite_figure(
+        evaluation, weighted=False, title="Figure 8a: SPECfp-like, unweighted"
+    )
+    weighted = format_suite_figure(
+        evaluation, weighted=True, title="Figure 8b: SPECfp-like, weighted"
+    )
+    emit(results_dir, "fig8_specfp.txt", unweighted + "\n\n" + weighted)
+
+    for is_weighted in (False, True):
+        auc = {
+            name: area_under_cdf(evaluation.aggregate_cdf(name, weighted=is_weighted))
+            for name in evaluation.predictors()
+        }
+        # The paper's orderings on numeric code.
+        assert auc["profile"] > auc["vrp"], auc
+        assert auc["vrp"] > auc["ball-larus"], auc  # the headline result
+        assert auc["vrp"] >= auc["vrp-numeric"], auc  # symbolic ranges help
+        assert auc["ball-larus"] > auc["rule-90-50"], auc
+        assert auc["vrp"] > auc["random"], auc
+        # VRP is much closer to profiling than the heuristics are
+        # ("significantly more accurate for numeric code").
+        assert auc["profile"] - auc["vrp"] < auc["profile"] - auc["ball-larus"]

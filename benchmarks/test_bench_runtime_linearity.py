@@ -1,0 +1,51 @@
+"""§4 runtime claim: VRP "maintains the linear runtime behavior of
+constant propagation experienced in practice".
+
+Times whole analyses over the size-scaled synthetic family and checks
+that per-instruction analysis time does not blow up with program size.
+"""
+
+import time
+
+from benchmarks.conftest import emit
+from repro.core import VRPPredictor
+from repro.evalharness import synthetic_program
+from repro.ir import prepare_module
+from repro.lang import compile_source
+
+
+def prepare(units):
+    module = compile_source(synthetic_program(units))
+    infos = prepare_module(module)
+    return module, infos
+
+
+def test_runtime_scales_linearly(benchmark, results_dir):
+    sizes = [4, 8, 16, 32, 64]
+    prepared = {units: prepare(units) for units in sizes}
+
+    def analyse_all():
+        timings = {}
+        for units, (module, infos) in prepared.items():
+            start = time.perf_counter()
+            VRPPredictor().predict_module(module, infos)
+            timings[units] = time.perf_counter() - start
+        return timings
+
+    timings = benchmark.pedantic(analyse_all, rounds=1, iterations=1, warmup_rounds=1)
+
+    lines = ["Runtime linearity (paper section 4)", ""]
+    lines.append(f"{'units':>6s} {'instructions':>13s} {'seconds':>9s} {'us/instr':>9s}")
+    per_instruction = {}
+    for units, (module, _) in prepared.items():
+        count = module.instruction_count()
+        seconds = timings[units]
+        per_instruction[units] = seconds / count * 1e6
+        lines.append(
+            f"{units:>6d} {count:>13d} {seconds:>9.3f} {per_instruction[units]:>9.1f}"
+        )
+    emit(results_dir, "runtime_linearity.txt", "\n".join(lines))
+
+    # Per-instruction cost may wobble but must not grow with size:
+    # allow 3x drift between the smallest and largest program.
+    assert per_instruction[sizes[-1]] < 3.0 * max(per_instruction[sizes[0]], 1e-9)

@@ -1,0 +1,70 @@
+"""Static prediction versus execution profiling on a real workload.
+
+Reproduces the paper's methodology on one benchmark: collect a profile
+on the *train* input, score every predictor against the behaviour on
+the *ref* input, and print a per-branch comparison plus the error CDF.
+
+Run:  python examples/profile_vs_static.py [workload-name]
+"""
+
+import sys
+
+from repro.evalharness import (
+    branch_errors,
+    error_cdf,
+    format_cdf_table,
+    mean_error,
+    prepare_workload,
+    standard_predictors,
+)
+from repro.workloads import get_workload
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "tokenize"
+    workload = get_workload(name)
+    print(f"workload: {workload.name} ({workload.suite} suite)")
+    print(f"  {workload.description}")
+    prepared = prepare_workload(workload)
+
+    predictions = {
+        predictor_name: predict(prepared)
+        for predictor_name, predict in standard_predictors().items()
+    }
+    records = {
+        predictor_name: branch_errors(p, prepared.truth_profile)
+        for predictor_name, p in predictions.items()
+    }
+
+    print()
+    print("=== Per-branch detail (vrp vs profile vs actual) ===")
+    truth = prepared.truth_profile
+    for (function, label), counts in sorted(truth.branch_counts.items()):
+        total = counts[0] + counts[1]
+        if not total:
+            continue
+        actual = counts[0] / total
+        vrp = predictions["vrp"].get((function, label), 0.5)
+        profile = predictions["profile"].get((function, label), 0.5)
+        print(
+            f"  {function:10s} {label:10s} actual={actual:6.1%}  "
+            f"vrp={vrp:6.1%}  profile={profile:6.1%}  (executed {total}x)"
+        )
+
+    print()
+    print("=== Mean absolute error (percentage points) ===")
+    for predictor_name, recs in sorted(
+        records.items(), key=lambda item: mean_error(item[1])
+    ):
+        print(
+            f"  {predictor_name:12s} unweighted {mean_error(recs):5.1f}  "
+            f"weighted {mean_error(recs, weighted=True):5.1f}"
+        )
+
+    print()
+    series = {predictor_name: error_cdf(recs) for predictor_name, recs in records.items()}
+    print(format_cdf_table(series, title="=== Error CDF (percent of branches within margin) ==="))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,31 @@
+"""Classical analyses: SCCP, copy propagation, loops, frequencies.
+
+These are the algorithms the paper positions VRP against (constant and
+copy propagation, which it subsumes) plus the supporting analyses its
+applications need (natural loops, Wu–Larus frequency propagation).
+"""
+
+from repro.analysis.copyprop import copy_chains, propagate_copies, remove_dead_copies
+from repro.analysis.frequency import (
+    FrequencyResult,
+    edge_probabilities,
+    function_frequencies,
+    propagate_frequencies,
+)
+from repro.analysis.loops import Loop, LoopInfo
+from repro.analysis.sccp import LatticeValue, SCCPResult, run_sccp
+
+__all__ = [
+    "FrequencyResult",
+    "LatticeValue",
+    "Loop",
+    "LoopInfo",
+    "SCCPResult",
+    "copy_chains",
+    "edge_probabilities",
+    "function_frequencies",
+    "propagate_copies",
+    "propagate_frequencies",
+    "remove_dead_copies",
+    "run_sccp",
+]

@@ -1,0 +1,211 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``predict FILE``   -- branch probabilities for a toy-language program;
+* ``ir FILE``        -- dump the canonicalised SSA IR;
+* ``run FILE``       -- interpret a program and print its profile;
+* ``ranges FILE``    -- final value ranges per SSA variable;
+* ``workloads``      -- list the built-in benchmark suite;
+* ``evaluate``       -- score all predictors on a workload or a suite.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core import VRPConfig, VRPPredictor
+from repro.ir import format_module, prepare_module
+from repro.lang import compile_source
+from repro.profiling import run_module
+
+
+def _read_source(path: str) -> str:
+    if path == "-":
+        return sys.stdin.read()
+    with open(path, "r", encoding="utf-8") as handle:
+        return handle.read()
+
+
+def _parse_ints(text: Optional[str]) -> List[int]:
+    if not text:
+        return []
+    return [int(part) for part in text.replace(",", " ").split()]
+
+
+def _config_from_args(args: argparse.Namespace) -> VRPConfig:
+    return VRPConfig(
+        max_ranges=args.max_ranges,
+        symbolic=not args.numeric,
+        derive_loops=not args.no_derive,
+        track_arrays=args.track_arrays,
+    )
+
+
+def _prepare(args: argparse.Namespace):
+    from repro.lang import LexError, LoweringError, ParseError
+
+    try:
+        module = compile_source(_read_source(args.file))
+    except FileNotFoundError:
+        raise SystemExit(f"error: no such file: {args.file}")
+    except (LexError, ParseError, LoweringError) as error:
+        raise SystemExit(f"error: {error}")
+    ssa_infos = prepare_module(module)
+    return module, ssa_infos
+
+
+def cmd_predict(args: argparse.Namespace) -> int:
+    module, ssa_infos = _prepare(args)
+    predictor = VRPPredictor(
+        config=_config_from_args(args), interprocedural=not args.intra
+    )
+    prediction = predictor.predict_module(module, ssa_infos)
+    heuristic = prediction.heuristic_branches()
+    print(f"{'function':<14s} {'branch':<12s} {'P(taken)':>9s}  source")
+    for (function, label), probability in sorted(prediction.all_branches().items()):
+        marker = "heuristic" if (function, label) in heuristic else "ranges"
+        print(f"{function:<14s} {label:<12s} {probability:>8.1%}  {marker}")
+    return 0
+
+
+def cmd_ir(args: argparse.Namespace) -> int:
+    module, _ = _prepare(args)
+    print(format_module(module, show_preds=True))
+    return 0
+
+
+def cmd_ranges(args: argparse.Namespace) -> int:
+    module, ssa_infos = _prepare(args)
+    predictor = VRPPredictor(
+        config=_config_from_args(args), interprocedural=not args.intra
+    )
+    prediction = predictor.predict_module(module, ssa_infos)
+    for name, function_prediction in sorted(prediction.functions.items()):
+        print(f"func {name}:")
+        for ssa_name in sorted(function_prediction.values):
+            print(f"  {ssa_name:12s} {function_prediction.values[ssa_name]}")
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    module, _ = _prepare(args)
+    result = run_module(
+        module,
+        args=_parse_ints(args.args),
+        input_values=_parse_ints(args.inputs),
+        max_steps=args.max_steps,
+    )
+    print(f"return value: {result.return_value}")
+    print(f"steps:        {result.steps}")
+    if args.profile:
+        print()
+        print(f"{'function':<14s} {'branch':<12s} {'taken':>8s} {'not':>8s} {'P':>7s}")
+        for (function, label), counts in sorted(result.branch_counts.items()):
+            total = counts[0] + counts[1]
+            probability = counts[0] / total if total else 0.0
+            print(
+                f"{function:<14s} {label:<12s} {counts[0]:>8d} {counts[1]:>8d} "
+                f"{probability:>6.1%}"
+            )
+    return 0
+
+
+def cmd_workloads(args: argparse.Namespace) -> int:
+    from repro.workloads import all_workloads
+
+    print(f"{'name':<12s} {'suite':<6s} description")
+    for workload in all_workloads():
+        print(f"{workload.name:<12s} {workload.suite:<6s} {workload.description}")
+    return 0
+
+
+def cmd_evaluate(args: argparse.Namespace) -> int:
+    from repro.evalharness import (
+        evaluate_suite,
+        evaluate_workload,
+        format_cdf_table,
+        format_suite_figure,
+        prepare_workload,
+    )
+    from repro.evalharness.accuracy import error_cdf
+    from repro.workloads import get_workload, suite
+
+    if args.workload:
+        workload = get_workload(args.workload)
+        evaluation = evaluate_workload(workload, prepared=prepare_workload(workload))
+        series = {
+            name: error_cdf(records, weighted=args.weighted)
+            for name, records in evaluation.records.items()
+        }
+        print(format_cdf_table(series, title=f"workload {workload.name}"))
+        return 0
+    suite_name = args.suite or "fp"
+    evaluation = evaluate_suite(suite(suite_name), suite_name)
+    print(
+        format_suite_figure(
+            evaluation,
+            weighted=args.weighted,
+            title=f"{suite_name} suite",
+        )
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Value range propagation (Patterson, PLDI 1995) toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_analysis_flags(p: argparse.ArgumentParser) -> None:
+        p.add_argument("file", help="toy-language source file ('-' for stdin)")
+        p.add_argument("--intra", action="store_true", help="disable interprocedural analysis")
+        p.add_argument("--numeric", action="store_true", help="disable symbolic ranges")
+        p.add_argument("--no-derive", action="store_true", help="disable loop derivation")
+        p.add_argument("--track-arrays", action="store_true", help="track array contents")
+        p.add_argument("--max-ranges", type=int, default=4, help="ranges per variable (default 4)")
+
+    predict = sub.add_parser("predict", help="predict every conditional branch")
+    add_analysis_flags(predict)
+    predict.set_defaults(handler=cmd_predict)
+
+    ranges_cmd = sub.add_parser("ranges", help="print final value ranges")
+    add_analysis_flags(ranges_cmd)
+    ranges_cmd.set_defaults(handler=cmd_ranges)
+
+    ir_cmd = sub.add_parser("ir", help="dump canonicalised SSA IR")
+    ir_cmd.add_argument("file")
+    ir_cmd.set_defaults(handler=cmd_ir)
+
+    run_cmd = sub.add_parser("run", help="interpret a program")
+    run_cmd.add_argument("file")
+    run_cmd.add_argument("--args", default="", help="main() arguments, comma separated")
+    run_cmd.add_argument("--inputs", default="", help="input() stream, comma separated")
+    run_cmd.add_argument("--max-steps", type=int, default=5_000_000)
+    run_cmd.add_argument("--profile", action="store_true", help="print branch profile")
+    run_cmd.set_defaults(handler=cmd_run)
+
+    workloads_cmd = sub.add_parser("workloads", help="list benchmark workloads")
+    workloads_cmd.set_defaults(handler=cmd_workloads)
+
+    evaluate_cmd = sub.add_parser("evaluate", help="score predictors (figures 7/8)")
+    evaluate_cmd.add_argument("--workload", help="one workload by name")
+    evaluate_cmd.add_argument("--suite", choices=["int", "fp"], help="whole suite")
+    evaluate_cmd.add_argument("--weighted", action="store_true")
+    evaluate_cmd.set_defaults(handler=cmd_evaluate)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

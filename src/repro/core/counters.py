@@ -1,0 +1,74 @@
+"""Work counters used to reproduce Figures 5 and 6.
+
+The paper plots the number of *expression evaluations* (Figure 5) and
+*evaluation sub-operations* (Figure 6) against program size to establish
+linear behaviour in practice.  An "expression evaluation" is one
+(re-)evaluation of an SSA expression or phi by the propagation engine; a
+"sub-operation" is one pairwise range operation inside such an
+evaluation (the paper notes up to R^2 sub-operations per evaluation).
+
+The propagation engine installs its own :class:`Counters` with
+:func:`use`, and the range algebra increments whatever is active via
+:func:`active` -- no plumbing through every arithmetic helper.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator
+
+
+class Counters:
+    """Mutable tally of analysis work."""
+
+    __slots__ = (
+        "expr_evaluations",
+        "phi_evaluations",
+        "sub_operations",
+        "flow_edges_processed",
+        "ssa_edges_processed",
+        "derivations_attempted",
+        "derivations_succeeded",
+        "heuristic_fallbacks",
+    )
+
+    def __init__(self) -> None:
+        self.expr_evaluations = 0
+        self.phi_evaluations = 0
+        self.sub_operations = 0
+        self.flow_edges_processed = 0
+        self.ssa_edges_processed = 0
+        self.derivations_attempted = 0
+        self.derivations_succeeded = 0
+        self.heuristic_fallbacks = 0
+
+    def merge(self, other: "Counters") -> None:
+        for field in self.__slots__:
+            setattr(self, field, getattr(self, field) + getattr(other, field))
+
+    def as_dict(self) -> dict:
+        return {field: getattr(self, field) for field in self.__slots__}
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}={v}" for k, v in self.as_dict().items())
+        return f"Counters({inner})"
+
+
+_ACTIVE = Counters()
+
+
+def active() -> Counters:
+    """The counters currently receiving tallies."""
+    return _ACTIVE
+
+
+@contextmanager
+def use(counters: Counters) -> Iterator[Counters]:
+    """Route tallies to ``counters`` for the duration of the block."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = counters
+    try:
+        yield counters
+    finally:
+        _ACTIVE = previous

@@ -1,0 +1,251 @@
+"""Interprocedural value range propagation (paper §3.7).
+
+Jump functions: at each call site, the argument operands' range sets are
+recorded; a callee's formal parameter range is the call-frequency
+weighted merge of the jump functions over its call sites.  Return
+functions flow the callee's merged return range back into call results.
+"The entire program is treated almost as if it were one huge control
+flow graph": we iterate per-function propagation in bottom-up call-graph
+order until parameter and return ranges reach a fixed point (recursive
+components iterate; a round cap bounds pathological cases).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core import counters as counters_mod
+from repro.core.callgraph import CallGraph
+from repro.core.config import VRPConfig
+from repro.core.propagation import (
+    FunctionPrediction,
+    HeuristicFn,
+    PropagationEngine,
+)
+from repro.core.rangeset import BOTTOM, RangeSet, TOP, merge_weighted
+from repro.ir.function import Module
+from repro.ir.instructions import Call
+from repro.ir.ssa import SSAInfo
+from repro.ir.values import Constant, Temp
+
+
+class ModulePrediction:
+    """Predictions for every function of a module."""
+
+    def __init__(
+        self,
+        module: Module,
+        functions: Dict[str, FunctionPrediction],
+        counters: counters_mod.Counters,
+        rounds: int,
+    ):
+        self.module = module
+        self.functions = functions
+        self.counters = counters
+        self.rounds = rounds
+
+    def branch_probability(self, function: str, label: str) -> Optional[float]:
+        prediction = self.functions.get(function)
+        if prediction is None:
+            return None
+        return prediction.branch_probability.get(label)
+
+    def all_branches(self) -> Dict[Tuple[str, str], float]:
+        out: Dict[Tuple[str, str], float] = {}
+        for name, prediction in self.functions.items():
+            for label, probability in prediction.branch_probability.items():
+                out[(name, label)] = probability
+        return out
+
+    def heuristic_branches(self) -> set:
+        return {
+            (name, label)
+            for name, prediction in self.functions.items()
+            for label in prediction.used_heuristic
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"ModulePrediction({self.module.name!r}, "
+            f"{len(self.functions)} functions, rounds={self.rounds})"
+        )
+
+
+class InterproceduralVRP:
+    """Whole-program value range propagation driver."""
+
+    def __init__(
+        self,
+        module: Module,
+        ssa_infos: Dict[str, SSAInfo],
+        config: Optional[VRPConfig] = None,
+        heuristic: Optional[HeuristicFn] = None,
+        entry: str = "main",
+        entry_param_ranges: Optional[Dict[str, RangeSet]] = None,
+        max_rounds: int = 8,
+    ):
+        self.module = module
+        self.ssa_infos = ssa_infos
+        self.config = config or VRPConfig()
+        self.heuristic = heuristic
+        self.entry = entry
+        self.entry_param_ranges = entry_param_ranges or {}
+        self.max_rounds = max_rounds
+        self.callgraph = CallGraph(module)
+        # Jump-function results: function -> param name -> merged range.
+        self.param_sets: Dict[str, Dict[str, RangeSet]] = {}
+        # Return functions: function -> merged return range.
+        self.return_sets: Dict[str, RangeSet] = {}
+        self.predictions: Dict[str, FunctionPrediction] = {}
+
+    # -- driver ---------------------------------------------------------------
+
+    def run(self) -> ModulePrediction:
+        total = counters_mod.Counters()
+        order = self.callgraph.bottom_up_order()
+        rounds_used = 0
+        for round_number in range(1, self.max_rounds + 1):
+            rounds_used = round_number
+            changed = False
+            for name in order:
+                prediction = self._analyse_one(name)
+                self.predictions[name] = prediction
+                if self._record_return(name, prediction):
+                    changed = True
+            if self._recompute_jump_functions():
+                changed = True
+            if not changed and round_number > 1:
+                break
+        for prediction in self.predictions.values():
+            total.merge(prediction.counters)
+        return ModulePrediction(self.module, dict(self.predictions), total, rounds_used)
+
+    # -- per-function analysis -----------------------------------------------------
+
+    def _analyse_one(self, name: str) -> FunctionPrediction:
+        function = self.module.function(name)
+        info = self.ssa_infos[name]
+        engine = PropagationEngine(
+            function,
+            info,
+            config=self.config,
+            heuristic=self.heuristic,
+            param_ranges=self._params_for(name),
+            call_effect=self._call_effect,
+        )
+        return engine.run()
+
+    def _params_for(self, name: str) -> Dict[str, RangeSet]:
+        if name == self.entry:
+            base = {
+                param: self.entry_param_ranges.get(param, BOTTOM)
+                for param in self.module.function(name).params
+            }
+            return base
+        known = self.param_sets.get(name)
+        if known is None:
+            # Not called (yet): unknown parameters.
+            return {param: BOTTOM for param in self.module.function(name).params}
+        return known
+
+    def _call_effect(self, call: Call) -> RangeSet:
+        return self.return_sets.get(call.callee, BOTTOM)
+
+    # -- fixed-point bookkeeping ------------------------------------------------------
+
+    def _record_return(self, name: str, prediction: FunctionPrediction) -> bool:
+        new_set = prediction.return_set
+        if new_set.is_top:
+            new_set = BOTTOM
+        old_set = self.return_sets.get(name)
+        if old_set is not None and old_set.approx_equal(new_set, self.config.tolerance):
+            return False
+        self.return_sets[name] = new_set
+        return True
+
+    def _recompute_jump_functions(self) -> bool:
+        """Merge argument ranges over all call sites, call-frequency weighted."""
+        changed = False
+        accumulated: Dict[str, List[List[Tuple[float, RangeSet]]]] = {}
+        for site in self.callgraph.call_sites:
+            caller_prediction = self.predictions.get(site.caller)
+            if caller_prediction is None:
+                continue
+            callee = site.callee
+            if callee not in self.module.functions:
+                continue
+            params = self.module.function(callee).params
+            weight = caller_prediction.block_frequency.get(site.block_label, 0.0)
+            if weight <= 0.0:
+                weight = 1e-6  # cold call sites still contribute a little
+            slots = accumulated.setdefault(
+                callee, [[] for _ in params]
+            )
+            for position, arg in enumerate(site.instruction.args):
+                if position >= len(params):
+                    break
+                slots[position].append(
+                    (weight, self._argument_range(caller_prediction, arg))
+                )
+        for callee, slots in accumulated.items():
+            params = self.module.function(callee).params
+            merged: Dict[str, RangeSet] = {}
+            for position, param in enumerate(params):
+                contributions = slots[position] if position < len(slots) else []
+                merged_set = merge_weighted(
+                    contributions, max_ranges=self.config.max_ranges
+                )
+                if merged_set.is_top:
+                    merged_set = BOTTOM
+                merged[param] = merged_set
+            old = self.param_sets.get(callee)
+            if old is None or any(
+                not old.get(param, BOTTOM).approx_equal(
+                    merged[param], self.config.tolerance
+                )
+                for param in params
+            ):
+                self.param_sets[callee] = merged
+                changed = True
+        return changed
+
+    def _argument_range(
+        self, prediction: FunctionPrediction, arg
+    ) -> RangeSet:
+        if isinstance(arg, Constant):
+            return RangeSet.constant(arg.value)
+        if isinstance(arg, Temp):
+            value = prediction.values.get(arg.name, BOTTOM)
+            if value.is_top:
+                return BOTTOM
+            # Symbolic ranges name SSA variables of the *caller*; they are
+            # meaningless inside the callee, so widen them away.
+            if value.is_set and value.symbols():
+                hull = value.hull()
+                if hull is not None and not hull.symbols():
+                    return RangeSet.from_ranges([hull])
+                return BOTTOM
+            return value
+        return BOTTOM
+
+
+def analyse_module(
+    module: Module,
+    ssa_infos: Dict[str, SSAInfo],
+    config: Optional[VRPConfig] = None,
+    heuristic: Optional[HeuristicFn] = None,
+    entry: str = "main",
+    entry_param_ranges: Optional[Dict[str, RangeSet]] = None,
+    max_rounds: int = 8,
+) -> ModulePrediction:
+    """Run interprocedural value range propagation over a module."""
+    driver = InterproceduralVRP(
+        module,
+        ssa_infos,
+        config=config,
+        heuristic=heuristic,
+        entry=entry,
+        entry_param_ranges=entry_param_ranges,
+        max_rounds=max_rounds,
+    )
+    return driver.run()

@@ -1,0 +1,757 @@
+"""The value range propagation engine (paper §3.3).
+
+A sparse conditional propagation over SSA form, exactly in the shape of
+Wegman–Zadeck constant propagation, generalised per the paper:
+
+* lattice values are weighted range sets, not constants;
+* every CFG edge carries an execution *frequency* (the entry block has
+  frequency 1; branch out-edges split their block's frequency by the
+  predicted probability) -- phi evaluation merges incoming ranges
+  weighted by these frequencies;
+* loop-carried phis are *derived* via induction templates
+  (:mod:`repro.core.derivation`) rather than iterated; phis that fail
+  derivation iterate brute-force and are widened after a configurable
+  number of re-evaluations;
+* branches whose controlling range is ⊥ fall back to a pluggable
+  heuristic predictor, as the paper prescribes.
+
+Two worklists drive the fixed point: the FlowWorkList of CFG edges and
+the SSAWorkList of SSA (def-use) edges, with the paper's "prefer the
+FlowWorkList" ordering by default.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from repro.core import counters as counters_mod
+from repro.core.bounds import Bound, NEG_INF, POS_INF
+from repro.core.comparisons import compare_sets
+from repro.core.config import VRPConfig
+from repro.core.derivation import derive_loop_phi
+from repro.core.range_arith import evaluate_binop, evaluate_unop
+from repro.core.ranges import StridedRange
+from repro.core.rangeset import BOTTOM, RangeSet, TOP, merge_weighted
+from repro.core.refine import refine_set
+from repro.ir.cfg import CFG
+from repro.ir.function import Function
+from repro.ir.instructions import (
+    BinOp,
+    Branch,
+    Call,
+    Cmp,
+    Copy,
+    Input,
+    Instruction,
+    Jump,
+    Load,
+    Phi,
+    Pi,
+    Return,
+    Store,
+    UnOp,
+)
+from repro.ir.ssa import SSAEdges, SSAInfo, build_ssa_edges
+from repro.ir.values import Constant, Temp, Undef, Value
+
+Edge = Tuple[str, str]
+
+ENTRY_EDGE_SOURCE = "<entry>"
+
+# A branch falls back to heuristics with this sentinel probability source.
+HeuristicFn = Callable[[Function, str], float]
+
+
+class FunctionPrediction:
+    """Results of value range propagation over one function."""
+
+    def __init__(
+        self,
+        function: Function,
+        branch_probability: Dict[str, float],
+        edge_frequency: Dict[Edge, float],
+        block_frequency: Dict[str, float],
+        values: Dict[str, RangeSet],
+        used_heuristic: Set[str],
+        counters: counters_mod.Counters,
+        return_set: RangeSet,
+        aborted: bool = False,
+    ):
+        self.function = function
+        #: P(true out-edge) for every block ending in a conditional branch.
+        self.branch_probability = branch_probability
+        #: Execution frequency of each CFG edge (entry block = 1.0).
+        self.edge_frequency = edge_frequency
+        #: Execution frequency of each block.
+        self.block_frequency = block_frequency
+        #: Final range set per SSA name.
+        self.values = values
+        #: Branch blocks whose probability came from the heuristic fallback.
+        self.used_heuristic = used_heuristic
+        self.counters = counters
+        #: Merged range of all return values (for interprocedural use).
+        self.return_set = return_set
+        #: True when the safety valve cut the fixed point short.
+        self.aborted = aborted
+
+    def probability_of_edge(self, src: str, dst: str) -> float:
+        """P(control takes src->dst | control reaches src)."""
+        block_freq = self.block_frequency.get(src, 0.0)
+        if block_freq <= 0.0:
+            return 0.0
+        return min(1.0, self.edge_frequency.get((src, dst), 0.0) / block_freq)
+
+    def __repr__(self) -> str:
+        return (
+            f"FunctionPrediction({self.function.name!r}, "
+            f"{len(self.branch_probability)} branches, "
+            f"{len(self.used_heuristic)} heuristic fallbacks)"
+        )
+
+
+class PropagationEngine:
+    """One value-range-propagation run over a prepared (SSA) function."""
+
+    def __init__(
+        self,
+        function: Function,
+        ssa_info: SSAInfo,
+        config: Optional[VRPConfig] = None,
+        heuristic: Optional[HeuristicFn] = None,
+        param_ranges: Optional[Dict[str, RangeSet]] = None,
+        call_effect: Optional[Callable[[Call], RangeSet]] = None,
+    ):
+        self.function = function
+        self.ssa_info = ssa_info
+        self.config = config or VRPConfig()
+        self.heuristic = heuristic
+        self.call_effect = call_effect
+        self.cfg = CFG(function)
+        self.edges = build_ssa_edges(function, ssa_info)
+        self.counters = counters_mod.Counters()
+
+        self.values: Dict[str, RangeSet] = {}
+        for param, ssa_name in ssa_info.param_names.items():
+            provided = (param_ranges or {}).get(param)
+            self.values[ssa_name] = provided if provided is not None else BOTTOM
+
+        self.edge_freq: Dict[Edge, float] = {}
+        self.branch_prob: Dict[str, float] = {}
+        self.used_heuristic: Set[str] = set()
+        self.visited: Set[str] = set()
+        self.derived: Set[str] = set()
+        self.underivable: Set[str] = set()
+        self.phi_eval_count: Dict[str, int] = {}
+        self.phi_change_count: Dict[str, int] = {}
+        self.widened: Set[str] = set()
+        # Set when the safety valve cut the fixed point short.
+        self.aborted = False
+        self.edge_update_count: Dict[Edge, int] = {}
+
+        self.flow_list: deque = deque()
+        self.flow_pending: Set[Edge] = set()
+        self.ssa_list: deque = deque()
+        self.ssa_pending: Set[int] = set()
+        self._pi_parent: Dict[str, str] = {}
+        for block in function.blocks.values():
+            for instr in block.instructions:
+                if isinstance(instr, Pi) and isinstance(instr.src, Temp):
+                    self._pi_parent[instr.dest.name] = instr.src.name
+
+        # Flow-insensitive array-content tracking (config.track_arrays):
+        # one range set per array, only ever widening; loads read it.
+        self.array_sets: Dict[str, RangeSet] = {}
+        self._array_loads: Dict[str, List[Instruction]] = {}
+        self._array_update_count: Dict[str, int] = {}
+        if self.config.track_arrays:
+            for name in function.arrays:
+                # Arrays start zero-filled in the toy language.
+                self.array_sets[name] = RangeSet.constant(0)
+                self._array_loads[name] = []
+            for block in function.blocks.values():
+                for instr in block.instructions:
+                    if isinstance(instr, Load) and instr.array in self._array_loads:
+                        self._array_loads[instr.array].append(instr)
+
+    # -- public API ------------------------------------------------------------
+
+    def run(self) -> FunctionPrediction:
+        """Propagate to a fixed point and collect the results."""
+        with counters_mod.use(self.counters):
+            self._seed()
+            self._drain()
+        return self._collect()
+
+    # -- worklist machinery --------------------------------------------------------
+
+    def _seed(self) -> None:
+        entry = self.function.entry_label
+        assert entry is not None
+        self.edge_freq[(ENTRY_EDGE_SOURCE, entry)] = 1.0
+        self._push_flow((ENTRY_EDGE_SOURCE, entry))
+
+    def _drain(self) -> None:
+        # Safety valve: the fixed point is expected in O(instructions)
+        # worklist items; runaway churn (a lattice bug) aborts cleanly
+        # instead of hanging, leaving the best-so-far results in place.
+        budget = 2000 * max(64, self.function.instruction_count())
+        processed = 0
+        while self.flow_list or self.ssa_list:
+            processed += 1
+            if processed > budget:
+                self.aborted = True
+                self.flow_list.clear()
+                self.flow_pending.clear()
+                self.ssa_list.clear()
+                self.ssa_pending.clear()
+                break
+            if self.config.prefer_flow_list:
+                use_flow = bool(self.flow_list)
+            else:
+                use_flow = bool(self.flow_list) and not self.ssa_list
+            if use_flow:
+                edge = self.flow_list.popleft()
+                self.flow_pending.discard(edge)
+                self._process_flow_edge(edge)
+            else:
+                instr = self.ssa_list.popleft()
+                self.ssa_pending.discard(id(instr))
+                self._process_ssa_item(instr)
+
+    def _push_flow(self, edge: Edge) -> None:
+        if edge not in self.flow_pending:
+            self.flow_pending.add(edge)
+            self.flow_list.append(edge)
+
+    def _push_uses(self, name: str) -> None:
+        for use in self.edges.uses_of.get(name, ()):
+            if id(use) not in self.ssa_pending:
+                self.ssa_pending.add(id(use))
+                self.ssa_list.append(use)
+
+    # -- frequencies ----------------------------------------------------------------
+
+    def node_frequency(self, label: str) -> float:
+        entry = self.function.entry_label
+        total = 0.0
+        if label == entry:
+            total += self.edge_freq.get((ENTRY_EDGE_SOURCE, label), 0.0)
+        for pred in self.cfg.predecessors[label]:
+            total += self.edge_freq.get((pred, label), 0.0)
+        return min(total, self.config.frequency_cap)
+
+    def _set_edge_freq(self, edge: Edge, freq: float) -> None:
+        old = self.edge_freq.get(edge, 0.0)
+        if abs(freq - old) <= self.config.tolerance * max(1.0, old):
+            return
+        updates = self.edge_update_count.get(edge, 0)
+        if updates >= 64 and abs(freq - old) <= 0.05 * max(1.0, old):
+            return  # converging geometric series: stop churning
+        self.edge_update_count[edge] = updates + 1
+        self.edge_freq[edge] = freq
+        self._push_flow(edge)
+
+    # -- flow processing ----------------------------------------------------------------
+
+    def _process_flow_edge(self, edge: Edge) -> None:
+        self.counters.flow_edges_processed += 1
+        _, target = edge
+        block = self.function.block(target)
+        first_visit = target not in self.visited
+        if first_visit:
+            self.visited.add(target)
+            for instr in block.instructions:
+                self._evaluate(instr)
+        else:
+            for phi in block.phis():
+                self._evaluate(phi)
+            self._evaluate(block.terminator)
+
+    # -- SSA processing ----------------------------------------------------------------
+
+    def _process_ssa_item(self, instr: Instruction) -> None:
+        self.counters.ssa_edges_processed += 1
+        block = instr.block
+        if block is None or block.label not in self.visited:
+            return  # the paper's "any in-edge executable" guard
+        self._evaluate(instr)
+
+    # -- evaluation ----------------------------------------------------------------
+
+    def _evaluate(self, instr: Instruction) -> None:
+        if isinstance(instr, Phi):
+            self._evaluate_phi(instr)
+        elif isinstance(instr, (Jump, Branch, Return)):
+            self._evaluate_terminator(instr)
+        elif isinstance(instr, Store):
+            if self.config.track_arrays:
+                self._evaluate_store(instr)
+        else:
+            result = instr.result
+            if result is None:
+                return
+            if result.name in self.derived:
+                return
+            self.counters.expr_evaluations += 1
+            new_value = self._transfer(instr)
+            self._update(result.name, new_value)
+
+    def _update(self, name: str, new_value: RangeSet) -> None:
+        old_value = self.values.get(name, TOP)
+        if new_value.approx_equal(old_value, self.config.tolerance):
+            return
+        self.values[name] = new_value
+        self._push_uses(name)
+
+    def value_of(self, operand: Value) -> RangeSet:
+        if isinstance(operand, Constant):
+            return RangeSet.constant(operand.value)
+        if isinstance(operand, Undef):
+            return BOTTOM
+        if isinstance(operand, Temp):
+            return self._resolve_symbols(self.values.get(operand.name, TOP))
+        raise TypeError(f"unknown operand {operand!r}")
+
+    def _resolve_symbols(self, rangeset: RangeSet) -> RangeSet:
+        """Substitute symbols whose own range is a known single constant.
+
+        A derived range like ``[0:k.1]`` becomes ``[0:100]`` once ``k.1``
+        is known to be 100 -- derived (final) ranges are written before
+        their symbols settle, so resolution happens at use time.
+        """
+        if not rangeset.is_set or not rangeset.symbols():
+            return rangeset
+        resolved: List[StridedRange] = []
+        changed = False
+        for r in rangeset.ranges:
+            lo = self._resolve_bound(r.lo)
+            hi = self._resolve_bound(r.hi)
+            if lo is r.lo and hi is r.hi:
+                resolved.append(r)
+                continue
+            order = lo.compare(hi)
+            if order is not None and order > 0:
+                return rangeset  # stale symbol value: keep the symbolic form
+            resolved.append(StridedRange(r.probability, lo, hi, r.stride))
+            changed = True
+        if not changed:
+            return rangeset
+        return RangeSet.from_ranges(resolved, max_ranges=self.config.max_ranges)
+
+    def _resolve_bound(self, bound: Bound, depth: int = 4) -> Bound:
+        current = bound
+        for _ in range(depth):
+            if current.symbol is None:
+                return current
+            target = self.values.get(current.symbol)
+            if target is None or not target.is_set or len(target.ranges) != 1:
+                return current
+            only = target.ranges[0]
+            if not only.is_single():
+                return current
+            base = only.lo
+            if base.symbol == current.symbol:
+                return current  # self-referential: stop
+            if base.is_numeric() and base.is_finite():
+                current = Bound(base.offset + current.offset)
+            elif base.symbol is not None:
+                current = Bound(base.offset + current.offset, base.symbol)
+            else:
+                return current
+        return current
+
+    def _constant_of(self, operand: Value) -> Optional[int]:
+        if isinstance(operand, Constant):
+            value = operand.value
+            return int(value) if value == int(value) else None
+        if isinstance(operand, Temp):
+            constant = self.values.get(operand.name, TOP).constant_value()
+            if constant is not None and constant == int(constant):
+                return int(constant)
+        return None
+
+    # -- transfer functions ----------------------------------------------------------------
+
+    def _transfer(self, instr: Instruction) -> RangeSet:
+        max_ranges = self.config.max_ranges
+        if isinstance(instr, Copy):
+            return self.value_of(instr.src)
+        if isinstance(instr, BinOp):
+            return evaluate_binop(
+                instr.op,
+                self.value_of(instr.lhs),
+                self.value_of(instr.rhs),
+                max_ranges=max_ranges,
+            )
+        if isinstance(instr, UnOp):
+            return evaluate_unop(instr.op, self.value_of(instr.operand), max_ranges)
+        if isinstance(instr, Cmp):
+            return self._transfer_cmp(instr)
+        if isinstance(instr, Pi):
+            return self._transfer_pi(instr)
+        if isinstance(instr, Load):
+            if self.config.track_arrays and instr.array in self.array_sets:
+                return self.array_sets[instr.array]
+            return BOTTOM  # the paper: loads are ⊥ without alias analysis
+        if isinstance(instr, Input):
+            return BOTTOM
+        if isinstance(instr, Call):
+            if self.call_effect is not None:
+                return self.call_effect(instr)
+            return BOTTOM
+        raise TypeError(f"no transfer function for {instr!r}")
+
+    def _transfer_cmp(self, instr: Cmp) -> RangeSet:
+        lhs = self.value_of(instr.lhs)
+        rhs = self.value_of(instr.rhs)
+        if lhs.is_top or rhs.is_top:
+            return TOP
+        if lhs.is_bottom or rhs.is_bottom:
+            return BOTTOM
+        lhs_name = instr.lhs.name if isinstance(instr.lhs, Temp) else None
+        rhs_name = instr.rhs.name if isinstance(instr.rhs, Temp) else None
+        if not self.config.symbolic:
+            lhs_name = rhs_name = None
+        outcome = compare_sets(
+            instr.op,
+            lhs,
+            rhs,
+            a_name=lhs_name,
+            b_name=rhs_name,
+            exact_limit=self.config.exact_count_limit,
+            symbol_range=self._symbol_range if self.config.symbolic else None,
+        )
+        if outcome is None or outcome.unknown_mass > self.config.max_unknown_mass:
+            return BOTTOM
+        return RangeSet.boolean(outcome.estimate())
+
+    def _transfer_pi(self, instr: Pi) -> RangeSet:
+        src = self.value_of(instr.src)
+        bound = self._refinement_bound(instr.bound)
+        if bound is None:
+            return src
+        return refine_set(src, instr.op, bound, max_ranges=self.config.max_ranges)
+
+    def _symbol_range(self, name: str, depth: int = 3) -> Optional[RangeSet]:
+        """Numeric distribution of a symbol (for comparison integration).
+
+        Sees through chains like ``t = width - 1``: a single symbolic
+        value ``[s+c]`` is replaced by ``s``'s numeric distribution
+        shifted by ``c``.
+        """
+        stored = self.values.get(name)
+        if stored is None:
+            return None
+        resolved = self._resolve_symbols(stored)
+        if (
+            depth > 0
+            and resolved.is_set
+            and len(resolved.ranges) == 1
+            and resolved.ranges[0].is_single()
+            and resolved.ranges[0].lo.symbol is not None
+        ):
+            pivot = resolved.ranges[0].lo
+            base = self._symbol_range(pivot.symbol, depth - 1)
+            if base is not None and base.is_set and base.is_numeric():
+                shifted = [
+                    StridedRange(
+                        r.probability,
+                        r.lo.add_const(pivot.offset),
+                        r.hi.add_const(pivot.offset),
+                        r.stride,
+                    )
+                    for r in base.ranges
+                ]
+                return RangeSet.from_ranges(shifted, max_ranges=self.config.max_ranges)
+        return resolved
+
+    def _refinement_bound(self, operand: Value) -> Optional[Bound]:
+        constant = self._constant_of(operand)
+        if constant is not None:
+            return Bound.number(constant)
+        if isinstance(operand, Temp) and self.config.symbolic:
+            return Bound.symbolic(operand.name)
+        return None
+
+    # -- array content tracking (optional extension) ----------------------------------------------------
+
+    def _evaluate_store(self, instr: Store) -> None:
+        """Widen the array's content set with the stored value's range.
+
+        Flow-insensitive and monotone: the set only grows, a ⊥ store
+        makes it ⊥ for good, and a per-array widening counter bounds the
+        number of growth steps -- so loads re-trigger finitely often.
+        """
+        array = instr.array
+        current = self.array_sets.get(array)
+        if current is None or current.is_bottom:
+            return
+        stored = self.value_of(instr.value)
+        if stored.is_top:
+            return  # not known yet; the store re-evaluates later
+        if stored.is_bottom:
+            merged: RangeSet = BOTTOM
+        else:
+            merged = merge_weighted(
+                [(1.0, current), (1.0, stored)], max_ranges=self.config.max_ranges
+            )
+            if not _hull_grew(current, merged):
+                # Same support: keep the existing (stable) weights.
+                return
+            updates = self._array_update_count.get(array, 0) + 1
+            self._array_update_count[array] = updates
+            if updates > self.config.widen_after:
+                merged = _widen(current, merged)
+        if merged.approx_equal(current, self.config.tolerance):
+            return
+        self.array_sets[array] = merged
+        for load in self._array_loads.get(array, ()):
+            if id(load) not in self.ssa_pending:
+                self.ssa_pending.add(id(load))
+                self.ssa_list.append(load)
+
+    # -- phi evaluation (steps 4 and 5) ----------------------------------------------------------------
+
+    def _evaluate_phi(self, phi: Phi) -> None:
+        name = phi.dest.name
+        if name in self.derived:
+            return
+        block = phi.block
+        assert block is not None
+        label = block.label
+        back_preds = {
+            pred
+            for pred, _ in phi.incomings
+            if self.cfg.is_back_edge(pred, label)
+        }
+        if (
+            back_preds
+            and self.config.derive_loops
+            and name not in self.underivable
+        ):
+            self.counters.derivations_attempted += 1
+            outcome = derive_loop_phi(
+                phi,
+                back_preds,
+                self.edges,
+                value_of=lambda n: self.values.get(n, TOP),
+                constant_of=self._constant_of,
+                symbolic=self.config.symbolic,
+                max_ranges=self.config.max_ranges,
+            )
+            if outcome.derived:
+                self.counters.derivations_succeeded += 1
+                self.derived.add(name)
+                assert outcome.rangeset is not None
+                self._update(name, outcome.rangeset)
+                return
+            if outcome.status == "failed":
+                self.underivable.add(name)
+            # "not_ready": fall through to a merge; derivation retried later.
+
+        self.counters.phi_evaluations += 1
+        self.counters.expr_evaluations += 1
+        merged = self._merge_phi(phi, label)
+        old = self.values.get(name, TOP)
+        if not merged.approx_equal(old, self.config.tolerance):
+            changes = self.phi_change_count.get(name, 0) + 1
+            self.phi_change_count[name] = changes
+            if changes > self.config.freeze_after:
+                # Oscillating merge (e.g. an alternating recurrence whose
+                # probabilities never settle): freeze at the current value
+                # to guarantee termination.
+                return
+        if name in self.widened:
+            # Once widened, stay widened: the hull may only grow further.
+            merged = _widen(old, merged)
+        elif _hull_grew(old, merged):
+            # Only extent growth counts toward widening: probability
+            # re-weighting while frequencies converge is not divergence.
+            grows = self.phi_eval_count.get(name, 0) + 1
+            self.phi_eval_count[name] = grows
+            if grows > self.config.widen_after and merged.is_set:
+                self.widened.add(name)
+                merged = _widen(old, merged)
+        self._update(name, merged)
+
+    def _merge_phi(self, phi: Phi, label: str) -> RangeSet:
+        contributions: List[Tuple[float, RangeSet]] = []
+        positive: List[Tuple[str, Value]] = []
+        for pred, incoming in phi.incomings:
+            weight = self.edge_freq.get((pred, label), 0.0)
+            if weight > 0.0:
+                positive.append((pred, incoming))
+            contributions.append((weight, self.value_of(incoming)))
+        parent = self._common_assertion_parent(positive)
+        if parent is not None:
+            return self.values.get(parent, TOP)
+        return merge_weighted(contributions, max_ranges=self.config.max_ranges)
+
+    def _common_assertion_parent(
+        self, incomings: List[Tuple[str, Value]]
+    ) -> Optional[str]:
+        """The paper's footnote 4: merging assertion-derived variables of a
+        common parent (or with the parent itself) yields the parent's range."""
+        if len(incomings) < 2:
+            return None
+        parent: Optional[str] = None
+        any_derived = False
+        for _, incoming in incomings:
+            if not isinstance(incoming, Temp):
+                return None
+            root = self._pi_parent.get(incoming.name)
+            if root is None:
+                root = incoming.name
+            else:
+                any_derived = True
+            if parent is None:
+                parent = root
+            elif parent != root:
+                return None
+        return parent if any_derived else None
+
+    # -- terminators (step 7) ----------------------------------------------------------------
+
+    def _evaluate_terminator(self, instr: Instruction) -> None:
+        block = instr.block
+        assert block is not None
+        label = block.label
+        freq = self.node_frequency(label)
+        if isinstance(instr, Jump):
+            self._set_edge_freq((label, instr.target), freq)
+            return
+        if isinstance(instr, Return):
+            return
+        assert isinstance(instr, Branch)
+        probability = self._branch_probability(instr, label)
+        if probability is None:
+            return  # still ⊤: leave out-edges unexecutable for now
+        old = self.branch_prob.get(label)
+        if old is None or abs(probability - old) > self.config.tolerance:
+            self.branch_prob[label] = probability
+        self._set_edge_freq((label, instr.true_target), freq * probability)
+        self._set_edge_freq((label, instr.false_target), freq * (1.0 - probability))
+
+    def _branch_probability(self, instr: Branch, label: str) -> Optional[float]:
+        cond = self.value_of(instr.cond)
+        if cond.is_top:
+            return None
+        if cond.is_set:
+            outcome = compare_sets(
+                "ne",
+                cond,
+                RangeSet.constant(0),
+                exact_limit=self.config.exact_count_limit,
+            )
+            if outcome is not None and outcome.unknown_mass <= self.config.max_unknown_mass:
+                self.used_heuristic.discard(label)
+                return outcome.estimate()
+        # ⊥ (or undecidable): the paper's heuristic fallback.
+        if label not in self.used_heuristic:
+            self.counters.heuristic_fallbacks += 1
+            self.used_heuristic.add(label)
+        if self.heuristic is not None:
+            return self.heuristic(self.function, label)
+        return self.config.default_branch_probability
+
+    # -- results ----------------------------------------------------------------
+
+    def _collect(self) -> FunctionPrediction:
+        block_frequency = {
+            label: self.node_frequency(label) for label in self.function.blocks
+        }
+        return_contributions: List[Tuple[float, RangeSet]] = []
+        for label, block in self.function.blocks.items():
+            term = block.terminator
+            if isinstance(term, Return) and label in self.visited:
+                weight = block_frequency.get(label, 0.0)
+                if weight > 0.0:
+                    return_contributions.append((weight, self.value_of(term.value)))
+        return_set = merge_weighted(
+            return_contributions, max_ranges=self.config.max_ranges
+        )
+        edge_frequency = {
+            edge: freq
+            for edge, freq in self.edge_freq.items()
+            if edge[0] != ENTRY_EDGE_SOURCE
+        }
+        # Materialise never-taken edges at frequency zero so consumers
+        # (layout, unreachable-code detection) see the full edge set.
+        for edge in self.cfg.edges():
+            edge_frequency.setdefault(edge, 0.0)
+        return FunctionPrediction(
+            function=self.function,
+            branch_probability=dict(self.branch_prob),
+            edge_frequency=edge_frequency,
+            block_frequency=block_frequency,
+            values=dict(self.values),
+            used_heuristic=set(self.used_heuristic),
+            counters=self.counters,
+            return_set=return_set,
+            aborted=self.aborted,
+        )
+
+
+def _hull_grew(old: RangeSet, new: RangeSet) -> bool:
+    """True when ``new`` covers values outside ``old``'s hull."""
+    if not new.is_set:
+        return False
+    if not old.is_set:
+        return old.is_top  # ⊤ -> anything is growth; ⊥ cannot grow
+    old_hull = old.hull()
+    new_hull = new.hull()
+    if old_hull is None or new_hull is None:
+        return True
+    lo_cmp = new_hull.lo.compare(old_hull.lo)
+    if lo_cmp is None or lo_cmp < 0:
+        return True
+    hi_cmp = new_hull.hi.compare(old_hull.hi)
+    return hi_cmp is None or hi_cmp > 0
+
+
+def _widen(old: RangeSet, new: RangeSet) -> RangeSet:
+    """Stationary widening for churning phis.
+
+    Produces a single hull range that only ever *grows* relative to the
+    previous value (sides that grew jump straight to infinity).  Once a
+    new evaluation stays inside the widened hull the result equals the
+    old value exactly, so the fixed point is reached.
+    """
+    if not (old.is_set and new.is_set):
+        return new
+    old_hull = old.hull()
+    new_hull = new.hull()
+    if old_hull is None or new_hull is None:
+        return BOTTOM
+    lo = old_hull.lo
+    hi = old_hull.hi
+    lo_cmp = new_hull.lo.compare(lo)
+    if lo_cmp is None or lo_cmp < 0:
+        lo = Bound.number(NEG_INF)
+    hi_cmp = new_hull.hi.compare(hi)
+    if hi_cmp is None or hi_cmp > 0:
+        hi = Bound.number(POS_INF)
+    stride = math.gcd(old_hull.stride, new_hull.stride)
+    return RangeSet.from_ranges([StridedRange(1.0, lo, hi, stride or 1)])
+
+
+def analyse_function(
+    function: Function,
+    ssa_info: SSAInfo,
+    config: Optional[VRPConfig] = None,
+    heuristic: Optional[HeuristicFn] = None,
+    param_ranges: Optional[Dict[str, RangeSet]] = None,
+    call_effect: Optional[Callable[[Call], RangeSet]] = None,
+) -> FunctionPrediction:
+    """Run value range propagation over one prepared (SSA-form) function."""
+    engine = PropagationEngine(
+        function,
+        ssa_info,
+        config=config,
+        heuristic=heuristic,
+        param_ranges=param_ranges,
+        call_effect=call_effect,
+    )
+    return engine.run()

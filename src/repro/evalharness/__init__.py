@@ -1,0 +1,74 @@
+"""Evaluation harness: reproduces the paper's measurements.
+
+* :mod:`repro.evalharness.accuracy` -- error records and error CDFs;
+* :mod:`repro.evalharness.runner` -- compile/profile/predict/score
+  pipelines over workloads and suites (Figures 7-8);
+* :mod:`repro.evalharness.counting` -- work-count measurements
+  (Figures 5-6, the linearity claims);
+* :mod:`repro.evalharness.reporting` -- terminal rendering of the
+  figures as tables.
+"""
+
+from repro.evalharness.accuracy import (
+    BranchError,
+    DEFAULT_THRESHOLDS,
+    area_under_cdf,
+    average_cdfs,
+    branch_errors,
+    error_cdf,
+    mean_error,
+)
+from repro.evalharness.counting import (
+    linearity_ratio,
+    measure_scaling,
+    measure_source,
+    measure_workloads,
+    synthetic_program,
+)
+from repro.evalharness.reporting import (
+    format_cdf_table,
+    format_scatter,
+    format_suite_figure,
+    ranking,
+)
+from repro.evalharness.runner import (
+    PreparedWorkload,
+    SuiteEvaluation,
+    WorkloadEvaluation,
+    evaluate_suite,
+    evaluate_workload,
+    perfect_predictions,
+    prepare_workload,
+    profile_predictions,
+    standard_predictors,
+    vrp_predictions,
+)
+
+__all__ = [
+    "BranchError",
+    "DEFAULT_THRESHOLDS",
+    "PreparedWorkload",
+    "SuiteEvaluation",
+    "WorkloadEvaluation",
+    "area_under_cdf",
+    "average_cdfs",
+    "branch_errors",
+    "error_cdf",
+    "evaluate_suite",
+    "evaluate_workload",
+    "format_cdf_table",
+    "format_scatter",
+    "format_suite_figure",
+    "linearity_ratio",
+    "mean_error",
+    "measure_scaling",
+    "measure_source",
+    "measure_workloads",
+    "perfect_predictions",
+    "prepare_workload",
+    "profile_predictions",
+    "ranking",
+    "standard_predictors",
+    "synthetic_program",
+    "vrp_predictions",
+]

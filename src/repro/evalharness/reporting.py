@@ -1,0 +1,95 @@
+"""ASCII rendering of evaluation results (the paper's figures as tables).
+
+The paper presents Figures 7-8 as line charts of "percentage of branches
+predicted to within a given error margin"; a terminal reproduction
+renders the same series as a table with one column per predictor plus a
+coarse sparkline, so orderings and crossovers are visible at a glance.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.evalharness.accuracy import DEFAULT_THRESHOLDS, area_under_cdf
+from repro.evalharness.runner import SuiteEvaluation
+
+
+def format_cdf_table(
+    series: Dict[str, Sequence[float]],
+    thresholds: Sequence[int] = DEFAULT_THRESHOLDS,
+    title: str = "",
+) -> str:
+    """Render predictor CDF series side by side.
+
+    Rows are error margins ("<K" percentage points), columns are
+    predictors, cells are the percentage of branches within the margin.
+    """
+    names = list(series)
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header = "margin  " + "  ".join(f"{name:>12s}" for name in names)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for index, threshold in enumerate(thresholds):
+        row = f"<{threshold:>3d}    " + "  ".join(
+            f"{series[name][index]:>11.1f}%" for name in names
+        )
+        lines.append(row)
+    lines.append("-" * len(header))
+    summary = "AUC     " + "  ".join(
+        f"{area_under_cdf(series[name]):>11.1f} " for name in names
+    )
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def format_suite_figure(
+    evaluation: SuiteEvaluation, weighted: bool, title: str
+) -> str:
+    """One panel of Figure 7/8: a suite, weighted or unweighted."""
+    series = {
+        name: evaluation.aggregate_cdf(name, weighted=weighted)
+        for name in evaluation.predictors()
+    }
+    mode = "weighted by execution count" if weighted else "unweighted"
+    return format_cdf_table(series, evaluation.thresholds, f"{title} ({mode})")
+
+
+def ranking(series: Dict[str, Sequence[float]]) -> List[Tuple[str, float]]:
+    """Predictors ordered best-first by area under the CDF."""
+    scored = [(name, area_under_cdf(values)) for name, values in series.items()]
+    return sorted(scored, key=lambda pair: -pair[1])
+
+
+def format_scatter(
+    points: Sequence[Tuple[int, int]],
+    x_label: str,
+    y_label: str,
+    title: str = "",
+) -> str:
+    """Render (x, y) pairs plus a least-squares fit line summary.
+
+    Used for the Figure 5/6 linearity plots: the fit's relative residual
+    tells you at a glance how linear the relationship is.
+    """
+    import numpy as np
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(f"{x_label:>12s}  {y_label:>14s}")
+    for x, y in points:
+        lines.append(f"{x:>12d}  {y:>14d}")
+    if len(points) >= 2:
+        xs = np.array([p[0] for p in points], dtype=float)
+        ys = np.array([p[1] for p in points], dtype=float)
+        slope, intercept = np.polyfit(xs, ys, 1)
+        predicted = slope * xs + intercept
+        residual = float(np.sqrt(np.mean((ys - predicted) ** 2)))
+        scale = float(np.mean(ys)) or 1.0
+        lines.append(
+            f"linear fit: y = {slope:.3f}x + {intercept:.1f}  "
+            f"(rms residual {100.0 * residual / scale:.1f}% of mean)"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,45 @@
+"""Heuristic static branch predictors: the paper's baselines.
+
+* :class:`Rule9050Predictor` -- the "90/50 rule".
+* :class:`BallLarusPredictor` -- the nine Ball–Larus heuristics with
+  Wu–Larus Dempster–Shafer combination (the paper's strongest heuristic
+  baseline, and the fallback VRP uses on ⊥ branches).
+* :class:`RandomPredictor` -- the random reference line.
+"""
+
+from repro.heuristics.ball_larus import (
+    BallLarusPredictor,
+    HEURISTIC_ORDER,
+    call_heuristic,
+    guard_heuristic,
+    loop_branch_heuristic,
+    loop_exit_heuristic,
+    loop_header_heuristic,
+    opcode_heuristic,
+    pointer_heuristic,
+    return_heuristic,
+    store_heuristic,
+)
+from repro.heuristics.base import FunctionContext, Predictor
+from repro.heuristics.combine import dempster_shafer
+from repro.heuristics.random_pred import RandomPredictor
+from repro.heuristics.rule9050 import Rule9050Predictor
+
+__all__ = [
+    "BallLarusPredictor",
+    "FunctionContext",
+    "HEURISTIC_ORDER",
+    "Predictor",
+    "RandomPredictor",
+    "Rule9050Predictor",
+    "call_heuristic",
+    "dempster_shafer",
+    "guard_heuristic",
+    "loop_branch_heuristic",
+    "loop_exit_heuristic",
+    "loop_header_heuristic",
+    "opcode_heuristic",
+    "pointer_heuristic",
+    "return_heuristic",
+    "store_heuristic",
+]

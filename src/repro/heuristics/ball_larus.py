@@ -1,0 +1,305 @@
+"""The Ball–Larus (PLDI 1993) branch heuristics.
+
+Nine structural heuristics, each predicting one successor with an
+empirical hit rate (the rates are the Wu–Larus measurements used to turn
+directions into probabilities).  Two combination modes:
+
+* ``"dempster-shafer"`` (default): all applicable heuristics fused with
+  the Dempster–Shafer rule -- this is the "[BallLarus93] heuristics
+  combined as in [WuLarus94]" baseline of the paper's Figures 7-8;
+* ``"priority"``: the first applicable heuristic in Ball–Larus's fixed
+  order wins (their original formulation, direction-only).
+
+The pointer heuristic is adapted to the toy language (which has no
+pointers): it fires on equality comparisons of values chased out of
+memory, the closest analogue of pointer comparisons.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+from repro.heuristics.base import FunctionContext, Predictor
+from repro.heuristics.combine import dempster_shafer
+from repro.ir.instructions import Branch, Call, Cmp, Load, Return, Store
+from repro.ir.values import Constant, Temp
+
+# Empirical hit rates (probability the predicted direction is right).
+LOOP_BRANCH_PROB = 0.88
+POINTER_PROB = 0.60
+OPCODE_PROB = 0.84
+GUARD_PROB = 0.62
+LOOP_EXIT_PROB = 0.80
+LOOP_HEADER_PROB = 0.75
+CALL_PROB = 0.78
+STORE_PROB = 0.55
+RETURN_PROB = 0.72
+
+# A heuristic outcome: P(true edge), or None when not applicable.
+HeuristicFn = Callable[[FunctionContext, str, Branch], Optional[float]]
+
+
+def loop_branch_heuristic(
+    context: FunctionContext, label: str, branch: Branch
+) -> Optional[float]:
+    """Predict taken an edge back to a loop head; not taken a loop exit."""
+    true_back = context.cfg.is_back_edge(label, branch.true_target)
+    false_back = context.cfg.is_back_edge(label, branch.false_target)
+    if true_back and not false_back:
+        return LOOP_BRANCH_PROB
+    if false_back and not true_back:
+        return 1.0 - LOOP_BRANCH_PROB
+    loop = context.loops.innermost(label)
+    if loop is not None:
+        true_exits = not loop.contains(
+            context.effective_successor(branch.true_target)
+        ) and not loop.contains(branch.true_target)
+        false_exits = not loop.contains(
+            context.effective_successor(branch.false_target)
+        ) and not loop.contains(branch.false_target)
+        if true_exits and not false_exits:
+            return 1.0 - LOOP_BRANCH_PROB
+        if false_exits and not true_exits:
+            return LOOP_BRANCH_PROB
+    return None
+
+
+def pointer_heuristic(
+    context: FunctionContext, label: str, branch: Branch
+) -> Optional[float]:
+    """Memory-derived values compared for equality are predicted unequal."""
+    cmp = context.condition_of(label)
+    if cmp is None or cmp.op not in ("eq", "ne"):
+        return None
+    if not _memory_derived(context, cmp):
+        return None
+    taken = POINTER_PROB if cmp.op == "ne" else 1.0 - POINTER_PROB
+    return taken
+
+
+def _memory_derived(context: FunctionContext, cmp: Cmp) -> bool:
+    derived = _memory_derived_names(context)
+    return any(
+        isinstance(operand, Temp) and operand.name in derived
+        for operand in (cmp.lhs, cmp.rhs)
+    )
+
+
+def _memory_derived_names(context: FunctionContext):
+    """SSA names holding loaded values, closed over copies/assertions."""
+    cached = getattr(context, "_memory_derived_cache", None)
+    if cached is not None:
+        return cached
+    from repro.ir.instructions import Copy, Phi, Pi
+
+    derived = set()
+    for block in context.function.blocks.values():
+        for instr in block.instructions:
+            if isinstance(instr, Load):
+                derived.add(instr.dest.name)
+    changed = True
+    while changed:
+        changed = False
+        for block in context.function.blocks.values():
+            for instr in block.instructions:
+                if isinstance(instr, (Copy, Pi)):
+                    src = instr.src
+                    if (
+                        isinstance(src, Temp)
+                        and src.name in derived
+                        and instr.dest.name not in derived
+                    ):
+                        derived.add(instr.dest.name)
+                        changed = True
+                elif isinstance(instr, Phi):
+                    if instr.dest.name not in derived and any(
+                        isinstance(value, Temp) and value.name in derived
+                        for _, value in instr.incomings
+                    ):
+                        derived.add(instr.dest.name)
+                        changed = True
+    context._memory_derived_cache = derived
+    return derived
+
+
+def opcode_heuristic(
+    context: FunctionContext, label: str, branch: Branch
+) -> Optional[float]:
+    """``x < 0``, ``x <= 0`` and ``x == const`` are predicted false."""
+    cmp = context.condition_of(label)
+    if cmp is None:
+        return None
+    zero = Constant(0)
+    if cmp.op in ("lt", "le") and cmp.rhs == zero:
+        return 1.0 - OPCODE_PROB
+    if cmp.op in ("gt", "ge") and cmp.rhs == zero:
+        return OPCODE_PROB
+    if cmp.op == "eq" and (
+        isinstance(cmp.rhs, Constant) or isinstance(cmp.lhs, Constant)
+    ):
+        return 1.0 - OPCODE_PROB
+    if cmp.op == "ne" and (
+        isinstance(cmp.rhs, Constant) or isinstance(cmp.lhs, Constant)
+    ):
+        return OPCODE_PROB
+    return None
+
+
+def guard_heuristic(
+    context: FunctionContext, label: str, branch: Branch
+) -> Optional[float]:
+    """Predict the successor that uses a compared register before
+    redefining it (and does not postdominate the branch)."""
+    cmp = context.condition_of(label)
+    if cmp is None:
+        return None
+    operands = [op for op in (cmp.lhs, cmp.rhs) if isinstance(op, Temp)]
+    if not operands:
+        return None
+    true_guards = _uses_before_def(context, branch.true_target, operands)
+    false_guards = _uses_before_def(context, branch.false_target, operands)
+    true_pd = context.postdom.postdominates(branch.true_target, label)
+    false_pd = context.postdom.postdominates(branch.false_target, label)
+    true_applies = true_guards and not true_pd
+    false_applies = false_guards and not false_pd
+    if true_applies and not false_applies:
+        return GUARD_PROB
+    if false_applies and not true_applies:
+        return 1.0 - GUARD_PROB
+    return None
+
+
+def _uses_before_def(
+    context: FunctionContext, succ: str, operands: List[Temp]
+) -> bool:
+    wanted = {op.name for op in operands}
+    for instr in context.effective_instructions(succ):
+        for operand in instr.operands():
+            if isinstance(operand, Temp) and operand.name in wanted:
+                return True
+        result = instr.result
+        if result is not None and result.name in wanted:
+            wanted.discard(result.name)
+            if not wanted:
+                return False
+    return False
+
+
+def loop_exit_heuristic(
+    context: FunctionContext, label: str, branch: Branch
+) -> Optional[float]:
+    """Inside a loop, with no successor a loop head, predict the edge
+    that stays in the loop."""
+    loop = context.loops.innermost(label)
+    if loop is None:
+        return None
+    succs = (branch.true_target, branch.false_target)
+    if any(context.loops.is_header(context.effective_successor(s)) for s in succs):
+        return None
+    true_exits = not loop.contains(branch.true_target)
+    false_exits = not loop.contains(branch.false_target)
+    if true_exits and not false_exits:
+        return 1.0 - LOOP_EXIT_PROB
+    if false_exits and not true_exits:
+        return LOOP_EXIT_PROB
+    return None
+
+
+def loop_header_heuristic(
+    context: FunctionContext, label: str, branch: Branch
+) -> Optional[float]:
+    """Predict a successor that is a loop header and not a postdominator."""
+    true_eff = context.effective_successor(branch.true_target)
+    false_eff = context.effective_successor(branch.false_target)
+    true_applies = context.loops.is_header(true_eff) and not context.postdom.postdominates(
+        branch.true_target, label
+    )
+    false_applies = context.loops.is_header(false_eff) and not context.postdom.postdominates(
+        branch.false_target, label
+    )
+    if true_applies and not false_applies:
+        return LOOP_HEADER_PROB
+    if false_applies and not true_applies:
+        return 1.0 - LOOP_HEADER_PROB
+    return None
+
+
+def _successor_content_heuristic(instr_type, probability: float):
+    """Build a heuristic: a successor containing ``instr_type`` and not
+    postdominating the branch is predicted NOT taken."""
+
+    def heuristic(
+        context: FunctionContext, label: str, branch: Branch
+    ) -> Optional[float]:
+        def applies(target: str) -> bool:
+            if context.postdom.postdominates(target, label):
+                return False
+            return any(
+                isinstance(instr, instr_type)
+                for instr in context.effective_instructions(target)
+            )
+
+        true_applies = applies(branch.true_target)
+        false_applies = applies(branch.false_target)
+        if true_applies and not false_applies:
+            return 1.0 - probability
+        if false_applies and not true_applies:
+            return probability
+        return None
+
+    return heuristic
+
+
+call_heuristic = _successor_content_heuristic(Call, CALL_PROB)
+store_heuristic = _successor_content_heuristic(Store, STORE_PROB)
+return_heuristic = _successor_content_heuristic(Return, RETURN_PROB)
+
+# Ball-Larus's fixed application order for priority mode.
+HEURISTIC_ORDER: List[Tuple[str, HeuristicFn]] = [
+    ("loop-branch", loop_branch_heuristic),
+    ("pointer", pointer_heuristic),
+    ("opcode", opcode_heuristic),
+    ("guard", guard_heuristic),
+    ("loop-exit", loop_exit_heuristic),
+    ("loop-header", loop_header_heuristic),
+    ("call", call_heuristic),
+    ("store", store_heuristic),
+    ("return", return_heuristic),
+]
+
+
+class BallLarusPredictor(Predictor):
+    """All nine heuristics, combined per Wu–Larus or by priority."""
+
+    name = "ball-larus"
+
+    def __init__(self, combination: str = "dempster-shafer"):
+        if combination not in ("dempster-shafer", "priority"):
+            raise ValueError(f"unknown combination mode {combination!r}")
+        self.combination = combination
+
+    def predict_branch(
+        self, context: FunctionContext, label: str, branch: Branch
+    ) -> float:
+        estimates = []
+        for _, heuristic in HEURISTIC_ORDER:
+            estimate = heuristic(context, label, branch)
+            if estimate is None:
+                continue
+            if self.combination == "priority":
+                return estimate
+            estimates.append(estimate)
+        if not estimates:
+            return 0.5
+        return dempster_shafer(estimates)
+
+    def applicable_heuristics(
+        self, context: FunctionContext, label: str, branch: Branch
+    ) -> List[Tuple[str, float]]:
+        """Which heuristics fire on this branch (for diagnostics/tests)."""
+        out = []
+        for name, heuristic in HEURISTIC_ORDER:
+            estimate = heuristic(context, label, branch)
+            if estimate is not None:
+                out.append((name, estimate))
+        return out

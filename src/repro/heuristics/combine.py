@@ -1,0 +1,26 @@
+"""Evidence combination for heuristic predictions (Wu–Larus 1994).
+
+The paper's strongest heuristic baseline combines the Ball–Larus
+heuristics "as in [WuLarus94] to produce probabilities": each applicable
+heuristic contributes its empirically measured hit rate as evidence, and
+the pieces are fused with the Dempster–Shafer rule for binary events::
+
+    combine(p1, p2) = p1*p2 / (p1*p2 + (1-p1)*(1-p2))
+
+The neutral element is 0.5; combining complementary evidence cancels.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+
+def dempster_shafer(probabilities: Iterable[float], neutral: float = 0.5) -> float:
+    """Fuse independent probability estimates for one binary event."""
+    combined = neutral
+    for p in probabilities:
+        p = min(1.0 - 1e-9, max(1e-9, p))
+        numerator = combined * p
+        denominator = numerator + (1.0 - combined) * (1.0 - p)
+        combined = numerator / denominator
+    return combined

@@ -1,0 +1,30 @@
+"""Random branch prediction -- the paper's weakest reference line.
+
+Each branch receives a uniformly random probability, drawn from a
+deterministic per-branch hash so predictions are stable across runs
+(and across predictors sharing a seed), with no hidden global RNG state.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.heuristics.base import FunctionContext, Predictor
+from repro.ir.instructions import Branch
+
+
+class RandomPredictor(Predictor):
+    """Uniform random P(true) per branch, deterministic in (seed, branch)."""
+
+    name = "random"
+
+    def __init__(self, seed: int = 0):
+        self.seed = seed
+
+    def predict_branch(
+        self, context: FunctionContext, label: str, branch: Branch
+    ) -> float:
+        key = f"{self.seed}:{context.function.name}:{label}".encode()
+        digest = hashlib.sha256(key).digest()
+        value = int.from_bytes(digest[:8], "big")
+        return value / float(1 << 64)

@@ -1,0 +1,51 @@
+"""The 90/50 rule (paper §1): backward branches are taken 90% of the
+time, forward branches 50%.
+
+A branch edge is "backward" when it is a DFS back edge (it re-enters a
+loop).  The paper singles this rule out as "obviously far too crude to
+base important decisions on"; it is the weakest baseline in Figures 7–8,
+with the characteristic jump at the 50-point error mark caused by the
+"50" half of the rule.
+"""
+
+from __future__ import annotations
+
+from repro.heuristics.base import FunctionContext, Predictor
+from repro.ir.instructions import Branch
+
+
+class Rule9050Predictor(Predictor):
+    """Backward taken with probability 0.9, forward split 50/50."""
+
+    name = "rule-90-50"
+
+    def __init__(self, backward_probability: float = 0.9):
+        self.backward_probability = backward_probability
+
+    def predict_branch(
+        self, context: FunctionContext, label: str, branch: Branch
+    ) -> float:
+        true_back = _is_backward(context, label, branch.true_target)
+        false_back = _is_backward(context, label, branch.false_target)
+        if true_back and not false_back:
+            return self.backward_probability
+        if false_back and not true_back:
+            return 1.0 - self.backward_probability
+        return 0.5
+
+
+def _is_backward(context: FunctionContext, label: str, target: str) -> bool:
+    """True when the edge (possibly through forwarding blocks) re-enters
+    a loop that contains the branch -- i.e. it is a backward jump in the
+    machine-code sense the 90/50 rule talks about."""
+    if context.cfg.is_back_edge(label, target):
+        return True
+    effective = context.effective_successor(target)
+    if effective == target:
+        return False
+    loop = context.loops.innermost(label)
+    return (
+        loop is not None
+        and context.loops.is_header(effective)
+        and effective in loop.blocks
+    )

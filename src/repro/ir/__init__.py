@@ -1,0 +1,123 @@
+"""Three-address SSA intermediate representation.
+
+The IR is the substrate the paper's analysis runs over: basic blocks,
+explicit control-flow edges, phi-functions, and the paper's post-branch
+assertion nodes (:class:`~repro.ir.instructions.Pi`).
+
+Typical pipeline::
+
+    from repro.ir import prepare_for_analysis
+    prepare_for_analysis(function)   # unreachable removal, edge splitting,
+                                     # assertions, SSA construction
+"""
+
+from repro.ir.assertions import insert_assertions
+from repro.ir.cfg import CFG, remove_unreachable_blocks, split_critical_edges
+from repro.ir.dominance import DominatorTree
+from repro.ir.function import BasicBlock, Function, Module
+from repro.ir.instructions import (
+    BINARY_OPS,
+    CMP_NEGATION,
+    CMP_OPS,
+    CMP_SWAP,
+    UNARY_OPS,
+    BinOp,
+    Branch,
+    Call,
+    Cmp,
+    Copy,
+    Input,
+    Instruction,
+    Jump,
+    Load,
+    Phi,
+    Pi,
+    Return,
+    Store,
+    UnOp,
+)
+from repro.ir.printer import format_function, format_module
+from repro.ir.ssa import (
+    PARAM_DEF,
+    SSAEdges,
+    SSAInfo,
+    build_ssa_edges,
+    construct_ssa,
+)
+from repro.ir.values import Constant, Temp, UNDEF, Undef, Value
+from repro.ir.verifier import VerificationError, verify_function, verify_module
+
+
+def prepare_for_analysis(function: Function, assertions: bool = True) -> SSAInfo:
+    """Canonicalise a freshly lowered function for analysis.
+
+    Removes unreachable blocks, splits conditional out-edges so each has
+    a unique destination, inserts assertion (Pi) nodes, and rewrites into
+    SSA form.  Returns the :class:`SSAInfo` from SSA construction.
+    """
+    remove_unreachable_blocks(function)
+    split_critical_edges(function)
+    if assertions:
+        insert_assertions(function)
+    info = construct_ssa(function)
+    verify_function(function, ssa=True, param_names=set(info.param_names.values()))
+    return info
+
+
+def prepare_module(module: Module, assertions: bool = True) -> dict:
+    """Run :func:`prepare_for_analysis` on every function in a module.
+
+    Returns a mapping of function name to :class:`SSAInfo`.
+    """
+    return {
+        name: prepare_for_analysis(function, assertions=assertions)
+        for name, function in module.functions.items()
+    }
+
+
+__all__ = [
+    "BINARY_OPS",
+    "CMP_NEGATION",
+    "CMP_OPS",
+    "CMP_SWAP",
+    "UNARY_OPS",
+    "BasicBlock",
+    "BinOp",
+    "Branch",
+    "CFG",
+    "Call",
+    "Cmp",
+    "Constant",
+    "Copy",
+    "DominatorTree",
+    "Function",
+    "Input",
+    "Instruction",
+    "Jump",
+    "Load",
+    "Module",
+    "PARAM_DEF",
+    "Phi",
+    "Pi",
+    "Return",
+    "SSAEdges",
+    "SSAInfo",
+    "Store",
+    "Temp",
+    "UNDEF",
+    "UnOp",
+    "Undef",
+    "Value",
+    "VerificationError",
+    "build_ssa_edges",
+    "construct_ssa",
+    "format_function",
+    "format_module",
+    "insert_assertions",
+    "prepare_for_analysis",
+    "prepare_module",
+    "remove_unreachable_blocks",
+    "split_critical_edges",
+    "verify_function",
+    "verify_module",
+]

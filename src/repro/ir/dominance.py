@@ -1,0 +1,123 @@
+"""Dominator tree and dominance frontiers.
+
+Implements the Cooper–Harvey–Kennedy "engineered" iterative dominator
+algorithm and the Cytron et al. dominance-frontier computation used for
+phi placement during SSA construction.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from repro.ir.cfg import CFG
+
+
+class DominatorTree:
+    """Immediate dominators, dominator tree children, dominance frontiers."""
+
+    def __init__(self, cfg: CFG):
+        self.cfg = cfg
+        entry = cfg.function.entry_label
+        assert entry is not None
+        self.entry = entry
+        self.idom: Dict[str, Optional[str]] = {}
+        self.children: Dict[str, List[str]] = {}
+        self.frontier: Dict[str, Set[str]] = {}
+        self._rpo_index: Dict[str, int] = {}
+        self._compute_idoms()
+        self._compute_children()
+        self._compute_frontiers()
+
+    # -- immediate dominators (Cooper-Harvey-Kennedy) -----------------------
+
+    def _compute_idoms(self) -> None:
+        rpo = self.cfg.reverse_postorder()
+        self._rpo_index = {label: i for i, label in enumerate(rpo)}
+        idom: Dict[str, Optional[str]] = {label: None for label in rpo}
+        idom[self.entry] = self.entry
+        changed = True
+        while changed:
+            changed = False
+            for label in rpo:
+                if label == self.entry:
+                    continue
+                preds = [p for p in self.cfg.predecessors[label] if idom.get(p) is not None]
+                if not preds:
+                    continue
+                new_idom = preds[0]
+                for pred in preds[1:]:
+                    new_idom = self._intersect(idom, new_idom, pred)
+                if idom[label] != new_idom:
+                    idom[label] = new_idom
+                    changed = True
+        idom[self.entry] = None  # conventional: entry has no idom
+        self.idom = idom
+
+    def _intersect(self, idom: Dict[str, Optional[str]], a: str, b: str) -> str:
+        index = self._rpo_index
+        while a != b:
+            while index[a] > index[b]:
+                parent = idom[a]
+                assert parent is not None
+                a = parent
+            while index[b] > index[a]:
+                parent = idom[b]
+                assert parent is not None
+                b = parent
+        return a
+
+    def _compute_children(self) -> None:
+        self.children = {label: [] for label in self.idom}
+        for label, parent in self.idom.items():
+            if parent is not None:
+                self.children[parent].append(label)
+
+    # -- dominance frontiers (Cytron et al.) --------------------------------
+
+    def _compute_frontiers(self) -> None:
+        self.frontier = {label: set() for label in self.idom}
+        for label in self.idom:
+            preds = self.cfg.predecessors[label]
+            if len(preds) < 2:
+                continue
+            target_idom = self.idom[label]
+            for pred in preds:
+                runner: Optional[str] = pred
+                while runner is not None and runner != target_idom and runner in self.idom:
+                    self.frontier[runner].add(label)
+                    runner = self.idom[runner]
+
+    # -- queries -------------------------------------------------------------
+
+    def dominates(self, a: str, b: str) -> bool:
+        """True when block ``a`` dominates block ``b`` (reflexively)."""
+        node: Optional[str] = b
+        while node is not None:
+            if node == a:
+                return True
+            node = self.idom[node]
+        return False
+
+    def strictly_dominates(self, a: str, b: str) -> bool:
+        return a != b and self.dominates(a, b)
+
+    def dom_tree_preorder(self) -> List[str]:
+        order: List[str] = []
+        stack = [self.entry]
+        while stack:
+            node = stack.pop()
+            order.append(node)
+            stack.extend(reversed(self.children[node]))
+        return order
+
+    def iterated_frontier(self, blocks: Set[str]) -> Set[str]:
+        """DF+ of a set of blocks -- where phis must be placed."""
+        result: Set[str] = set()
+        worklist = [b for b in blocks if b in self.frontier]
+        while worklist:
+            block = worklist.pop()
+            for frontier_block in self.frontier[block]:
+                if frontier_block not in result:
+                    result.add(frontier_block)
+                    worklist.append(frontier_block)
+        return result

@@ -1,0 +1,37 @@
+"""Human-readable printing of IR functions and modules."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.ir.cfg import CFG
+from repro.ir.function import Function, Module
+
+
+def format_function(function: Function, show_preds: bool = False) -> str:
+    """Render a function as text, one instruction per line."""
+    lines: List[str] = []
+    params = ", ".join(function.params)
+    lines.append(f"func {function.name}({params}) {{")
+    for name, size in sorted(function.arrays.items()):
+        size_text = "?" if size is None else str(size)
+        lines.append(f"  array {name}[{size_text}]")
+    preds = None
+    if show_preds:
+        preds = CFG(function).predecessors
+    for label, block in function.blocks.items():
+        header = f"{label}:"
+        if preds is not None and preds[label]:
+            header += f"    ; preds: {', '.join(preds[label])}"
+        lines.append(header)
+        for instr in block.instructions:
+            lines.append(f"    {instr!r}")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def format_module(module: Module, show_preds: bool = False) -> str:
+    return "\n\n".join(
+        format_function(function, show_preds=show_preds)
+        for function in module.functions.values()
+    )

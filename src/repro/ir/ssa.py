@@ -1,0 +1,216 @@
+"""SSA construction and SSA-edge (def-use) queries.
+
+Phi placement uses the Cytron et al. iterated-dominance-frontier method,
+restricted to "global" names (variables live across a block boundary --
+semi-pruned SSA, which avoids phis for purely block-local temporaries).
+Renaming is the standard dominator-tree walk with per-variable stacks.
+
+After construction every :class:`~repro.ir.values.Temp` name has exactly
+one definition; :func:`build_ssa_edges` materialises the one-to-many
+def-use map (the paper's "SSA edges").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.ir.cfg import CFG
+from repro.ir.dominance import DominatorTree
+from repro.ir.function import Function
+from repro.ir.instructions import Instruction, Phi, Pi
+from repro.ir.values import Temp, UNDEF, Value
+
+PARAM_DEF = "<param>"
+
+
+class SSAInfo:
+    """Results of SSA construction for one function."""
+
+    def __init__(self) -> None:
+        # Original variable name -> SSA name bound on function entry.
+        self.param_names: Dict[str, str] = {}
+        # SSA name -> original variable name.
+        self.original_name: Dict[str, str] = {}
+        # Number of phis inserted.
+        self.phi_count = 0
+
+
+def construct_ssa(function: Function) -> SSAInfo:
+    """Rewrite ``function`` into SSA form in place.
+
+    The function must have no unreachable blocks (run
+    :func:`repro.ir.cfg.remove_unreachable_blocks` first) and critical
+    edges should already be split if assertions were inserted.
+    """
+    cfg = CFG(function)
+    dom = DominatorTree(cfg)
+    info = SSAInfo()
+
+    def_blocks, global_names = _collect_names(function)
+
+    # -- phi insertion ----------------------------------------------------
+    phi_vars: Dict[Tuple[str, Phi], str] = {}
+    for var in sorted(global_names):
+        blocks = def_blocks.get(var, set())
+        if not blocks:
+            continue
+        for label in dom.iterated_frontier(blocks):
+            block = function.block(label)
+            if len(cfg.predecessors[label]) < 2:
+                continue
+            phi = Phi(Temp(var), [(pred, Temp(var)) for pred in cfg.predecessors[label]])
+            block.prepend_phi(phi)
+            phi_vars[(label, phi)] = var
+            info.phi_count += 1
+
+    # -- renaming ----------------------------------------------------------
+    stacks: Dict[str, List[str]] = {}
+    counters: Dict[str, int] = {}
+
+    def fresh(var: str) -> str:
+        index = counters.get(var, 0)
+        counters[var] = index + 1
+        name = f"{var}.{index}"
+        stacks.setdefault(var, []).append(name)
+        info.original_name[name] = var
+        return name
+
+    def top(var: str) -> Optional[str]:
+        stack = stacks.get(var)
+        return stack[-1] if stack else None
+
+    # Parameters are defined "on entry".
+    for param in function.params:
+        info.param_names[param] = fresh(param)
+
+    def rename_uses(instr: Instruction) -> None:
+        for operand in list(instr.operands()):
+            if isinstance(operand, Temp):
+                current = top(operand.name)
+                instr.replace_operand(operand, Temp(current) if current else UNDEF)
+
+    def rename_block(label: str, pushed: List[str]) -> None:
+        block = function.block(label)
+        for instr in block.instructions:
+            if isinstance(instr, Phi):
+                pass  # incoming values renamed from predecessors
+            elif isinstance(instr, Pi):
+                rename_uses(instr)
+                # Record which SSA variable this assertion derives from.
+                if isinstance(instr.src, Temp):
+                    instr.parent = instr.src.name
+            else:
+                rename_uses(instr)
+            result = instr.result
+            if result is not None:
+                new_name = fresh(result.name)
+                pushed.append(result.name)
+                _set_result(instr, Temp(new_name))
+        for succ in cfg.successors[label]:
+            succ_block = function.block(succ)
+            for phi in succ_block.phis():
+                var = phi_vars.get((succ, phi))
+                if var is None:
+                    continue
+                current = top(var)
+                phi.set_value_for(label, Temp(current) if current else UNDEF)
+
+    entry = function.entry_label
+    assert entry is not None
+    _walk_iterative(entry, dom, rename_block, stacks)
+    return info
+
+
+def _walk_iterative(entry, dom, rename_block, stacks) -> None:
+    """Dominator-tree walk without Python recursion (deep CFGs are fine)."""
+    stack: List[Tuple[str, Optional[List[str]]]] = [(entry, None)]
+    while stack:
+        label, pushed = stack.pop()
+        if pushed is not None:
+            # Post-visit: pop the names this block defined.
+            for var in reversed(pushed):
+                stacks[var].pop()
+            continue
+        pushed_here: List[str] = []
+        rename_block(label, pushed_here)
+        stack.append((label, pushed_here))
+        for child in reversed(dom.children[label]):
+            stack.append((child, None))
+
+
+def _collect_names(function: Function) -> Tuple[Dict[str, Set[str]], Set[str]]:
+    """Definition blocks per variable, plus the set of "global" names.
+
+    A name is global when some block uses it before any local definition
+    (i.e. its value can flow across a block boundary).  Parameters are
+    always global.
+    """
+    def_blocks: Dict[str, Set[str]] = {}
+    global_names: Set[str] = set(function.params)
+    for param in function.params:
+        entry = function.entry_label
+        assert entry is not None
+        def_blocks.setdefault(param, set()).add(entry)
+    for label, block in function.blocks.items():
+        defined_here: Set[str] = set()
+        for instr in block.instructions:
+            if isinstance(instr, Phi):
+                continue
+            for operand in instr.operands():
+                if isinstance(operand, Temp) and operand.name not in defined_here:
+                    global_names.add(operand.name)
+            result = instr.result
+            if result is not None:
+                defined_here.add(result.name)
+                def_blocks.setdefault(result.name, set()).add(label)
+    return def_blocks, global_names
+
+
+def _set_result(instr: Instruction, new_dest: Temp) -> None:
+    if not hasattr(instr, "dest"):
+        raise TypeError(f"instruction {instr!r} has no destination")
+    instr.dest = new_dest
+
+
+class SSAEdges:
+    """Def-use information over an SSA-form function.
+
+    ``def_of[name]`` is the defining instruction (or the string
+    ``PARAM_DEF`` for parameters); ``uses_of[name]`` lists every
+    instruction reading ``name`` -- these are the paper's SSA edges.
+    """
+
+    def __init__(self, function: Function, param_names: Optional[Set[str]] = None):
+        self.function = function
+        self.def_of: Dict[str, object] = {}
+        self.uses_of: Dict[str, List[Instruction]] = {}
+        params = param_names if param_names is not None else set()
+        for name in params:
+            self.def_of[name] = PARAM_DEF
+            self.uses_of.setdefault(name, [])
+        for block in function.blocks.values():
+            for instr in block.instructions:
+                result = instr.result
+                if result is not None:
+                    if result.name in self.def_of:
+                        raise ValueError(
+                            f"not in SSA form: {result.name} defined twice "
+                            f"(second at {instr!r})"
+                        )
+                    self.def_of[result.name] = instr
+                    self.uses_of.setdefault(result.name, [])
+        for block in function.blocks.values():
+            for instr in block.instructions:
+                for operand in instr.operands():
+                    if isinstance(operand, Temp):
+                        self.uses_of.setdefault(operand.name, []).append(instr)
+
+    def defining_instruction(self, name: str) -> Optional[Instruction]:
+        """The instruction defining ``name``, or None for parameters/unknown."""
+        definition = self.def_of.get(name)
+        return definition if isinstance(definition, Instruction) else None
+
+
+def build_ssa_edges(function: Function, info: Optional[SSAInfo] = None) -> SSAEdges:
+    params = set(info.param_names.values()) if info is not None else set()
+    return SSAEdges(function, params)

@@ -1,0 +1,151 @@
+"""Structural well-formedness checks for IR functions.
+
+The verifier catches construction mistakes early: unterminated blocks,
+dangling branch targets, phi/predecessor mismatches, SSA violations
+(double definition, use not dominated by definition), and misplaced
+phis.  It raises :class:`VerificationError` with all problems listed.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from repro.ir.cfg import CFG
+from repro.ir.dominance import DominatorTree
+from repro.ir.function import Function, Module
+from repro.ir.instructions import Instruction, Phi, Pi
+from repro.ir.values import Temp
+
+
+class VerificationError(Exception):
+    """Raised when a function fails verification; ``problems`` lists them."""
+
+    def __init__(self, function_name: str, problems: List[str]):
+        self.function_name = function_name
+        self.problems = problems
+        joined = "\n  ".join(problems)
+        super().__init__(f"function {function_name!r} failed verification:\n  {joined}")
+
+
+def verify_function(function: Function, ssa: bool = False,
+                    param_names: Optional[Set[str]] = None) -> None:
+    """Raise :class:`VerificationError` if ``function`` is malformed.
+
+    With ``ssa=True`` additionally checks the single-assignment property
+    and that every use is dominated by its definition (phi uses are
+    checked against the corresponding predecessor block).
+    """
+    problems: List[str] = []
+    if not function.blocks:
+        raise VerificationError(function.name, ["function has no blocks"])
+
+    for label, block in function.blocks.items():
+        terminators = [i for i in block.instructions if i.is_terminator()]
+        if not terminators:
+            problems.append(f"block {label} is not terminated")
+            continue
+        if len(terminators) > 1:
+            problems.append(f"block {label} has multiple terminators")
+        if block.instructions[-1] is not terminators[0]:
+            problems.append(f"block {label} has instructions after terminator")
+        phis_done = False
+        for instr in block.instructions:
+            if isinstance(instr, Phi):
+                if phis_done:
+                    problems.append(f"block {label}: phi {instr.dest} after non-phi")
+            else:
+                phis_done = True
+        for succ in terminators[0].successors():
+            if succ not in function.blocks:
+                problems.append(f"block {label} targets unknown block {succ!r}")
+
+    if problems:
+        raise VerificationError(function.name, problems)
+
+    cfg = CFG(function)
+    for label, block in function.blocks.items():
+        preds = set(cfg.predecessors[label])
+        for phi in block.phis():
+            incoming_labels = [lbl for lbl, _ in phi.incomings]
+            if set(incoming_labels) != preds:
+                problems.append(
+                    f"phi {phi.dest} in {label}: incomings {sorted(incoming_labels)} "
+                    f"!= predecessors {sorted(preds)}"
+                )
+            if len(set(incoming_labels)) != len(incoming_labels):
+                problems.append(f"phi {phi.dest} in {label}: duplicate incoming labels")
+
+    if ssa:
+        problems.extend(_check_ssa(function, cfg, param_names or set()))
+
+    if problems:
+        raise VerificationError(function.name, problems)
+
+
+def _check_ssa(function: Function, cfg: CFG, param_names: Set[str]) -> List[str]:
+    problems: List[str] = []
+    def_site: Dict[str, tuple] = {}
+    entry = function.entry_label
+    assert entry is not None
+    for name in param_names:
+        def_site[name] = (entry, -1)
+    for label, block in function.blocks.items():
+        for index, instr in enumerate(block.instructions):
+            result = instr.result
+            if result is None:
+                continue
+            if result.name in def_site:
+                problems.append(f"SSA violation: {result.name} defined more than once")
+            else:
+                def_site[result.name] = (label, index)
+    if problems:
+        return problems
+
+    dom = DominatorTree(cfg)
+    reachable = cfg.reachable()
+    for label, block in function.blocks.items():
+        if label not in reachable:
+            continue
+        for index, instr in enumerate(block.instructions):
+            if isinstance(instr, Phi):
+                for pred_label, value in instr.incomings:
+                    if not isinstance(value, Temp):
+                        continue
+                    site = def_site.get(value.name)
+                    if site is None:
+                        problems.append(
+                            f"phi {instr.dest} reads undefined {value.name}"
+                        )
+                    elif pred_label in reachable and not dom.dominates(site[0], pred_label):
+                        problems.append(
+                            f"phi {instr.dest}: {value.name} (defined in {site[0]}) does "
+                            f"not dominate incoming edge from {pred_label}"
+                        )
+                continue
+            for operand in instr.operands():
+                if not isinstance(operand, Temp):
+                    continue
+                site = def_site.get(operand.name)
+                if site is None:
+                    problems.append(
+                        f"{label}[{index}] {instr!r} reads undefined {operand.name}"
+                    )
+                    continue
+                def_label, def_index = site
+                if def_label == label:
+                    if def_index >= index:
+                        problems.append(
+                            f"{label}[{index}] {instr!r} uses {operand.name} before "
+                            f"its definition in the same block"
+                        )
+                elif not dom.dominates(def_label, label):
+                    problems.append(
+                        f"{label}[{index}] {instr!r}: definition of {operand.name} "
+                        f"in {def_label} does not dominate the use"
+                    )
+    return problems
+
+
+def verify_module(module: Module, ssa: bool = False) -> None:
+    for function in module.functions.values():
+        verify_function(function, ssa=ssa)

@@ -1,0 +1,434 @@
+"""Recursive-descent parser for the toy language.
+
+Grammar (precedence low to high)::
+
+    program   := funcdef*
+    funcdef   := "func" IDENT "(" [IDENT ("," IDENT)*] ")" block
+    block     := "{" stmt* "}"
+    stmt      := "var" IDENT ["=" expr] ";"
+               | "array" IDENT "[" INT "]" ";"
+               | IDENT "=" expr ";"
+               | IDENT "[" expr "]" "=" expr ";"
+               | "if" "(" expr ")" block ["else" (block | if-stmt)]
+               | "while" "(" expr ")" block
+               | "do" block "while" "(" expr ")" ";"
+               | "for" "(" [simple] ";" [expr] ";" [simple] ")" block
+               | "break" ";" | "continue" ";"
+               | "return" [expr] ";"
+               | expr ";"
+    expr      := or
+    or        := and ("||" and)*
+    and       := bitor ("&&" bitor)*
+    bitor     := bitxor ("|" bitxor)*
+    bitxor    := bitand ("^" bitand)*
+    bitand    := equality ("&" equality)*
+    equality  := relational (("=="|"!=") relational)*
+    relational:= shift (("<"|"<="|">"|">=") shift)*
+    shift     := additive (("<<"|">>") additive)*
+    additive  := multiplicative (("+"|"-") multiplicative)*
+    multiplicative := unary (("*"|"/"|"%") unary)*
+    unary     := ("-"|"!") unary | primary
+    primary   := INT | "input" "(" ")" | IDENT ["(" args ")" | "[" expr "]"]
+               | "(" expr ")"
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.lang import ast_nodes as ast
+from repro.lang.lexer import tokenize
+from repro.lang.tokens import Token, TokenKind
+
+
+class ParseError(Exception):
+    """Raised on a syntax error, with the offending token's position."""
+
+    def __init__(self, message: str, token: Token):
+        self.token = token
+        super().__init__(
+            f"parse error at {token.line}:{token.column}: {message} "
+            f"(got {token.kind} {token.text!r})"
+        )
+
+
+class Parser:
+    """Recursive-descent parser over a token list."""
+
+    def __init__(self, tokens: List[Token]):
+        self.tokens = tokens
+        self.position = 0
+
+    # -- token helpers -------------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> Token:
+        index = min(self.position + offset, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def _advance(self) -> Token:
+        token = self.tokens[self.position]
+        if token.kind != TokenKind.EOF:
+            self.position += 1
+        return token
+
+    def _expect_punct(self, punct: str) -> Token:
+        token = self._peek()
+        if not token.is_punct(punct):
+            raise ParseError(f"expected {punct!r}", token)
+        return self._advance()
+
+    def _expect_op(self, op: str) -> Token:
+        token = self._peek()
+        if not token.is_op(op):
+            raise ParseError(f"expected {op!r}", token)
+        return self._advance()
+
+    def _expect_keyword(self, word: str) -> Token:
+        token = self._peek()
+        if not token.is_keyword(word):
+            raise ParseError(f"expected keyword {word!r}", token)
+        return self._advance()
+
+    def _expect_ident(self) -> Token:
+        token = self._peek()
+        if token.kind != TokenKind.IDENT:
+            raise ParseError("expected identifier", token)
+        return self._advance()
+
+    def _match_punct(self, punct: str) -> bool:
+        if self._peek().is_punct(punct):
+            self._advance()
+            return True
+        return False
+
+    def _match_op(self, op: str) -> bool:
+        if self._peek().is_op(op):
+            self._advance()
+            return True
+        return False
+
+    # -- top level -------------------------------------------------------------
+
+    def parse_program(self) -> ast.Program:
+        functions: List[ast.FuncDef] = []
+        constants: List[ast.ConstDef] = []
+        while not self._peek().kind == TokenKind.EOF:
+            if self._peek().is_keyword("const"):
+                constants.append(self._parse_constdef())
+            else:
+                functions.append(self.parse_funcdef())
+        if not functions:
+            raise ParseError("program has no functions", self._peek())
+        return ast.Program(functions, constants)
+
+    def _parse_constdef(self) -> ast.ConstDef:
+        start = self._expect_keyword("const")
+        name = self._expect_ident().text
+        self._expect_op("=")
+        value = self.parse_expr()
+        self._expect_punct(";")
+        return ast.ConstDef(name, value, line=start.line)
+
+    def parse_funcdef(self) -> ast.FuncDef:
+        start = self._expect_keyword("func")
+        name = self._expect_ident().text
+        self._expect_punct("(")
+        params: List[str] = []
+        if not self._peek().is_punct(")"):
+            params.append(self._expect_ident().text)
+            while self._match_punct(","):
+                params.append(self._expect_ident().text)
+        self._expect_punct(")")
+        body = self.parse_block()
+        return ast.FuncDef(name, params, body, line=start.line)
+
+    def parse_block(self) -> ast.Block:
+        start = self._expect_punct("{")
+        statements: List[ast.Stmt] = []
+        while not self._peek().is_punct("}"):
+            if self._peek().kind == TokenKind.EOF:
+                raise ParseError("unterminated block", self._peek())
+            statements.append(self.parse_statement())
+        self._expect_punct("}")
+        return ast.Block(statements, line=start.line)
+
+    # -- statements -------------------------------------------------------------
+
+    def parse_statement(self) -> ast.Stmt:
+        token = self._peek()
+        if token.is_keyword("var"):
+            return self._parse_var_decl()
+        if token.is_keyword("array"):
+            return self._parse_array_decl()
+        if token.is_keyword("if"):
+            return self._parse_if()
+        if token.is_keyword("while"):
+            return self._parse_while()
+        if token.is_keyword("do"):
+            return self._parse_do_while()
+        if token.is_keyword("for"):
+            return self._parse_for()
+        if token.is_keyword("break"):
+            self._advance()
+            self._expect_punct(";")
+            stmt = ast.Break()
+            stmt.line = token.line
+            return stmt
+        if token.is_keyword("continue"):
+            self._advance()
+            self._expect_punct(";")
+            stmt = ast.Continue()
+            stmt.line = token.line
+            return stmt
+        if token.is_keyword("return"):
+            self._advance()
+            value: Optional[ast.Expr] = None
+            if not self._peek().is_punct(";"):
+                value = self.parse_expr()
+            self._expect_punct(";")
+            return ast.Return(value, line=token.line)
+        simple = self._parse_simple_statement()
+        self._expect_punct(";")
+        return simple
+
+    def _parse_simple_statement(self) -> ast.Stmt:
+        """Assignment, array store, or expression statement (no ';')."""
+        token = self._peek()
+        if token.kind == TokenKind.IDENT:
+            if self._peek(1).is_op("="):
+                name = self._advance().text
+                self._advance()  # '='
+                value = self.parse_expr()
+                return ast.Assign(name, value, line=token.line)
+            if self._peek(1).is_punct("["):
+                # Could be a store `a[i] = e` or a read used as a statement.
+                saved = self.position
+                name = self._advance().text
+                self._advance()  # '['
+                index = self.parse_expr()
+                self._expect_punct("]")
+                if self._match_op("="):
+                    value = self.parse_expr()
+                    return ast.ArrayAssign(name, index, value, line=token.line)
+                self.position = saved
+        expr = self.parse_expr()
+        return ast.ExprStmt(expr, line=token.line)
+
+    def _parse_var_decl(self) -> ast.Stmt:
+        start = self._expect_keyword("var")
+        name = self._expect_ident().text
+        value: ast.Expr = ast.IntLit(0, line=start.line)
+        if self._match_op("="):
+            value = self.parse_expr()
+        self._expect_punct(";")
+        return ast.Assign(name, value, line=start.line)
+
+    def _parse_array_decl(self) -> ast.ArrayDecl:
+        start = self._expect_keyword("array")
+        name = self._expect_ident().text
+        self._expect_punct("[")
+        size_token = self._peek()
+        if size_token.kind == TokenKind.INT:
+            size = int(size_token.value)
+        elif size_token.kind == TokenKind.IDENT:
+            size = size_token.text  # a named constant, resolved at lowering
+        else:
+            raise ParseError(
+                "array size must be an integer literal or a named constant",
+                size_token,
+            )
+        self._advance()
+        self._expect_punct("]")
+        self._expect_punct(";")
+        return ast.ArrayDecl(name, size, line=start.line)
+
+    def _parse_if(self) -> ast.If:
+        start = self._expect_keyword("if")
+        self._expect_punct("(")
+        condition = self.parse_expr()
+        self._expect_punct(")")
+        then_block = self.parse_block()
+        else_block: Optional[ast.Block] = None
+        if self._peek().is_keyword("else"):
+            self._advance()
+            if self._peek().is_keyword("if"):
+                nested = self._parse_if()
+                else_block = ast.Block([nested], line=nested.line)
+            else:
+                else_block = self.parse_block()
+        return ast.If(condition, then_block, else_block, line=start.line)
+
+    def _parse_while(self) -> ast.While:
+        start = self._expect_keyword("while")
+        self._expect_punct("(")
+        condition = self.parse_expr()
+        self._expect_punct(")")
+        body = self.parse_block()
+        return ast.While(condition, body, line=start.line)
+
+    def _parse_do_while(self) -> ast.DoWhile:
+        start = self._expect_keyword("do")
+        body = self.parse_block()
+        self._expect_keyword("while")
+        self._expect_punct("(")
+        condition = self.parse_expr()
+        self._expect_punct(")")
+        self._expect_punct(";")
+        return ast.DoWhile(body, condition, line=start.line)
+
+    def _parse_for(self) -> ast.For:
+        start = self._expect_keyword("for")
+        self._expect_punct("(")
+        init: Optional[ast.Stmt] = None
+        if not self._peek().is_punct(";"):
+            init = self._parse_simple_statement()
+        self._expect_punct(";")
+        condition: Optional[ast.Expr] = None
+        if not self._peek().is_punct(";"):
+            condition = self.parse_expr()
+        self._expect_punct(";")
+        update: Optional[ast.Stmt] = None
+        if not self._peek().is_punct(")"):
+            update = self._parse_simple_statement()
+        self._expect_punct(")")
+        body = self.parse_block()
+        return ast.For(init, condition, update, body, line=start.line)
+
+    # -- expressions --------------------------------------------------------------
+
+    def parse_expr(self) -> ast.Expr:
+        return self._parse_or()
+
+    def _parse_or(self) -> ast.Expr:
+        expr = self._parse_and()
+        while self._peek().is_op("||"):
+            token = self._advance()
+            rhs = self._parse_and()
+            expr = ast.LogicalExpr("||", expr, rhs, line=token.line)
+        return expr
+
+    def _parse_and(self) -> ast.Expr:
+        expr = self._parse_bitor()
+        while self._peek().is_op("&&"):
+            token = self._advance()
+            rhs = self._parse_bitor()
+            expr = ast.LogicalExpr("&&", expr, rhs, line=token.line)
+        return expr
+
+    def _parse_bitor(self) -> ast.Expr:
+        expr = self._parse_bitxor()
+        while self._peek().is_op("|"):
+            token = self._advance()
+            rhs = self._parse_bitxor()
+            expr = ast.BinaryExpr("|", expr, rhs, line=token.line)
+        return expr
+
+    def _parse_bitxor(self) -> ast.Expr:
+        expr = self._parse_bitand()
+        while self._peek().is_op("^"):
+            token = self._advance()
+            rhs = self._parse_bitand()
+            expr = ast.BinaryExpr("^", expr, rhs, line=token.line)
+        return expr
+
+    def _parse_bitand(self) -> ast.Expr:
+        expr = self._parse_equality()
+        while self._peek().is_op("&"):
+            token = self._advance()
+            rhs = self._parse_equality()
+            expr = ast.BinaryExpr("&", expr, rhs, line=token.line)
+        return expr
+
+    def _parse_equality(self) -> ast.Expr:
+        expr = self._parse_relational()
+        while self._peek().is_op("==") or self._peek().is_op("!="):
+            token = self._advance()
+            rhs = self._parse_relational()
+            expr = ast.BinaryExpr(token.text, expr, rhs, line=token.line)
+        return expr
+
+    def _parse_relational(self) -> ast.Expr:
+        expr = self._parse_shift()
+        while any(self._peek().is_op(op) for op in ("<", "<=", ">", ">=")):
+            token = self._advance()
+            rhs = self._parse_shift()
+            expr = ast.BinaryExpr(token.text, expr, rhs, line=token.line)
+        return expr
+
+    def _parse_shift(self) -> ast.Expr:
+        expr = self._parse_additive()
+        while self._peek().is_op("<<") or self._peek().is_op(">>"):
+            token = self._advance()
+            rhs = self._parse_additive()
+            expr = ast.BinaryExpr(token.text, expr, rhs, line=token.line)
+        return expr
+
+    def _parse_additive(self) -> ast.Expr:
+        expr = self._parse_multiplicative()
+        while self._peek().is_op("+") or self._peek().is_op("-"):
+            token = self._advance()
+            rhs = self._parse_multiplicative()
+            expr = ast.BinaryExpr(token.text, expr, rhs, line=token.line)
+        return expr
+
+    def _parse_multiplicative(self) -> ast.Expr:
+        expr = self._parse_unary()
+        while any(self._peek().is_op(op) for op in ("*", "/", "%")):
+            token = self._advance()
+            rhs = self._parse_unary()
+            expr = ast.BinaryExpr(token.text, expr, rhs, line=token.line)
+        return expr
+
+    def _parse_unary(self) -> ast.Expr:
+        token = self._peek()
+        if token.is_op("-"):
+            self._advance()
+            operand = self._parse_unary()
+            if isinstance(operand, ast.IntLit):
+                return ast.IntLit(-operand.value, line=token.line)
+            return ast.UnaryExpr("-", operand, line=token.line)
+        if token.is_op("!"):
+            self._advance()
+            return ast.UnaryExpr("!", self._parse_unary(), line=token.line)
+        return self._parse_primary()
+
+    def _parse_primary(self) -> ast.Expr:
+        token = self._peek()
+        if token.kind == TokenKind.INT:
+            self._advance()
+            return ast.IntLit(int(token.value), line=token.line)
+        if token.is_keyword("input"):
+            self._advance()
+            self._expect_punct("(")
+            self._expect_punct(")")
+            expr = ast.InputExpr()
+            expr.line = token.line
+            return expr
+        if token.kind == TokenKind.IDENT:
+            self._advance()
+            if self._peek().is_punct("("):
+                self._advance()
+                args: List[ast.Expr] = []
+                if not self._peek().is_punct(")"):
+                    args.append(self.parse_expr())
+                    while self._match_punct(","):
+                        args.append(self.parse_expr())
+                self._expect_punct(")")
+                return ast.CallExpr(token.text, args, line=token.line)
+            if self._peek().is_punct("["):
+                self._advance()
+                index = self.parse_expr()
+                self._expect_punct("]")
+                return ast.IndexExpr(token.text, index, line=token.line)
+            return ast.Var(token.text, line=token.line)
+        if token.is_punct("("):
+            self._advance()
+            expr = self.parse_expr()
+            self._expect_punct(")")
+            return expr
+        raise ParseError("expected expression", token)
+
+
+def parse(source: str) -> ast.Program:
+    """Parse toy-language source text into an AST."""
+    return Parser(tokenize(source)).parse_program()

@@ -1,0 +1,93 @@
+"""Token kinds for the toy language lexer."""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+
+class TokenKind:
+    """Enumeration of token kinds (simple string constants)."""
+
+    INT = "INT"
+    IDENT = "IDENT"
+    KEYWORD = "KEYWORD"
+    OP = "OP"
+    PUNCT = "PUNCT"
+    EOF = "EOF"
+
+
+KEYWORDS = frozenset(
+    {
+        "func",
+        "if",
+        "else",
+        "while",
+        "for",
+        "do",
+        "break",
+        "continue",
+        "return",
+        "array",
+        "input",
+        "var",
+        "const",
+    }
+)
+
+# Multi-character operators first so the lexer can do maximal munch.
+OPERATORS = (
+    "<<",
+    ">>",
+    "<=",
+    ">=",
+    "==",
+    "!=",
+    "&&",
+    "||",
+    "+",
+    "-",
+    "*",
+    "/",
+    "%",
+    "<",
+    ">",
+    "!",
+    "&",
+    "|",
+    "^",
+    "=",
+)
+
+PUNCTUATION = ("(", ")", "{", "}", "[", "]", ";", ",")
+
+
+class Token:
+    """A single lexical token with source position for diagnostics."""
+
+    __slots__ = ("kind", "text", "value", "line", "column")
+
+    def __init__(
+        self,
+        kind: str,
+        text: str,
+        line: int,
+        column: int,
+        value: Optional[Union[int, float]] = None,
+    ):
+        self.kind = kind
+        self.text = text
+        self.value = value
+        self.line = line
+        self.column = column
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind}, {self.text!r}, line={self.line})"
+
+    def is_keyword(self, word: str) -> bool:
+        return self.kind == TokenKind.KEYWORD and self.text == word
+
+    def is_op(self, op: str) -> bool:
+        return self.kind == TokenKind.OP and self.text == op
+
+    def is_punct(self, punct: str) -> bool:
+        return self.kind == TokenKind.PUNCT and self.text == punct

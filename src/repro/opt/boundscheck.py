@@ -1,0 +1,124 @@
+"""Array bounds-check elimination from value ranges (paper §6).
+
+"Many array bounds checks can be shown to be redundant by value range
+propagation": an access ``a[i]`` with ``i``'s range provably inside
+``[0, len(a))`` needs no dynamic check.  This module classifies every
+array access of a function and can count the dynamic checks an
+instrumented interpreter run would actually skip.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.core.bounds import Bound
+from repro.core.propagation import FunctionPrediction
+from repro.core.rangeset import RangeSet
+from repro.ir.function import Function
+from repro.ir.instructions import Load, Store
+from repro.ir.values import Constant, Temp
+
+# Classification outcomes.
+SAFE = "safe"  # check provably redundant
+UNSAFE = "unsafe"  # provably out of bounds on some executions
+UNKNOWN = "unknown"  # range too weak to decide
+
+
+@dataclass
+class AccessReport:
+    """One array access and what the ranges prove about it."""
+
+    block_label: str
+    array: str
+    size: Optional[int]
+    index_range: RangeSet
+    classification: str
+    kind: str  # "load" or "store"
+
+    def __repr__(self) -> str:
+        return (
+            f"AccessReport({self.kind} {self.array}[{self.index_range}] "
+            f"in {self.block_label}: {self.classification})"
+        )
+
+
+def classify_index(index_range: RangeSet, size: Optional[int]) -> str:
+    """Decide whether an index range needs a bounds check."""
+    if size is None or not index_range.is_set:
+        return UNKNOWN
+    hull = index_range.hull()
+    if hull is None:
+        return UNKNOWN
+    below = hull.lo.compare(Bound.number(0))
+    above = hull.hi.compare(Bound.number(size - 1))
+    if below is not None and below >= 0 and above is not None and above <= 0:
+        return SAFE
+    # Entirely outside on either side is a guaranteed violation.
+    if hull.hi.compare(Bound.number(0)) is not None and hull.hi.compare(
+        Bound.number(0)
+    ) < 0:
+        return UNSAFE
+    low_ok = hull.lo.compare(Bound.number(size - 1))
+    if low_ok is not None and low_ok > 0:
+        return UNSAFE
+    return UNKNOWN
+
+
+def analyse_bounds_checks(
+    function: Function, prediction: FunctionPrediction
+) -> List[AccessReport]:
+    """Classify every array access of the function."""
+    reports: List[AccessReport] = []
+    for label, block in function.blocks.items():
+        for instr in block.instructions:
+            if isinstance(instr, Load):
+                kind, array, index = "load", instr.array, instr.index
+            elif isinstance(instr, Store):
+                kind, array, index = "store", instr.array, instr.index
+            else:
+                continue
+            size = function.arrays.get(array)
+            index_range = _operand_range(prediction, index)
+            reports.append(
+                AccessReport(
+                    block_label=label,
+                    array=array,
+                    size=size,
+                    index_range=index_range,
+                    classification=classify_index(index_range, size),
+                    kind=kind,
+                )
+            )
+    return reports
+
+
+def _operand_range(prediction: FunctionPrediction, operand) -> RangeSet:
+    if isinstance(operand, Constant):
+        return RangeSet.constant(operand.value)
+    if isinstance(operand, Temp):
+        return prediction.values.get(operand.name, RangeSet.bottom())
+    return RangeSet.bottom()
+
+
+def eliminated_fraction(reports: List[AccessReport]) -> float:
+    """Static fraction of accesses whose checks are proven redundant."""
+    if not reports:
+        return 0.0
+    safe = sum(1 for report in reports if report.classification == SAFE)
+    return safe / len(reports)
+
+
+def dynamic_checks_eliminated(
+    reports: List[AccessReport],
+    prediction: FunctionPrediction,
+) -> float:
+    """Expected fraction of *dynamic* checks removed, frequency-weighted."""
+    total = 0.0
+    saved = 0.0
+    for report in reports:
+        weight = prediction.block_frequency.get(report.block_label, 0.0)
+        total += weight
+        if report.classification == SAFE:
+            saved += weight
+    return saved / total if total > 0 else 0.0

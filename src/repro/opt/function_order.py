@@ -1,0 +1,52 @@
+"""Frequency-driven function ordering (paper §6, "coagulation" order).
+
+"Optimizations can then be applied in descending order of execution
+frequency.  This is particularly effective for optimizations which
+allocate a limited resource" -- and the same order is the classic
+function-layout order for instruction caches.
+
+The frequencies come from predicted branch probabilities alone
+(:func:`repro.analysis.frequency.function_frequencies`), no profile.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.analysis.frequency import function_frequencies
+from repro.core.interprocedural import ModulePrediction
+from repro.ir.function import Module
+
+
+def function_order(
+    module: Module,
+    prediction: ModulePrediction,
+    entry: str = "main",
+) -> List[Tuple[str, float]]:
+    """Functions with predicted invocation frequencies, hottest first.
+
+    Ties break toward call-graph order (callers before callees) so the
+    result is deterministic.
+    """
+    branch_probabilities: Dict[str, Dict[str, float]] = {
+        name: dict(function_prediction.branch_probability)
+        for name, function_prediction in prediction.functions.items()
+    }
+    for name in module.functions:
+        branch_probabilities.setdefault(name, {})
+    frequencies = function_frequencies(
+        module.functions, branch_probabilities, entry=entry
+    )
+    ordered = sorted(
+        frequencies.items(), key=lambda item: (-item[1], item[0] != entry, item[0])
+    )
+    return ordered
+
+
+def allocation_priority(
+    module: Module,
+    prediction: ModulePrediction,
+    entry: str = "main",
+) -> List[str]:
+    """Just the names, hottest first -- feed to resource allocators."""
+    return [name for name, _ in function_order(module, prediction, entry=entry)]

@@ -1,0 +1,28 @@
+"""Execution profiling substrate: IR interpreter + profile aggregation.
+
+Stands in for the paper's instrumented binaries: interpreting a module
+yields exact block/edge/branch counts.  ``train`` runs build a
+:class:`BranchProfile` (the profile-guided predictor); ``ref`` runs
+define the ground truth predictors are scored against.
+"""
+
+from repro.profiling.interpreter import (
+    AssertionViolation,
+    ExecutionResult,
+    Interpreter,
+    InterpreterError,
+    StepLimitExceeded,
+    run_module,
+)
+from repro.profiling.profile_data import BranchProfile, ProfilePredictor
+
+__all__ = [
+    "AssertionViolation",
+    "BranchProfile",
+    "ExecutionResult",
+    "Interpreter",
+    "InterpreterError",
+    "ProfilePredictor",
+    "StepLimitExceeded",
+    "run_module",
+]

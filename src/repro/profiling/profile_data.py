@@ -1,0 +1,97 @@
+"""Branch profiles: aggregated execution counts and the profile-based
+predictor.
+
+A :class:`BranchProfile` accumulates one or more
+:class:`~repro.profiling.interpreter.ExecutionResult` runs (the paper's
+"feedback collection" runs on the *train* inputs) and answers branch
+probabilities; :class:`ProfilePredictor` exposes it under the common
+predictor interface so the evaluation harness can score it against the
+ground-truth behaviour on different (*ref*) inputs -- reproducing the
+paper's train/ref methodology.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Tuple
+
+from repro.ir.function import Function
+from repro.profiling.interpreter import ExecutionResult
+
+
+class BranchProfile:
+    """Aggregated branch statistics over any number of runs."""
+
+    def __init__(self) -> None:
+        #: (function, branch block) -> [taken, not taken]
+        self.branch_counts: Dict[Tuple[str, str], list] = {}
+        #: (function, block) -> execution count
+        self.block_counts: Dict[Tuple[str, str], int] = {}
+
+    @classmethod
+    def from_runs(cls, runs: Iterable[ExecutionResult]) -> "BranchProfile":
+        profile = cls()
+        for run in runs:
+            profile.add_run(run)
+        return profile
+
+    def add_run(self, run: ExecutionResult) -> None:
+        for key, counts in run.branch_counts.items():
+            mine = self.branch_counts.setdefault(key, [0, 0])
+            mine[0] += counts[0]
+            mine[1] += counts[1]
+        for key, count in run.block_counts.items():
+            self.block_counts[key] = self.block_counts.get(key, 0) + count
+
+    # -- queries -----------------------------------------------------------
+
+    def probability(self, function: str, label: str) -> Optional[float]:
+        """Observed P(true) for a branch; None when never executed."""
+        counts = self.branch_counts.get((function, label))
+        if counts is None:
+            return None
+        total = counts[0] + counts[1]
+        if total == 0:
+            return None
+        return counts[0] / total
+
+    def execution_count(self, function: str, label: str) -> int:
+        counts = self.branch_counts.get((function, label))
+        if counts is None:
+            return 0
+        return counts[0] + counts[1]
+
+    def branches_of(self, function: str) -> Dict[str, float]:
+        out: Dict[str, float] = {}
+        for (func, label), counts in self.branch_counts.items():
+            if func != function:
+                continue
+            total = counts[0] + counts[1]
+            if total:
+                out[label] = counts[0] / total
+        return out
+
+
+class ProfilePredictor:
+    """Predict branches from a (train-input) profile.
+
+    Branches the profile never saw get the ``unseen`` probability
+    (default 0.5), mirroring how feedback-directed compilers handle
+    never-executed code.
+    """
+
+    name = "profile"
+
+    def __init__(self, profile: BranchProfile, unseen: float = 0.5):
+        self.profile = profile
+        self.unseen = unseen
+
+    def predict_function(self, function: Function) -> Dict[str, float]:
+        from repro.ir.instructions import Branch
+
+        out: Dict[str, float] = {}
+        for label, block in function.blocks.items():
+            if not isinstance(block.terminator, Branch):
+                continue
+            probability = self.profile.probability(function.name, label)
+            out[label] = self.unseen if probability is None else probability
+        return out

@@ -1,0 +1,16 @@
+"""Synthetic benchmark programs standing in for SPEC92.
+
+``suite("int")`` / ``suite("fp")`` return the ten integer-style and ten
+numeric-style workloads; each carries distinct train and ref inputs
+(see :mod:`repro.workloads.registry` for why that distinction matters).
+"""
+
+from repro.workloads.registry import (
+    Workload,
+    all_workloads,
+    get_workload,
+    lcg_stream,
+    suite,
+)
+
+__all__ = ["Workload", "all_workloads", "get_workload", "lcg_stream", "suite"]

@@ -1,0 +1,571 @@
+"""The "SPECfp92-like" suite: loop-dominated numeric kernels.
+
+Ten programs mirroring the numeric workloads of the paper, written in
+fixed-point integer arithmetic (the toy language has no floats; the
+*branching structure* -- which is all that matters for branch
+prediction -- is the same).  Like the SPEC fp codes (matrix300's size
+is literally the constant 300), loop bounds are compile-time constants;
+train and ref runs differ in the *data* they process, not the loop
+structure.  The paper found VRP "significantly more accurate for
+numeric code" because most branches depend on loop control variables
+whose ranges derive exactly; these kernels reproduce that regime, with
+a sprinkling of data-dependent guard branches where profiling keeps an
+edge.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.registry import Workload, lcg_stream, register
+
+MATMUL_SOURCE = """
+func main(n) {
+  array a[256];
+  array b[256];
+  array c[256];
+  for (i = 0; i < 256; i = i + 1) {
+    a[i] = input() % 100;
+    b[i] = input() % 100;
+    c[i] = 0;
+  }
+  for (i = 0; i < 16; i = i + 1) {
+    for (j = 0; j < 16; j = j + 1) {
+      var acc = 0;
+      for (k = 0; k < 16; k = k + 1) {
+        acc = acc + a[i * 16 + k] * b[k * 16 + j];
+      }
+      c[i * 16 + j] = acc;
+    }
+  }
+  var checksum = 0;
+  for (i = 0; i < 256; i = i + 1) {
+    checksum = checksum + c[i];
+  }
+  return checksum % 100000;
+}
+"""
+
+register(
+    Workload(
+        name="matmul",
+        suite="fp",
+        description="16x16 dense matrix multiply (matrix300-like triple loop)",
+        source=MATMUL_SOURCE,
+        train_args=[0],
+        ref_args=[0],
+        train_inputs=lcg_stream(17, 512),
+        ref_inputs=lcg_stream(171, 512),
+    )
+)
+
+
+STENCIL_SOURCE = """
+func main(n) {
+  array grid[256];
+  array next[256];
+  for (i = 0; i < 256; i = i + 1) {
+    grid[i] = input() % 1000;
+  }
+  for (t = 0; t < 20; t = t + 1) {
+    for (i = 1; i < 255; i = i + 1) {
+      next[i] = (grid[i - 1] + 2 * grid[i] + grid[i + 1]) / 4;
+    }
+    next[0] = grid[0];
+    next[255] = grid[255];
+    for (i = 0; i < 256; i = i + 1) {
+      grid[i] = next[i];
+    }
+  }
+  var checksum = 0;
+  for (i = 0; i < 256; i = i + 1) {
+    checksum = checksum + grid[i];
+  }
+  return checksum;
+}
+"""
+
+register(
+    Workload(
+        name="stencil",
+        suite="fp",
+        description="1-D diffusion stencil, 20 sweeps over 256 cells (tomcatv-like)",
+        source=STENCIL_SOURCE,
+        train_args=[0],
+        ref_args=[0],
+        train_inputs=lcg_stream(31, 256),
+        ref_inputs=lcg_stream(313, 256),
+    )
+)
+
+
+GAUSS_SOURCE = """
+func main(n) {
+  array m[256];
+  var singular = 0;
+  for (i = 0; i < 256; i = i + 1) {
+    m[i] = input() % 199 + 1;
+  }
+  for (p = 0; p < 16; p = p + 1) {
+    var pivot = m[p * 16 + p];
+    if (pivot == 0) {
+      singular = singular + 1;
+    } else {
+      for (r = p + 1; r < 16; r = r + 1) {
+        var factor = (m[r * 16 + p] * 1000) / pivot;
+        for (c = p; c < 16; c = c + 1) {
+          m[r * 16 + c] = m[r * 16 + c] - (factor * m[p * 16 + c]) / 1000;
+        }
+      }
+    }
+  }
+  var checksum = 0;
+  for (i = 0; i < 16; i = i + 1) {
+    checksum = checksum + m[i * 16 + i];
+  }
+  return checksum % 100000 + singular * 1000000;
+}
+"""
+
+register(
+    Workload(
+        name="gauss",
+        suite="fp",
+        description="16x16 fixed-point Gaussian elimination with pivot guard (fpppp-like)",
+        source=GAUSS_SOURCE,
+        train_args=[0],
+        ref_args=[0],
+        train_inputs=lcg_stream(43, 256),
+        ref_inputs=lcg_stream(431, 256),
+    )
+)
+
+
+INTERP_SOURCE = """
+func main(n) {
+  array table[64];
+  for (i = 0; i < 64; i = i + 1) {
+    table[i] = i * i;
+  }
+  var total = 0;
+  var clamped = 0;
+  for (q = 0; q < n; q = q + 1) {
+    var x = input() % 70;
+    if (x >= 63) {
+      x = 63;
+      clamped = clamped + 1;
+    }
+    var base = table[x];
+    var frac = input() % 1000;
+    var nexti = x + 1;
+    if (nexti > 63) { nexti = 63; }
+    var delta = table[nexti] - base;
+    total = total + base * 1000 + delta * frac;
+  }
+  return total % 1000000 + clamped * 1000000;
+}
+"""
+
+register(
+    Workload(
+        name="interp",
+        suite="fp",
+        description="Table interpolation with clamp guards (ear-like lookup kernel)",
+        source=INTERP_SOURCE,
+        train_args=[300],
+        ref_args=[3000],
+        train_inputs=lcg_stream(53, 600),
+        ref_inputs=lcg_stream(797, 6000),
+    )
+)
+
+
+MANDEL_SOURCE = """
+func main(n) {
+  var inside = 0;
+  var scale = 1000;
+  var xshift = input() % 200;
+  var yshift = input() % 200;
+  for (py = 0; py < 24; py = py + 1) {
+    for (px = 0; px < 24; px = px + 1) {
+      var cx = (px * 3 * scale) / 24 - 2 * scale + xshift;
+      var cy = (py * 2 * scale) / 24 - scale + yshift;
+      var zx = 0;
+      var zy = 0;
+      var iter = 0;
+      while (iter < 32) {
+        var zx2 = (zx * zx) / scale;
+        var zy2 = (zy * zy) / scale;
+        if (zx2 + zy2 > 4 * scale) { break; }
+        var tmp = zx2 - zy2 + cx;
+        zy = (2 * zx * zy) / scale + cy;
+        zx = tmp;
+        iter = iter + 1;
+      }
+      if (iter == 32) { inside = inside + 1; }
+    }
+  }
+  return inside;
+}
+"""
+
+register(
+    Workload(
+        name="mandel",
+        suite="fp",
+        description="24x24 fixed-point Mandelbrot with input-shifted window (swm256-like)",
+        source=MANDEL_SOURCE,
+        train_args=[0],
+        ref_args=[0],
+        train_inputs=[37, 91],
+        ref_inputs=[143, 12],
+    )
+)
+
+
+HISTOGRAM_SOURCE = """
+func main(n) {
+  array bins[32];
+  for (i = 0; i < 32; i = i + 1) { bins[i] = 0; }
+  for (i = 0; i < n; i = i + 1) {
+    var v = input() % 4096;
+    var bin = v / 128;
+    bins[bin] = bins[bin] + 1;
+  }
+  var max_count = 0;
+  var max_bin = 0;
+  for (i = 0; i < 32; i = i + 1) {
+    if (bins[i] > max_count) {
+      max_count = bins[i];
+      max_bin = i;
+    }
+  }
+  return max_bin * 100000 + max_count;
+}
+"""
+
+register(
+    Workload(
+        name="histogram",
+        suite="fp",
+        description="Binning plus argmax scan (nasa7-like reduction)",
+        source=HISTOGRAM_SOURCE,
+        train_args=[400],
+        ref_args=[5000],
+        train_inputs=lcg_stream(61, 400),
+        ref_inputs=lcg_stream(611, 5000),
+    )
+)
+
+
+TRIANGLE_SOURCE = """
+func main(n) {
+  array a[4096];
+  var total = 0;
+  var offset = input() % 97;
+  for (i = 0; i < 48; i = i + 1) {
+    for (j = 0; j <= i; j = j + 1) {
+      a[i * 48 + j] = (i * 48 + j + offset) % 97;
+      total = total + a[i * 48 + j] % 7;
+    }
+  }
+  var evens = 0;
+  for (i = 0; i < 48; i = i + 1) {
+    for (j = 0; j <= i; j = j + 1) {
+      if (a[i * 48 + j] % 2 == 0) { evens = evens + 1; }
+    }
+  }
+  return total * 1000 + evens % 1000;
+}
+"""
+
+register(
+    Workload(
+        name="triangle",
+        suite="fp",
+        description="Triangular nested loops (symbolic inner bound j <= i)",
+        source=TRIANGLE_SOURCE,
+        train_args=[0],
+        ref_args=[0],
+        train_inputs=[23],
+        ref_inputs=[61],
+    )
+)
+
+
+MINMAX_SOURCE = """
+func main(n) {
+  var minimum = 1000000000;
+  var maximum = 0 - 1000000000;
+  var updates = 0;
+  for (i = 0; i < n; i = i + 1) {
+    var v = input() % 100000 - 50000;
+    if (v < minimum) {
+      minimum = v;
+      updates = updates + 1;
+    }
+    if (v > maximum) {
+      maximum = v;
+      updates = updates + 1;
+    }
+  }
+  return (maximum - minimum) % 100000 + updates * 100000;
+}
+"""
+
+register(
+    Workload(
+        name="minmax",
+        suite="fp",
+        description="Running min/max scan (rare-update guard branches)",
+        source=MINMAX_SOURCE,
+        train_args=[400],
+        ref_args=[5000],
+        train_inputs=lcg_stream(71, 400, modulus=1 << 20),
+        ref_inputs=lcg_stream(711, 5000, modulus=1 << 20),
+    )
+)
+
+
+FIR_SOURCE = """
+func main(n) {
+  array signal[1024];
+  array coeff[16];
+  array out[1024];
+  for (i = 0; i < 16; i = i + 1) {
+    coeff[i] = (i * 7) % 13 - 6;
+  }
+  for (i = 0; i < 1024; i = i + 1) {
+    signal[i] = input() % 2000 - 1000;
+  }
+  var saturated = 0;
+  for (i = 16; i < 1024; i = i + 1) {
+    var acc = 0;
+    for (t = 0; t < 16; t = t + 1) {
+      acc = acc + signal[i - t] * coeff[t];
+    }
+    if (acc > 100000) {
+      acc = 100000;
+      saturated = saturated + 1;
+    }
+    if (acc < 0 - 100000) {
+      acc = 0 - 100000;
+      saturated = saturated + 1;
+    }
+    out[i] = acc;
+  }
+  var checksum = 0;
+  for (i = 0; i < 1024; i = i + 1) {
+    checksum = checksum + out[i];
+  }
+  return checksum % 1000000 + saturated;
+}
+"""
+
+register(
+    Workload(
+        name="fir",
+        suite="fp",
+        description="16-tap FIR filter over 1024 samples with saturation guards",
+        source=FIR_SOURCE,
+        train_args=[0],
+        ref_args=[0],
+        train_inputs=lcg_stream(83, 1024),
+        ref_inputs=lcg_stream(831, 1024),
+    )
+)
+
+
+POWER_SOURCE = """
+func modpow(base, exponent, modulus) {
+  var result = 1;
+  base = base % modulus;
+  while (exponent > 0) {
+    if (exponent % 2 == 1) {
+      result = (result * base) % modulus;
+    }
+    base = (base * base) % modulus;
+    exponent = exponent / 2;
+  }
+  return result;
+}
+
+func main(n) {
+  var total = 0;
+  for (i = 0; i < n; i = i + 1) {
+    var base = input() % 1000 + 2;
+    var exponent = input() % 64 + 1;
+    total = (total + modpow(base, exponent, 10007)) % 1000000;
+  }
+  return total;
+}
+"""
+
+register(
+    Workload(
+        name="power",
+        suite="fp",
+        description="Modular exponentiation (square-and-multiply loop nest)",
+        source=POWER_SOURCE,
+        train_args=[150],
+        ref_args=[1500],
+        train_inputs=lcg_stream(89, 300),
+        ref_inputs=lcg_stream(891, 3000),
+    )
+)
+
+
+SMOOTH_SOURCE = """
+func smooth(width, passes) {
+  array buf[256];
+  for (i = 0; i < width; i = i + 1) {
+    buf[i] = input() % 500;
+  }
+  for (p = 0; p < passes; p = p + 1) {
+    for (i = 1; i < width - 1; i = i + 1) {
+      buf[i] = (buf[i - 1] + buf[i] + buf[i + 1]) / 3;
+    }
+  }
+  var checksum = 0;
+  for (i = 0; i < width; i = i + 1) {
+    checksum = checksum + buf[i];
+  }
+  return checksum;
+}
+
+func main(n) {
+  var total = 0;
+  total = total + smooth(64, 4);
+  total = total + smooth(128, 2);
+  total = total + smooth(240, 1);
+  return total % 1000000;
+}
+"""
+
+register(
+    Workload(
+        name="smooth",
+        suite="fp",
+        description="Parameterised smoothing kernel called at three widths "
+        "(interprocedural symbolic loop bounds)",
+        source=SMOOTH_SOURCE,
+        train_args=[0],
+        ref_args=[0],
+        train_inputs=lcg_stream(101, 64 + 128 + 240),
+        ref_inputs=lcg_stream(107, 64 + 128 + 240),
+    )
+)
+
+
+POLY_SOURCE = """
+func horner(degree, x, scale) {
+  var acc = 0;
+  for (k = 0; k <= degree; k = k + 1) {
+    acc = (acc * x) / scale + (k * 17) % 23 - 11;
+  }
+  return acc;
+}
+
+func main(n) {
+  var total = 0;
+  for (i = 0; i < n; i = i + 1) {
+    var x = input() % 200 - 100;
+    total = total + horner(3, x, 100);
+    total = total + horner(7, x, 100);
+    if (total > 100000000) { total = total % 100000000; }
+  }
+  return total % 1000000;
+}
+"""
+
+register(
+    Workload(
+        name="poly",
+        suite="fp",
+        description="Horner polynomial evaluation at two degrees "
+        "(parameter-range loop bounds)",
+        source=POLY_SOURCE,
+        train_args=[200],
+        ref_args=[2000],
+        train_inputs=lcg_stream(109, 200),
+        ref_inputs=lcg_stream(113, 2000),
+    )
+)
+
+
+CONV_SOURCE = """
+func main(n) {
+  array image[400];
+  array kernel[9];
+  array output[400];
+  for (i = 0; i < 400; i = i + 1) {
+    image[i] = input() % 256;
+  }
+  for (k = 0; k < 9; k = k + 1) {
+    kernel[k] = (k * 5) % 7 - 3;
+  }
+  for (y = 1; y < 19; y = y + 1) {
+    for (x = 1; x < 19; x = x + 1) {
+      var acc = 0;
+      for (ky = 0; ky < 3; ky = ky + 1) {
+        for (kx = 0; kx < 3; kx = kx + 1) {
+          acc = acc + image[(y + ky - 1) * 20 + (x + kx - 1)] * kernel[ky * 3 + kx];
+        }
+      }
+      output[y * 20 + x] = acc;
+    }
+  }
+  var checksum = 0;
+  for (i = 0; i < 400; i = i + 1) {
+    checksum = checksum + output[i];
+  }
+  return checksum % 1000000;
+}
+"""
+
+register(
+    Workload(
+        name="conv2d",
+        suite="fp",
+        description="3x3 convolution over a 20x20 image (four-deep constant loops)",
+        source=CONV_SOURCE,
+        train_args=[0],
+        ref_args=[0],
+        train_inputs=lcg_stream(233, 400),
+        ref_inputs=lcg_stream(239, 400),
+    )
+)
+
+
+EULER_SOURCE = """
+func main(n) {
+  var position = 0;
+  var velocity = input() % 200 - 100;
+  var clipped = 0;
+  for (step = 0; step < 4000; step = step + 1) {
+    var force = 0 - position / 4 - velocity / 8;
+    velocity = velocity + force / 16;
+    position = position + velocity / 16;
+    if (position > 10000) {
+      position = 10000;
+      clipped = clipped + 1;
+    }
+    if (position < 0 - 10000) {
+      position = 0 - 10000;
+      clipped = clipped + 1;
+    }
+  }
+  return position % 100000 + clipped * 100000;
+}
+"""
+
+register(
+    Workload(
+        name="euler",
+        suite="fp",
+        description="Fixed-point damped-oscillator integrator with clipping guards",
+        source=EULER_SOURCE,
+        train_args=[0],
+        ref_args=[0],
+        train_inputs=[37],
+        ref_inputs=[171],
+    )
+)

@@ -1,0 +1,583 @@
+"""The "SPECint92-like" suite: branchy, data-dependent integer programs.
+
+Ten programs in the spirit of the integer workloads the paper evaluates
+on (compression, table lookup, sorting, parsing, backtracking search...).
+Their branch behaviour is dominated by *data-dependent* decisions --
+exactly the regime where the paper found VRP's advantage over heuristics
+smaller than on numeric code, because loads and external inputs force ⊥
+ranges and heuristic fallback.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.workloads.registry import Workload, lcg_stream, register
+
+
+def _runny(seed: int, count: int, alphabet: int, run: int) -> List[int]:
+    """A stream with runs (for RLE-style workloads)."""
+    raw = lcg_stream(seed, count)
+    out: List[int] = []
+    index = 0
+    while len(out) < count:
+        value = raw[index % len(raw)] % alphabet
+        length = 1 + raw[(index + 1) % len(raw)] % run
+        out.extend([value] * length)
+        index += 2
+    return out[:count]
+
+
+RLE_SOURCE = """
+func main(n) {
+  array data[8192];
+  for (i = 0; i < n; i = i + 1) {
+    data[i] = input();
+  }
+  var runs = 0;
+  var total = 0;
+  var i = 0;
+  while (i < n) {
+    var v = data[i];
+    var j = i + 1;
+    while (j < n) {
+      if (data[j] != v) { break; }
+      j = j + 1;
+    }
+    runs = runs + 1;
+    total = total + (j - i);
+    i = j;
+  }
+  return runs * 1000 + total % 1000;
+}
+"""
+
+register(
+    Workload(
+        name="rle",
+        suite="int",
+        description="Run-length encoder over a bursty byte stream (compress-like)",
+        source=RLE_SOURCE,
+        train_args=[400],
+        ref_args=[5000],
+        train_inputs=_runny(11, 400, alphabet=12, run=6),
+        ref_inputs=_runny(97, 5000, alphabet=20, run=4),
+    )
+)
+
+
+TOKENIZE_SOURCE = """
+func classify(c) {
+  if (c < 32) { return 0; }
+  if (c == 32) { return 1; }
+  if (c < 48) { return 2; }
+  if (c < 58) { return 3; }
+  if (c < 65) { return 2; }
+  if (c < 91) { return 4; }
+  if (c < 97) { return 2; }
+  if (c < 123) { return 5; }
+  return 2;
+}
+
+func main(n) {
+  var words = 0;
+  var digits = 0;
+  var inword = 0;
+  for (i = 0; i < n; i = i + 1) {
+    var c = input() % 128;
+    var k = classify(c);
+    if (k == 3) { digits = digits + 1; }
+    if (k == 4 || k == 5) {
+      if (inword == 0) { words = words + 1; inword = 1; }
+    } else {
+      inword = 0;
+    }
+  }
+  return words * 100 + digits % 100;
+}
+"""
+
+
+def _textish(seed: int, count: int) -> List[int]:
+    """A stream distributed like ASCII text (mostly lowercase + spaces)."""
+    raw = lcg_stream(seed, count)
+    out = []
+    for value in raw:
+        selector = value % 100
+        if selector < 60:
+            out.append(97 + value % 26)  # lowercase
+        elif selector < 75:
+            out.append(32)  # space
+        elif selector < 85:
+            out.append(48 + value % 10)  # digit
+        elif selector < 92:
+            out.append(65 + value % 26)  # uppercase
+        else:
+            out.append(33 + value % 14)  # punctuation
+    return out
+
+
+register(
+    Workload(
+        name="tokenize",
+        suite="int",
+        description="Character-class tokeniser over text-like bytes (gcc-like scanning)",
+        source=TOKENIZE_SOURCE,
+        train_args=[500],
+        ref_args=[6000],
+        train_inputs=_textish(5, 500),
+        ref_inputs=_textish(131, 6000),
+    )
+)
+
+
+HASHTAB_SOURCE = """
+func main(n) {
+  array keys[512];
+  array used[512];
+  var collisions = 0;
+  var inserted = 0;
+  var found = 0;
+  for (i = 0; i < n; i = i + 1) {
+    var k = input() + 1;
+    var h = (k * 2654435761) % 512;
+    var probes = 0;
+    while (probes < 512) {
+      if (used[h] == 0) {
+        used[h] = 1;
+        keys[h] = k;
+        inserted = inserted + 1;
+        break;
+      }
+      if (keys[h] == k) {
+        found = found + 1;
+        break;
+      }
+      h = (h + 1) % 512;
+      collisions = collisions + 1;
+      probes = probes + 1;
+    }
+  }
+  return inserted * 10000 + found * 100 + collisions % 100;
+}
+"""
+
+register(
+    Workload(
+        name="hashtab",
+        suite="int",
+        description="Open-addressing hash table insert/lookup (eqntott-like pointer chasing)",
+        source=HASHTAB_SOURCE,
+        train_args=[150],
+        ref_args=[400],
+        train_inputs=[v % 997 for v in lcg_stream(23, 150)],
+        ref_inputs=[v % 4093 for v in lcg_stream(41, 400)],
+    )
+)
+
+
+ISORT_SOURCE = """
+func main(n) {
+  array a[1024];
+  for (i = 0; i < n; i = i + 1) {
+    a[i] = input();
+  }
+  for (i = 1; i < n; i = i + 1) {
+    var v = a[i];
+    var j = i - 1;
+    while (j >= 0) {
+      if (a[j] <= v) { break; }
+      a[j + 1] = a[j];
+      j = j - 1;
+    }
+    a[j + 1] = v;
+  }
+  var out_of_order = 0;
+  for (i = 1; i < n; i = i + 1) {
+    if (a[i - 1] > a[i]) { out_of_order = out_of_order + 1; }
+  }
+  return out_of_order;
+}
+"""
+
+register(
+    Workload(
+        name="isort",
+        suite="int",
+        description="Insertion sort with a verification pass (data-dependent compares)",
+        source=ISORT_SOURCE,
+        train_args=[60],
+        ref_args=[220],
+        train_inputs=lcg_stream(7, 60),
+        ref_inputs=lcg_stream(303, 220),
+    )
+)
+
+
+QUEENS_SOURCE = """
+func solve(row, nq, cols, d1, d2) {
+  if (row == nq) { return 1; }
+  var count = 0;
+  for (c = 0; c < nq; c = c + 1) {
+    var bit = 1 << c;
+    var b1 = 1 << (row + c);
+    var b2 = 1 << (row - c + nq);
+    if ((cols & bit) == 0 && (d1 & b1) == 0 && (d2 & b2) == 0) {
+      count = count + solve(row + 1, nq, cols | bit, d1 | b1, d2 | b2);
+    }
+  }
+  return count;
+}
+
+func main(n) {
+  return solve(0, n, 0, 0, 0);
+}
+"""
+
+register(
+    Workload(
+        name="queens",
+        suite="int",
+        description="N-queens backtracking with bitmask pruning (espresso-like search)",
+        source=QUEENS_SOURCE,
+        train_args=[6],
+        ref_args=[8],
+    )
+)
+
+
+BITCOUNT_SOURCE = """
+func popcount(x) {
+  var c = 0;
+  while (x > 0) {
+    c = c + (x & 1);
+    x = x >> 1;
+  }
+  return c;
+}
+
+func main(n) {
+  var total = 0;
+  var odd = 0;
+  for (i = 0; i < n; i = i + 1) {
+    var v = input() % 65536;
+    var p = popcount(v);
+    total = total + p;
+    if ((p & 1) == 1) { odd = odd + 1; }
+  }
+  return total * 10 + odd % 10;
+}
+"""
+
+register(
+    Workload(
+        name="bitcount",
+        suite="int",
+        description="Population counts over a 16-bit stream (bit-twiddling kernel)",
+        source=BITCOUNT_SOURCE,
+        train_args=[300],
+        ref_args=[2500],
+        train_inputs=lcg_stream(77, 300),
+        ref_inputs=lcg_stream(901, 2500),
+    )
+)
+
+
+UNION_SOURCE = """
+func main(n) {
+  array parent[2048];
+  for (i = 0; i < 2048; i = i + 1) {
+    parent[i] = i;
+  }
+  var merges = 0;
+  for (e = 0; e < n; e = e + 1) {
+    var a = input() % 2048;
+    var b = input() % 2048;
+    var ra = a;
+    while (parent[ra] != ra) { ra = parent[ra]; }
+    var rb = b;
+    while (parent[rb] != rb) { rb = parent[rb]; }
+    if (ra != rb) {
+      parent[ra] = rb;
+      merges = merges + 1;
+    }
+  }
+  return merges;
+}
+"""
+
+register(
+    Workload(
+        name="unionfind",
+        suite="int",
+        description="Union-find over random edges (graph connectivity, chasing loops)",
+        source=UNION_SOURCE,
+        train_args=[300],
+        ref_args=[1800],
+        train_inputs=lcg_stream(13, 600),
+        ref_inputs=lcg_stream(517, 3600),
+    )
+)
+
+
+LCS_SOURCE = """
+func main(n) {
+  array s[256];
+  array t[256];
+  array prev[257];
+  array cur[257];
+  for (i = 0; i < n; i = i + 1) { s[i] = input() % 26; }
+  for (i = 0; i < n; i = i + 1) { t[i] = input() % 26; }
+  for (j = 0; j <= n; j = j + 1) { prev[j] = 0; }
+  for (i = 1; i <= n; i = i + 1) {
+    cur[0] = 0;
+    for (j = 1; j <= n; j = j + 1) {
+      if (s[i - 1] == t[j - 1]) {
+        cur[j] = prev[j - 1] + 1;
+      } else {
+        if (prev[j] >= cur[j - 1]) { cur[j] = prev[j]; }
+        else { cur[j] = cur[j - 1]; }
+      }
+    }
+    for (j = 0; j <= n; j = j + 1) { prev[j] = cur[j]; }
+  }
+  return prev[n];
+}
+"""
+
+register(
+    Workload(
+        name="lcs",
+        suite="int",
+        description="Longest common subsequence DP (sc-like table computation)",
+        source=LCS_SOURCE,
+        train_args=[40],
+        ref_args=[130],
+        train_inputs=lcg_stream(3, 80),
+        ref_inputs=lcg_stream(59, 260),
+    )
+)
+
+
+CALC_SOURCE = """
+func main(n) {
+  array stack[256];
+  var sp = 0;
+  var errors = 0;
+  for (i = 0; i < n; i = i + 1) {
+    var op = input() % 8;
+    if (op < 4) {
+      if (sp < 256) {
+        stack[sp] = op + 1;
+        sp = sp + 1;
+      } else {
+        errors = errors + 1;
+      }
+    } else {
+      if (sp >= 2) {
+        var b = stack[sp - 1];
+        var a = stack[sp - 2];
+        sp = sp - 2;
+        var r = 0;
+        if (op == 4) { r = a + b; }
+        if (op == 5) { r = a - b; }
+        if (op == 6) { r = a * b; }
+        if (op == 7) {
+          if (b != 0) { r = a / b; } else { errors = errors + 1; }
+        }
+        stack[sp] = r;
+        sp = sp + 1;
+      } else {
+        errors = errors + 1;
+      }
+    }
+  }
+  return sp * 1000 + errors % 1000;
+}
+"""
+
+register(
+    Workload(
+        name="calc",
+        suite="int",
+        description="Stack-machine evaluator over an opcode stream (li-like interpreter)",
+        source=CALC_SOURCE,
+        train_args=[400],
+        ref_args=[5000],
+        train_inputs=lcg_stream(29, 400),
+        ref_inputs=lcg_stream(733, 5000),
+    )
+)
+
+
+SIEVE_SOURCE = """
+func main(n) {
+  array sieve[8192];
+  for (i = 0; i < n; i = i + 1) { sieve[i] = 1; }
+  var count = 0;
+  for (i = 2; i < n; i = i + 1) {
+    if (sieve[i] == 1) {
+      count = count + 1;
+      for (j = i + i; j < n; j = j + i) {
+        sieve[j] = 0;
+      }
+    }
+  }
+  return count;
+}
+"""
+
+register(
+    Workload(
+        name="sieve",
+        suite="int",
+        description="Sieve of Eratosthenes (deterministic control, variable stride)",
+        source=SIEVE_SOURCE,
+        train_args=[500],
+        ref_args=[6000],
+    )
+)
+
+
+STRSEARCH_SOURCE = """
+func match_at(haystack_len, pos, m, seed) {
+  var k = 0;
+  while (k < m) {
+    var hay = ((pos + k) * 37 + seed) % 26;
+    var pat = (k * 37 + seed) % 26;
+    if (hay != pat) { return 0; }
+    k = k + 1;
+  }
+  return 1;
+}
+
+func main(n) {
+  var found = 0;
+  for (pos = 0; pos + 8 <= n; pos = pos + 1) {
+    var seed = input() % 26;
+    if (match_at(n, pos, 4, seed) == 1) { found = found + 1; }
+    if (match_at(n, pos, 8, seed) == 1) { found = found + 1; }
+  }
+  return found;
+}
+"""
+
+register(
+    Workload(
+        name="strsearch",
+        suite="int",
+        description="Naive substring matching at two pattern lengths "
+        "(early-exit inner loop, symbolic bound)",
+        source=STRSEARCH_SOURCE,
+        train_args=[150],
+        ref_args=[1200],
+        train_inputs=lcg_stream(127, 150),
+        ref_inputs=lcg_stream(131, 1200),
+    )
+)
+
+
+SCAN_SOURCE = """
+func main(n) {
+  array window[3];
+  var matches = 0;
+  var lines = 0;
+  window[0] = 0 - 1;
+  window[1] = 0 - 1;
+  window[2] = 0 - 1;
+  for (i = 0; i < n; i = i + 1) {
+    var c = input() % 16;
+    if (c == 0) {
+      lines = lines + 1;
+      window[0] = 0 - 1;
+      window[1] = 0 - 1;
+      window[2] = 0 - 1;
+    } else {
+      window[0] = window[1];
+      window[1] = window[2];
+      window[2] = c;
+      if (window[0] == 3) {
+        if (window[1] == 1) {
+          if (window[2] == 4) {
+            matches = matches + 1;
+          }
+        }
+      }
+    }
+  }
+  return matches * 1000 + lines % 1000;
+}
+"""
+
+register(
+    Workload(
+        name="scan",
+        suite="int",
+        description="Sliding-window pattern scan over a token stream (grep-like)",
+        source=SCAN_SOURCE,
+        train_args=[600],
+        ref_args=[7000],
+        train_inputs=[v % 16 for v in lcg_stream(211, 600)],
+        ref_inputs=[v % 16 for v in lcg_stream(223, 7000)],
+    )
+)
+
+
+FREQPAIR_SOURCE = """
+func main(n) {
+  array freq[64];
+  for (i = 0; i < n; i = i + 1) {
+    var s = input() % 64;
+    freq[s] = freq[s] + 1;
+  }
+  var merges = 0;
+  var cost = 0;
+  for (round = 0; round < 63; round = round + 1) {
+    var first = 0 - 1;
+    var second = 0 - 1;
+    for (s = 0; s < 64; s = s + 1) {
+      if (freq[s] > 0) {
+        if (first < 0) {
+          first = s;
+        } else {
+          if (second < 0) {
+            if (freq[s] < freq[first]) {
+              second = first;
+              first = s;
+            } else {
+              second = s;
+            }
+          } else {
+            if (freq[s] < freq[first]) {
+              second = first;
+              first = s;
+            } else {
+              if (freq[s] < freq[second]) { second = s; }
+            }
+          }
+        }
+      }
+    }
+    if (second < 0) { break; }
+    var combined = freq[first] + freq[second];
+    cost = cost + combined;
+    freq[first] = combined;
+    freq[second] = 0;
+    merges = merges + 1;
+  }
+  return cost % 1000000 + merges * 1000000;
+}
+"""
+
+register(
+    Workload(
+        name="freqpair",
+        suite="int",
+        description="Huffman-style repeated min-pair merging over a frequency table",
+        source=FREQPAIR_SOURCE,
+        train_args=[300],
+        ref_args=[3000],
+        train_inputs=[v % 64 for v in lcg_stream(227, 300)],
+        ref_inputs=[v % 64 for v in lcg_stream(229, 3000)],
+    )
+)

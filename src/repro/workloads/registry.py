@@ -1,0 +1,83 @@
+"""Workload registry: the reproduction's SPEC92 stand-in.
+
+Each :class:`Workload` is a toy-language program with two input sets:
+
+* ``train`` -- the paper's "SPEC feedback collection inputs"
+  (``input.short``): used to build the execution profile;
+* ``ref`` -- the paper's reference inputs: used as ground truth.
+
+Keeping the two genuinely different (different sizes *and* different
+data) reproduces the paper's observation that profiles collected on one
+input imperfectly predict another -- especially visible in the weighted
+SPECint results.
+
+Input data is generated with a small deterministic LCG so runs are
+reproducible without any global RNG state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+def lcg_stream(seed: int, count: int, modulus: int = 1 << 16) -> List[int]:
+    """Deterministic pseudo-random ints in [0, modulus)."""
+    state = seed & 0x7FFFFFFF
+    out: List[int] = []
+    for _ in range(count):
+        state = (1103515245 * state + 12345) % (1 << 31)
+        out.append(state % modulus)
+    return out
+
+
+@dataclass
+class Workload:
+    """One benchmark program with train and ref runs."""
+
+    name: str
+    suite: str  # "int" or "fp"
+    description: str
+    source: str
+    train_args: List[int]
+    ref_args: List[int]
+    train_inputs: List[int] = field(default_factory=list)
+    ref_inputs: List[int] = field(default_factory=list)
+    # Interpreter step budget for the ref run (train is always smaller).
+    max_steps: int = 2_000_000
+
+    def __post_init__(self) -> None:
+        if self.suite not in ("int", "fp"):
+            raise ValueError(f"unknown suite {self.suite!r}")
+
+
+_REGISTRY: Dict[str, Workload] = {}
+
+
+def register(workload: Workload) -> Workload:
+    if workload.name in _REGISTRY:
+        raise ValueError(f"duplicate workload {workload.name!r}")
+    _REGISTRY[workload.name] = workload
+    return workload
+
+
+def get_workload(name: str) -> Workload:
+    _ensure_loaded()
+    return _REGISTRY[name]
+
+
+def all_workloads() -> List[Workload]:
+    _ensure_loaded()
+    return sorted(_REGISTRY.values(), key=lambda w: (w.suite, w.name))
+
+
+def suite(name: str) -> List[Workload]:
+    """All workloads of the "int" or "fp" suite."""
+    _ensure_loaded()
+    return [w for w in all_workloads() if w.suite == name]
+
+
+def _ensure_loaded() -> None:
+    # Importing the suite modules registers their workloads.
+    import repro.workloads.fpsuite  # noqa: F401
+    import repro.workloads.intsuite  # noqa: F401

@@ -1,0 +1,93 @@
+"""Copy propagation tests."""
+
+from repro.analysis.copyprop import copy_chains, propagate_copies, remove_dead_copies
+from repro.ir.instructions import Copy, Return
+from repro.ir.values import Temp
+
+from tests.helpers import prepare_single
+
+
+class TestCopyChains:
+    def test_simple_chain_resolved(self):
+        function, _ = prepare_single(
+            "func main(n) { var a = n; var b = a; var c = b; return c; }"
+        )
+        chains = copy_chains(function)
+        assert chains["c.0"] == "n.0"
+        assert chains["b.0"] == "n.0"
+
+    def test_assertions_not_followed_by_default(self):
+        function, _ = prepare_single(
+            "func main(n) { if (n > 0) { n = n + 0; } return n; }"
+        )
+        chains = copy_chains(function)
+        # No pi destinations in the chain map.
+        pis = {i.dest.name for block in function.blocks.values() for i in block.pis()}
+        assert not (set(chains) & pis)
+
+    def test_assertions_followed_when_enabled(self):
+        function, _ = prepare_single(
+            "func main(n) { if (n > 0) { x = n; } else { x = 0; } return x; }"
+        )
+        chains = copy_chains(function, through_assertions=True)
+        pis = {i.dest.name for block in function.blocks.values() for i in block.pis()}
+        assert set(chains) & pis
+
+
+class TestRewrites:
+    def test_propagate_replaces_uses(self):
+        function, _ = prepare_single(
+            "func main(n) { var a = n; var b = a + 1; return b; }"
+        )
+        replaced = propagate_copies(function)
+        assert replaced >= 1
+        # The add must now read n.0 directly.
+        from repro.ir.instructions import BinOp
+
+        adds = [i for i in function.instructions() if isinstance(i, BinOp)]
+        assert any(Temp("n.0") in add.operands() for add in adds)
+
+    def test_remove_dead_copies(self):
+        function, _ = prepare_single(
+            "func main(n) { var a = n; var b = a + 1; return b; }"
+        )
+        propagate_copies(function)
+        removed = remove_dead_copies(function)
+        assert removed >= 1
+        remaining = [
+            i
+            for i in function.instructions()
+            if isinstance(i, Copy) and i.dest.name.startswith("a.")
+        ]
+        assert remaining == []
+
+    def test_execution_preserved_after_rewrite(self):
+        source = "func main(n) { var a = n; var b = a; var c = b * 2; return c; }"
+        function, _ = prepare_single(source)
+        propagate_copies(function)
+        remove_dead_copies(function)
+        from repro.ir.function import Module
+        from repro.profiling import run_module
+
+        module = Module("m")
+        module.add_function(function)
+        assert run_module(module, args=[21]).return_value == 42
+
+
+class TestVRPSubsumption:
+    def test_vrp_discovers_copy_relations(self):
+        from tests.helpers import analyse
+
+        prediction = analyse(
+            "func main(n) { var a = n; var b = a; return b; }"
+        )
+        # VRP marks b as a pure copy (range 1[n.0:n.0:0])... but n is ⊥,
+        # so the copy shows through the Copy transfer: b's range is ⊥ too
+        # (copies of ⊥ stay ⊥).  Use a bounded parameter instead.
+        from repro.core.rangeset import RangeSet
+
+        prediction = analyse(
+            "func main(n) { var a = n; var b = a; return b; }",
+            param_ranges={"n": RangeSet.symbol("n.0")},
+        )
+        assert prediction.values["b.0"].copy_symbol() == "n.0"

@@ -1,0 +1,108 @@
+"""Natural loop detection tests."""
+
+from repro.analysis.loops import LoopInfo
+from repro.ir.cfg import CFG
+
+from tests.helpers import prepare_single
+
+
+def loops_of(source):
+    function, _ = prepare_single(source)
+    cfg = CFG(function)
+    return function, cfg, LoopInfo(cfg)
+
+
+class TestDetection:
+    def test_single_loop(self):
+        _, cfg, info = loops_of(
+            "func main(n) { var t = 0; while (t < 10) { t = t + 1; } return t; }"
+        )
+        assert len(info.loops) == 1
+        (loop,) = info.loops.values()
+        assert loop.latches
+        assert loop.header in loop.blocks
+
+    def test_no_loops_in_straight_line(self):
+        _, _, info = loops_of("func main(n) { return n + 1; }")
+        assert info.loops == {}
+
+    def test_nested_loops(self):
+        _, _, info = loops_of(
+            """
+            func main(n) {
+              var t = 0;
+              for (i = 0; i < 5; i = i + 1) {
+                for (j = 0; j < 5; j = j + 1) { t = t + 1; }
+              }
+              return t;
+            }
+            """
+        )
+        assert len(info.loops) == 2
+        sizes = sorted(len(loop.blocks) for loop in info.loops.values())
+        assert sizes[0] < sizes[1]  # inner nested within outer
+
+    def test_nesting_depth(self):
+        _, _, info = loops_of(
+            """
+            func main(n) {
+              var t = 0;
+              for (i = 0; i < 5; i = i + 1) {
+                for (j = 0; j < 5; j = j + 1) { t = t + 1; }
+              }
+              return t;
+            }
+            """
+        )
+        inner = min(info.loops.values(), key=lambda l: len(l.blocks))
+        assert info.depth(inner.header) == 2
+
+    def test_innermost(self):
+        _, _, info = loops_of(
+            """
+            func main(n) {
+              var t = 0;
+              for (i = 0; i < 5; i = i + 1) {
+                for (j = 0; j < 5; j = j + 1) { t = t + 1; }
+              }
+              return t;
+            }
+            """
+        )
+        inner = min(info.loops.values(), key=lambda l: len(l.blocks))
+        for label in inner.blocks:
+            assert info.innermost(label) is inner
+
+    def test_exit_edges(self):
+        _, cfg, info = loops_of(
+            "func main(n) { var t = 0; while (t < 10) { t = t + 1; } return t; }"
+        )
+        (loop,) = info.loops.values()
+        exits = loop.exit_edges(cfg)
+        assert exits
+        for src, dst in exits:
+            assert src in loop.blocks
+            assert dst not in loop.blocks
+
+    def test_is_header(self):
+        _, _, info = loops_of(
+            "func main(n) { var t = 0; while (t < 10) { t = t + 1; } return t; }"
+        )
+        (header,) = info.loops
+        assert info.is_header(header)
+        assert not info.is_header("entry0")
+
+    def test_sibling_loops_distinct(self):
+        _, _, info = loops_of(
+            """
+            func main(n) {
+              var t = 0;
+              for (i = 0; i < 5; i = i + 1) { t = t + 1; }
+              for (j = 0; j < 5; j = j + 1) { t = t + 2; }
+              return t;
+            }
+            """
+        )
+        assert len(info.loops) == 2
+        loops = list(info.loops.values())
+        assert not (loops[0].blocks & loops[1].blocks)

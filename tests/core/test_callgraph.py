@@ -1,0 +1,93 @@
+"""Call graph tests."""
+
+from repro.core.callgraph import CallGraph
+from repro.lang import compile_source
+
+
+def graph_of(source):
+    return CallGraph(compile_source(source))
+
+
+class TestStructure:
+    def test_callees_and_callers(self):
+        graph = graph_of(
+            """
+            func a() { return b() + c(); }
+            func b() { return c(); }
+            func c() { return 1; }
+            func main(n) { return a(); }
+            """
+        )
+        assert graph.callees["a"] == {"b", "c"}
+        assert graph.callers["c"] == {"a", "b"}
+        assert graph.callers["main"] == set()
+
+    def test_call_sites_enumerated(self):
+        graph = graph_of(
+            """
+            func f(x) { return x; }
+            func main(n) { return f(1) + f(2); }
+            """
+        )
+        sites = graph.sites_of_callee("f")
+        assert len(sites) == 2
+        assert all(site.caller == "main" for site in sites)
+
+    def test_sites_in_caller(self):
+        graph = graph_of(
+            """
+            func f(x) { return x; }
+            func g(x) { return f(x); }
+            func main(n) { return g(n); }
+            """
+        )
+        assert len(graph.sites_in_caller("g")) == 1
+        assert graph.sites_in_caller("f") == []
+
+
+class TestSCCs:
+    def test_bottom_up_order(self):
+        graph = graph_of(
+            """
+            func leaf() { return 1; }
+            func mid() { return leaf(); }
+            func main(n) { return mid(); }
+            """
+        )
+        order = graph.bottom_up_order()
+        assert order.index("leaf") < order.index("mid") < order.index("main")
+
+    def test_self_recursion_detected(self):
+        graph = graph_of(
+            """
+            func f(n) { if (n > 0) { return f(n - 1); } return 0; }
+            func main(n) { return f(n); }
+            """
+        )
+        assert graph.is_recursive("f")
+        assert not graph.is_recursive("main")
+
+    def test_mutual_recursion_single_scc(self):
+        graph = graph_of(
+            """
+            func even(n) { if (n == 0) { return 1; } return odd(n - 1); }
+            func odd(n) { if (n == 0) { return 0; } return even(n - 1); }
+            func main(n) { return even(n); }
+            """
+        )
+        sccs = graph.sccs()
+        component = next(c for c in sccs if "even" in c)
+        assert sorted(component) == ["even", "odd"]
+        assert graph.is_recursive("even")
+        assert graph.is_recursive("odd")
+
+    def test_all_functions_covered_once(self):
+        graph = graph_of(
+            """
+            func a() { return 1; }
+            func b() { return a(); }
+            func main(n) { return a() + b(); }
+            """
+        )
+        order = graph.bottom_up_order()
+        assert sorted(order) == ["a", "b", "main"]

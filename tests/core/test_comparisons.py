@@ -1,0 +1,183 @@
+"""Comparison probability tests."""
+
+import pytest
+
+from repro.core.bounds import Bound, NEG_INF, POS_INF
+from repro.core.comparisons import compare_sets
+from repro.core.ranges import StridedRange
+from repro.core.rangeset import BOTTOM, RangeSet, TOP
+
+
+def probability(op, a, b, **kwargs):
+    outcome = compare_sets(op, a, b, **kwargs)
+    assert outcome is not None
+    assert outcome.is_known(), f"unexpected unknown mass {outcome.unknown_mass}"
+    return outcome.probability
+
+
+class TestLatticeInputs:
+    def test_top_or_bottom_yields_none(self):
+        assert compare_sets("lt", TOP, RangeSet.constant(1)) is None
+        assert compare_sets("lt", RangeSet.constant(1), BOTTOM) is None
+
+
+class TestExactCounting:
+    def test_paper_loop_branch(self):
+        # x1 in [0:10], P(x1 < 10) = 10/11 (the paper's "91% taken").
+        p = probability("lt", RangeSet.span(0, 10), RangeSet.constant(10))
+        assert p == pytest.approx(10 / 11)
+
+    def test_paper_equality_branch(self):
+        y2 = RangeSet.from_ranges(
+            [StridedRange.span(0.8, 0, 7, 1), StridedRange.single(0.2, 1)]
+        )
+        p = probability("eq", y2, RangeSet.constant(1))
+        assert p == pytest.approx(0.3)
+
+    def test_all_six_operators_consistent(self):
+        a = RangeSet.span(0, 9)
+        b = RangeSet.span(5, 14)
+        p_lt = probability("lt", a, b)
+        p_eq = probability("eq", a, b)
+        p_gt = probability("gt", a, b)
+        assert p_lt + p_eq + p_gt == pytest.approx(1.0)
+        assert probability("le", a, b) == pytest.approx(p_lt + p_eq)
+        assert probability("ge", a, b) == pytest.approx(p_gt + p_eq)
+        assert probability("ne", a, b) == pytest.approx(1.0 - p_eq)
+
+    def test_exact_lt_brute_force_cross_check(self):
+        a_values = list(range(0, 21, 3))
+        b_values = list(range(5, 15, 2))
+        expected = sum(1 for x in a_values for y in b_values if x < y) / (
+            len(a_values) * len(b_values)
+        )
+        p = probability("lt", RangeSet.span(0, 20, 3), RangeSet.span(5, 14, 2))
+        assert p == pytest.approx(expected)
+
+    def test_eq_progression_intersection(self):
+        # {0,3,6,...,30} vs {0,5,10,...,30}: common points {0,15,30}.
+        a = RangeSet.span(0, 30, 3)
+        b = RangeSet.span(0, 30, 5)
+        p = probability("eq", a, b)
+        assert p == pytest.approx(3 / (11 * 7))
+
+    def test_eq_disjoint_progressions(self):
+        # Evens vs odds never intersect.
+        p = probability("eq", RangeSet.span(0, 100, 2), RangeSet.span(1, 101, 2))
+        assert p == 0.0
+
+    def test_single_vs_single(self):
+        assert probability("eq", RangeSet.constant(5), RangeSet.constant(5)) == 1.0
+        assert probability("lt", RangeSet.constant(4), RangeSet.constant(5)) == 1.0
+        assert probability("ge", RangeSet.constant(4), RangeSet.constant(5)) == 0.0
+
+
+class TestDecisive:
+    def test_disjoint_ranges_decide_order(self):
+        assert probability("lt", RangeSet.span(0, 5), RangeSet.span(10, 20)) == 1.0
+        assert probability("gt", RangeSet.span(0, 5), RangeSet.span(10, 20)) == 0.0
+
+    def test_half_open_ranges_decide(self):
+        above = RangeSet.from_ranges(
+            [StridedRange(1.0, Bound.number(100), Bound.number(POS_INF), 1)]
+        )
+        assert probability("gt", above, RangeSet.span(0, 50)) == 1.0
+
+    def test_symbolic_decisive(self):
+        # x in [n+1 : n+5] is always greater than n.
+        x = RangeSet.from_ranges(
+            [StridedRange(1.0, Bound.symbolic("n", 1), Bound.symbolic("n", 5), 1)]
+        )
+        n = RangeSet.symbol("n")
+        assert probability("gt", x, n) == 1.0
+        assert probability("le", x, n) == 0.0
+
+
+class TestCorrelation:
+    def test_operand_name_triggers_symbolic_comparison(self):
+        # x in [n-4 : n-1]; comparing against the variable n itself must
+        # use the correlation, not n's numeric range.
+        x = RangeSet.from_ranges(
+            [StridedRange(1.0, Bound.symbolic("n.0", -4), Bound.symbolic("n.0", -1), 1)]
+        )
+        n_range = RangeSet.span(0, 1000)
+        assert probability("lt", x, n_range, b_name="n.0") == 1.0
+
+    def test_without_name_correlation_is_lost(self):
+        x = RangeSet.from_ranges(
+            [StridedRange(1.0, Bound.symbolic("n.0", -4), Bound.symbolic("n.0", -1), 1)]
+        )
+        outcome = compare_sets("lt", x, RangeSet.span(0, 1000))
+        assert outcome.unknown_mass == pytest.approx(1.0)
+
+    def test_copy_equality(self):
+        x = RangeSet.symbol("y.0")
+        assert probability("eq", x, RangeSet.span(0, 10), b_name="y.0") == 1.0
+
+
+class TestContinuousApproximation:
+    def test_wide_identical_ranges_near_half(self):
+        wide = RangeSet.span(0, 10**7)
+        p = probability("lt", wide, wide)
+        assert p == pytest.approx(0.5, abs=0.01)
+
+    def test_wide_shifted_ranges(self):
+        a = RangeSet.span(0, 10**7)
+        b = RangeSet.span(5 * 10**6, 15 * 10**6)
+        p = probability("lt", a, b)
+        assert 0.8 < p < 0.95  # exact continuous answer is 0.875
+
+    def test_unbounded_overlap_is_unknown(self):
+        half_open = RangeSet.from_ranges(
+            [StridedRange(1.0, Bound.number(0), Bound.number(POS_INF), 1)]
+        )
+        outcome = compare_sets("lt", half_open, RangeSet.span(0, 100))
+        assert outcome.unknown_mass == pytest.approx(1.0)
+
+
+class TestIntegration:
+    def test_triangular_loop_integration(self):
+        # j in [0 : i+1], i uniform in [0:47]: P(j <= i) = avg (i+1)/(i+2).
+        j = RangeSet.from_ranges(
+            [StridedRange(1.0, Bound.number(0), Bound.symbolic("i.4", 1), 1)]
+        )
+        i = RangeSet.symbol("i.4")
+        i_distribution = RangeSet.span(0, 47)
+        expected = sum((v + 1) / (v + 2) for v in range(48)) / 48
+        outcome = compare_sets(
+            "le", j, i_distribution, b_name="i.4",
+            symbol_range=lambda name: i_distribution if name == "i.4" else None,
+        )
+        assert outcome.is_known()
+        assert outcome.probability == pytest.approx(expected, abs=1e-9)
+
+    def test_integration_requires_lookup(self):
+        j = RangeSet.from_ranges(
+            [StridedRange(1.0, Bound.number(0), Bound.symbolic("i", 1), 1)]
+        )
+        outcome = compare_sets("le", j, RangeSet.span(0, 47), b_name="i")
+        assert outcome.unknown_mass == pytest.approx(1.0)
+
+    def test_integration_samples_wide_symbol_ranges(self):
+        j = RangeSet.from_ranges(
+            [StridedRange(1.0, Bound.number(0), Bound.symbolic("i", 0), 1)]
+        )
+        distribution = RangeSet.span(1, 100000)
+        outcome = compare_sets(
+            "lt", j, distribution, b_name="i",
+            symbol_range=lambda name: distribution,
+        )
+        assert outcome.is_known()
+        # P(j < i | j in [0:i]) = i/(i+1), which is near 1 for large i.
+        assert outcome.probability > 0.9
+
+
+class TestWeightedMixtures:
+    def test_partial_unknown_mass(self):
+        mixed = RangeSet.from_ranges(
+            [StridedRange.span(0.5, 0, 9, 1), StridedRange.symbol(0.5, "q")]
+        )
+        outcome = compare_sets("lt", mixed, RangeSet.constant(5))
+        assert outcome.unknown_mass == pytest.approx(0.5)
+        assert outcome.probability == pytest.approx(0.25)  # 0.5 * 5/10
+        assert outcome.estimate() == pytest.approx(0.5)

@@ -1,0 +1,47 @@
+"""Work-counter plumbing tests."""
+
+from repro.core import counters as counters_mod
+from repro.core.range_arith import evaluate_binop
+from repro.core.rangeset import RangeSet
+
+
+class TestCounters:
+    def test_use_scopes_tallies(self):
+        mine = counters_mod.Counters()
+        with counters_mod.use(mine):
+            evaluate_binop("add", RangeSet.constant(1), RangeSet.constant(2))
+        assert mine.sub_operations == 1
+
+    def test_nested_use_restores_previous(self):
+        outer = counters_mod.Counters()
+        inner = counters_mod.Counters()
+        with counters_mod.use(outer):
+            with counters_mod.use(inner):
+                evaluate_binop("add", RangeSet.constant(1), RangeSet.constant(2))
+            evaluate_binop("add", RangeSet.constant(1), RangeSet.constant(2))
+        assert inner.sub_operations == 1
+        assert outer.sub_operations == 1
+
+    def test_cross_product_counts_pairs(self):
+        mine = counters_mod.Counters()
+        two = RangeSet.boolean(0.5)  # two ranges
+        with counters_mod.use(mine):
+            evaluate_binop("add", two, two, max_ranges=8)
+        assert mine.sub_operations == 4  # 2 x 2 pairwise operations
+
+    def test_merge(self):
+        a = counters_mod.Counters()
+        b = counters_mod.Counters()
+        a.expr_evaluations = 3
+        b.expr_evaluations = 4
+        b.sub_operations = 7
+        a.merge(b)
+        assert a.expr_evaluations == 7
+        assert a.sub_operations == 7
+
+    def test_as_dict_round_trip(self):
+        counters = counters_mod.Counters()
+        counters.flow_edges_processed = 5
+        data = counters.as_dict()
+        assert data["flow_edges_processed"] == 5
+        assert set(data) == set(counters_mod.Counters.__slots__)

@@ -1,0 +1,199 @@
+"""Interprocedural VRP tests: jump functions, return functions, recursion."""
+
+import pytest
+
+from repro.core import VRPConfig, VRPPredictor
+from repro.core.interprocedural import analyse_module
+from repro.core.rangeset import RangeSet
+
+from tests.helpers import compile_and_prepare
+
+
+def analyse_source(source, **kwargs):
+    module, infos = compile_and_prepare(source)
+    return analyse_module(module, infos, **kwargs)
+
+
+class TestJumpFunctions:
+    def test_constant_argument_reaches_callee(self):
+        prediction = analyse_source(
+            """
+            func helper(k) {
+              var t = 0;
+              for (i = 0; i < k; i = i + 1) { t = t + 1; }
+              return t;
+            }
+            func main(n) { return helper(100); }
+            """
+        )
+        helper = prediction.functions["helper"]
+        (probability,) = helper.branch_probability.values()
+        assert probability == pytest.approx(100 / 101)
+        assert not helper.used_heuristic
+
+    def test_multiple_call_sites_merge(self):
+        prediction = analyse_source(
+            """
+            func poke(v) {
+              if (v > 50) { return 1; }
+              return 0;
+            }
+            func main(n) {
+              var a = poke(10);
+              var b = poke(90);
+              return a + b;
+            }
+            """
+        )
+        poke = prediction.functions["poke"]
+        (probability,) = poke.branch_probability.values()
+        # v is {10 or 90} with equal call frequency: P(v > 50) = 0.5.
+        assert probability == pytest.approx(0.5, abs=0.05)
+
+    def test_return_range_flows_back(self):
+        prediction = analyse_source(
+            """
+            func five() { return 5; }
+            func main(n) {
+              var x = five();
+              if (x == 5) { return 1; }
+              return 0;
+            }
+            """
+        )
+        main = prediction.functions["main"]
+        (probability,) = main.branch_probability.values()
+        assert probability == pytest.approx(1.0)
+
+    def test_entry_params_default_bottom(self):
+        prediction = analyse_source(
+            "func main(n) { if (n > 0) { return 1; } return 0; }"
+        )
+        main = prediction.functions["main"]
+        assert main.used_heuristic  # n unknown -> fallback
+
+    def test_entry_param_ranges_honoured(self):
+        prediction = analyse_source(
+            "func main(n) { if (n > 3) { return 1; } return 0; }",
+            entry_param_ranges={"n": RangeSet.span(0, 9)},
+        )
+        main = prediction.functions["main"]
+        (probability,) = main.branch_probability.values()
+        assert probability == pytest.approx(0.6)
+
+
+class TestRecursion:
+    def test_direct_recursion_terminates(self):
+        prediction = analyse_source(
+            """
+            func fact(n) {
+              if (n <= 1) { return 1; }
+              return n * fact(n - 1);
+            }
+            func main(n) { return fact(10); }
+            """
+        )
+        assert "fact" in prediction.functions
+        assert prediction.functions["fact"].branch_probability
+
+    def test_mutual_recursion_terminates(self):
+        prediction = analyse_source(
+            """
+            func even(n) {
+              if (n == 0) { return 1; }
+              return odd(n - 1);
+            }
+            func odd(n) {
+              if (n == 0) { return 0; }
+              return even(n - 1);
+            }
+            func main(n) { return even(8); }
+            """
+        )
+        assert prediction.functions["even"].branch_probability
+        assert prediction.functions["odd"].branch_probability
+
+    def test_rounds_bounded(self):
+        prediction = analyse_source(
+            """
+            func f(n) { if (n > 0) { return f(n - 1); } return 0; }
+            func main(n) { return f(n); }
+            """,
+            max_rounds=4,
+        )
+        assert prediction.rounds <= 4
+
+
+class TestModulePredictionAPI:
+    def test_all_branches_keys(self):
+        prediction = analyse_source(
+            """
+            func helper(k) { if (k > 0) { return 1; } return 0; }
+            func main(n) { if (n > 0) { return helper(n); } return 0; }
+            """
+        )
+        keys = set(prediction.all_branches())
+        assert all(isinstance(k, tuple) and len(k) == 2 for k in keys)
+        functions = {function for function, _ in keys}
+        assert functions == {"helper", "main"}
+
+    def test_branch_probability_lookup(self):
+        prediction = analyse_source(
+            "func main(n) { if (n > 0) { return 1; } return 0; }"
+        )
+        (label,) = prediction.functions["main"].branch_probability
+        assert prediction.branch_probability("main", label) is not None
+        assert prediction.branch_probability("ghost", label) is None
+
+    def test_counters_aggregated(self):
+        prediction = analyse_source(
+            """
+            func helper(k) { return k + 1; }
+            func main(n) { return helper(1); }
+            """
+        )
+        assert prediction.counters.expr_evaluations > 0
+
+
+class TestVRPPredictorFrontDoor:
+    def test_predict_module(self):
+        from repro.lang import compile_source
+        from repro.ir import prepare_module
+
+        module = compile_source(
+            "func main(n) { var t = 0; for (i = 0; i < 7; i = i + 1) { t = t + 1; } return t; }"
+        )
+        infos = prepare_module(module)
+        prediction = VRPPredictor().predict_module(module, infos)
+        (probability,) = prediction.functions["main"].branch_probability.values()
+        assert probability == pytest.approx(7 / 8)
+
+    def test_intraprocedural_mode(self):
+        from repro.lang import compile_source
+        from repro.ir import prepare_module
+
+        module = compile_source(
+            """
+            func helper(k) { if (k > 0) { return 1; } return 0; }
+            func main(n) { return helper(5); }
+            """
+        )
+        infos = prepare_module(module)
+        prediction = VRPPredictor(interprocedural=False).predict_module(module, infos)
+        helper = prediction.functions["helper"]
+        # Without jump functions the callee parameter stays unknown.
+        assert helper.used_heuristic
+
+    def test_predictor_interface_on_prepared_function(self):
+        from repro.lang import compile_source
+        from repro.ir import prepare_for_analysis
+
+        module = compile_source(
+            "func main(n) { var t = 0; for (i = 0; i < 3; i = i + 1) { t = t + 1; } return t; }"
+        )
+        function = module.function("main")
+        prepare_for_analysis(function)
+        probabilities = VRPPredictor().predict_function(function)
+        assert len(probabilities) == 1
+        (probability,) = probabilities.values()
+        assert probability == pytest.approx(3 / 4)

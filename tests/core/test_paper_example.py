@@ -1,0 +1,88 @@
+"""End-to-end reproduction of the paper's worked example (Figures 2-4).
+
+The program::
+
+    for (x=0; x<10; ++x) {
+      if (x > 7) { y = 1; } else { y = x; }
+      if (y == 1) { ... }
+    }
+
+must yield, per Figure 4: branch probabilities 91% / 20% / 30% and the
+exact value ranges the paper lists.
+"""
+
+import pytest
+
+from tests.helpers import PAPER_EXAMPLE, analyse, value_of_variable
+
+
+@pytest.fixture(scope="module")
+def prediction():
+    return analyse(PAPER_EXAMPLE)
+
+
+def extents(rangeset):
+    return sorted(
+        (round(r.probability, 6), str(r.lo), str(r.hi), r.stride)
+        for r in rangeset.ranges
+    )
+
+
+class TestFigure4BranchProbabilities:
+    def test_loop_branch_91_percent(self, prediction):
+        assert prediction.branch_probability["for1"] == pytest.approx(10 / 11)
+
+    def test_threshold_branch_20_percent(self, prediction):
+        assert prediction.branch_probability["body2"] == pytest.approx(0.2)
+
+    def test_equality_branch_30_percent(self, prediction):
+        assert prediction.branch_probability["join7"] == pytest.approx(0.3)
+
+    def test_no_heuristic_fallback_needed(self, prediction):
+        assert prediction.used_heuristic == set()
+
+
+class TestFigure4ValueRanges:
+    def test_x_versions(self, prediction):
+        x = {name: extents(v) for name, v in value_of_variable(prediction, "x").items()}
+        assert x["x.0"] == [(1.0, "0", "0", 0)]  # paper's x0 = {1[0:0:0]}
+        assert x["x.1"] == [(1.0, "0", "10", 1)]  # x1 = {1[0:10:1]}
+        assert x["x.3"] == [(1.0, "0", "9", 1)]  # x2 = {1[0:9:1]}
+        assert x["x.4"] == [(1.0, "0", "7", 1)]  # x3 = {1[0:7:1]}
+        assert x["x.7"] == [(1.0, "1", "10", 1)]  # x5 = {1[1:10:1]}
+
+    def test_footnote4_merge_restores_parent(self, prediction):
+        # x6 = phi of the two assertion-derived versions of x.3: the
+        # merge must produce the parent's range {1[0:9:1]}, not a
+        # two-range weighted split.
+        x = value_of_variable(prediction, "x")
+        assert extents(x["x.6"]) == [(1.0, "0", "9", 1)]
+
+    def test_y_versions(self, prediction):
+        y = {name: extents(v) for name, v in value_of_variable(prediction, "y").items()}
+        assert y["y.0"] == [(1.0, "0", "0", 0)]
+        assert y["y.3"] == [(1.0, "1", "1", 0)]  # then-branch constant
+        assert y["y.2"] == [(1.0, "0", "7", 1)]  # else-branch copy of x3
+        # y2 = {0.8[0:7:1], 0.2[1:1:0]} -- the paper's key weighted merge.
+        assert y["y.4"] == [
+            (0.2, "1", "1", 0),
+            (0.8, "0", "7", 1),
+        ]
+
+    def test_loop_exit_assertion(self, prediction):
+        # On the exit edge x is asserted >= 10: exactly {10}.
+        x = value_of_variable(prediction, "x")
+        assert extents(x["x.2"]) == [(1.0, "10", "10", 0)]
+
+
+class TestSubsumption:
+    def test_constants_discovered(self, prediction):
+        # x.0 and y.0 are the constant 0; y.3 the constant 1.
+        assert prediction.values["x.0"].constant_value() == 0
+        assert prediction.values["y.3"].constant_value() == 1
+
+    def test_counters_recorded(self, prediction):
+        counters = prediction.counters
+        assert counters.expr_evaluations > 0
+        assert counters.sub_operations > 0
+        assert counters.derivations_succeeded >= 1  # the x loop phi

@@ -1,0 +1,85 @@
+"""VRPPredictor front-door API tests."""
+
+import pytest
+
+from repro.core import VRPConfig, VRPPredictor
+from repro.core.predictor import predict_branch_probabilities
+from repro.heuristics import Predictor, Rule9050Predictor
+
+from tests.helpers import compile_and_prepare
+
+
+class FixedPredictor(Predictor):
+    """Test double: predicts a fixed probability everywhere."""
+
+    name = "fixed"
+
+    def __init__(self, probability):
+        self.probability = probability
+
+    def predict_branch(self, context, label, branch):
+        return self.probability
+
+
+SOURCE = """
+func main(n) {
+  var t = 0;
+  for (i = 0; i < 10; i = i + 1) { t = t + 1; }
+  if (n > 0) { t = t + 1; }
+  return t;
+}
+"""
+
+
+class TestFallbackWiring:
+    def test_custom_fallback_used_on_bottom_branches(self):
+        module, infos = compile_and_prepare(SOURCE)
+        predictor = VRPPredictor(fallback=FixedPredictor(0.123))
+        prediction = predictor.predict_module(module, infos)
+        probabilities = prediction.functions["main"].branch_probability
+        assert any(abs(p - 0.123) < 1e-9 for p in probabilities.values())
+        # The derivable loop branch is still range-based, not 0.123.
+        assert any(abs(p - 10 / 11) < 1e-9 for p in probabilities.values())
+
+    def test_default_fallback_is_ball_larus(self):
+        from repro.heuristics import BallLarusPredictor
+
+        predictor = VRPPredictor()
+        assert isinstance(predictor.fallback, BallLarusPredictor)
+
+    def test_rule9050_as_fallback(self):
+        module, infos = compile_and_prepare(SOURCE)
+        predictor = VRPPredictor(fallback=Rule9050Predictor())
+        prediction = predictor.predict_module(module, infos)
+        probabilities = prediction.functions["main"].branch_probability
+        assert any(abs(p - 0.5) < 1e-9 for p in probabilities.values())
+
+
+class TestConvenienceFunction:
+    def test_predict_branch_probabilities(self):
+        module, infos = compile_and_prepare(SOURCE)
+        probabilities = predict_branch_probabilities(module, infos)
+        assert len(probabilities) == 2
+        assert all(0.0 <= p <= 1.0 for p in probabilities.values())
+
+    def test_config_threads_through(self):
+        module, infos = compile_and_prepare(SOURCE)
+        small = predict_branch_probabilities(
+            module, infos, config=VRPConfig(max_ranges=1)
+        )
+        assert len(small) == 2
+
+
+class TestEntryParamRanges:
+    def test_entry_ranges_shape_result(self):
+        from repro.core.rangeset import RangeSet
+
+        module, infos = compile_and_prepare(
+            "func main(n) { if (n > 4) { return 1; } return 0; }"
+        )
+        predictor = VRPPredictor()
+        prediction = predictor.predict_module(
+            module, infos, entry_param_ranges={"n": RangeSet.span(0, 9)}
+        )
+        (probability,) = prediction.functions["main"].branch_probability.values()
+        assert probability == pytest.approx(0.5)

@@ -1,0 +1,104 @@
+"""StridedRange tests."""
+
+import pytest
+
+from repro.core.bounds import Bound, NEG_INF, POS_INF
+from repro.core.ranges import RangeError, StridedRange
+
+
+class TestConstruction:
+    def test_single_value_gets_stride_zero(self):
+        r = StridedRange.span(1.0, 5, 5, 3)
+        assert r.stride == 0
+        assert r.is_single()
+
+    def test_multi_value_stride_zero_becomes_one(self):
+        r = StridedRange.span(1.0, 0, 10, 0)
+        assert r.stride == 1
+
+    def test_hi_aligned_down_to_progression(self):
+        r = StridedRange.span(1.0, 0, 10, 3)
+        assert r.hi == Bound.number(9)  # {0, 3, 6, 9}
+
+    def test_inverted_range_rejected(self):
+        with pytest.raises(RangeError):
+            StridedRange.span(1.0, 10, 0, 1)
+
+    def test_negative_probability_rejected(self):
+        with pytest.raises(RangeError):
+            StridedRange.span(-0.1, 0, 1, 1)
+
+    def test_negative_stride_rejected(self):
+        with pytest.raises(RangeError):
+            StridedRange(1.0, Bound.number(0), Bound.number(10), -1)
+
+    def test_symbolic_range_aligned(self):
+        r = StridedRange(1.0, Bound.symbolic("x", 0), Bound.symbolic("x", 7), 2)
+        assert r.hi == Bound.symbolic("x", 6)
+
+
+class TestCounting:
+    def test_count_simple(self):
+        assert StridedRange.span(1.0, 0, 10, 1).count() == 11
+
+    def test_count_strided(self):
+        assert StridedRange.span(1.0, 3, 21, 3).count() == 7
+
+    def test_count_single(self):
+        assert StridedRange.single(1.0, 8).count() == 1
+
+    def test_count_symbolic_same_symbol(self):
+        r = StridedRange(1.0, Bound.symbolic("x", 0), Bound.symbolic("x", 4), 1)
+        assert r.count() == 5
+
+    def test_count_unknowable_mixed(self):
+        r = StridedRange(1.0, Bound.number(0), Bound.symbolic("x", 4), 1)
+        assert r.count() is None
+
+    def test_count_infinite(self):
+        r = StridedRange(1.0, Bound.number(0), Bound.number(POS_INF), 1)
+        assert r.count() is None
+
+    def test_width(self):
+        assert StridedRange.span(1.0, 2, 9, 1).width() == 7
+
+
+class TestWeighting:
+    def test_scaled(self):
+        r = StridedRange.span(0.5, 0, 9, 1).scaled(0.5)
+        assert r.probability == 0.25
+        assert r.same_extent(StridedRange.span(1.0, 0, 9, 1))
+
+    def test_with_probability(self):
+        assert StridedRange.span(0.3, 0, 9, 1).with_probability(1.0).probability == 1.0
+
+
+class TestEquality:
+    def test_same_extent_ignores_probability(self):
+        a = StridedRange.span(0.2, 0, 8, 2)
+        b = StridedRange.span(0.9, 0, 8, 2)
+        assert a.same_extent(b)
+        assert a != b
+
+    def test_approx_equal_tolerates_probability_noise(self):
+        a = StridedRange.span(0.5, 0, 8, 2)
+        b = StridedRange.span(0.5 + 1e-12, 0, 8, 2)
+        assert a.approx_equal(b)
+        assert not a.approx_equal(StridedRange.span(0.6, 0, 8, 2))
+
+    def test_str_notation_matches_paper(self):
+        assert str(StridedRange.span(0.7, 32, 256, 1)) == "0.7[32:256:1]"
+        assert str(StridedRange.single(0.3, 8)) == "0.3[8:8:0]"
+
+
+class TestSymbols:
+    def test_symbols_collected(self):
+        r = StridedRange(1.0, Bound.number(0), Bound.symbolic("n.0", -1), 1)
+        assert r.symbols() == {"n.0"}
+
+    def test_numeric_has_no_symbols(self):
+        assert StridedRange.span(1.0, 0, 5, 1).symbols() == set()
+
+    def test_is_finite(self):
+        assert StridedRange.span(1.0, 0, 5, 1).is_finite()
+        assert not StridedRange(1.0, Bound.number(NEG_INF), Bound.number(5), 1).is_finite()

@@ -1,0 +1,176 @@
+"""RangeSet (lattice value) tests."""
+
+import pytest
+
+from repro.core.bounds import Bound
+from repro.core.ranges import StridedRange
+from repro.core.rangeset import BOTTOM, RangeSet, TOP, merge_weighted
+
+
+class TestLatticeElements:
+    def test_top_bottom_flags(self):
+        assert TOP.is_top and not TOP.is_set
+        assert BOTTOM.is_bottom and not BOTTOM.is_set
+        assert RangeSet.constant(5).is_set
+
+    def test_singletons(self):
+        assert RangeSet.top() is TOP
+        assert RangeSet.bottom() is BOTTOM
+
+
+class TestConstruction:
+    def test_probabilities_must_sum_to_one(self):
+        with pytest.raises(ValueError):
+            RangeSet.from_ranges([StridedRange.single(0.4, 1)])
+
+    def test_renormalise(self):
+        rs = RangeSet.from_ranges(
+            [StridedRange.single(2.0, 1), StridedRange.single(2.0, 2)],
+            renormalise=True,
+        )
+        assert all(abs(r.probability - 0.5) < 1e-12 for r in rs.ranges)
+
+    def test_zero_probability_ranges_dropped(self):
+        rs = RangeSet.from_ranges(
+            [StridedRange.single(1.0, 1), StridedRange.single(0.0, 2)]
+        )
+        assert len(rs.ranges) == 1
+
+    def test_empty_is_bottom(self):
+        assert RangeSet.from_ranges([]) is BOTTOM
+
+    def test_duplicate_extents_folded(self):
+        rs = RangeSet.from_ranges(
+            [StridedRange.single(0.3, 7), StridedRange.single(0.7, 7)]
+        )
+        assert len(rs.ranges) == 1
+        assert rs.ranges[0].probability == pytest.approx(1.0)
+
+    def test_boolean(self):
+        rs = RangeSet.boolean(0.3)
+        by_value = {r.lo.offset: r.probability for r in rs.ranges}
+        assert by_value == {1: pytest.approx(0.3), 0: pytest.approx(0.7)}
+
+    def test_boolean_clamps(self):
+        assert RangeSet.boolean(1.5).constant_value() == 1
+        assert RangeSet.boolean(-0.5).constant_value() == 0
+
+
+class TestCompaction:
+    def test_compacts_to_cap(self):
+        ranges = [StridedRange.single(0.2, v * 10) for v in range(5)]
+        rs = RangeSet.from_ranges(ranges, max_ranges=4)
+        assert len(rs.ranges) <= 4
+        assert sum(r.probability for r in rs.ranges) == pytest.approx(1.0)
+
+    def test_nearby_ranges_merged_first(self):
+        ranges = [
+            StridedRange.single(0.25, 0),
+            StridedRange.single(0.25, 1),
+            StridedRange.single(0.25, 1000),
+            StridedRange.single(0.25, 2000),
+        ]
+        rs = RangeSet.from_ranges(ranges, max_ranges=3)
+        # The 0/1 pair should merge, not 1/1000.
+        extents = sorted((float(r.lo.offset), float(r.hi.offset)) for r in rs.ranges)
+        assert (0.0, 1.0) in extents
+
+    def test_incompatible_symbols_give_bottom(self):
+        ranges = [
+            StridedRange.symbol(0.5, "x"),
+            StridedRange.symbol(0.5, "y"),
+        ]
+        assert RangeSet.from_ranges(ranges, max_ranges=1) is BOTTOM
+
+    def test_cap_one_produces_hull(self):
+        rs = RangeSet.from_ranges(
+            [StridedRange.span(0.5, 0, 4, 2), StridedRange.span(0.5, 10, 14, 2)],
+            max_ranges=1,
+        )
+        assert len(rs.ranges) == 1
+        hull = rs.ranges[0]
+        assert hull.lo.offset == 0 and hull.hi.offset == 14
+        assert hull.stride == 2  # both aligned even progressions
+
+
+class TestQueries:
+    def test_constant_value(self):
+        assert RangeSet.constant(7).constant_value() == 7
+        assert RangeSet.span(0, 5).constant_value() is None
+        assert TOP.constant_value() is None
+
+    def test_copy_symbol(self):
+        assert RangeSet.symbol("y.0").copy_symbol() == "y.0"
+        assert RangeSet.symbol("y.0", 2).copy_symbol() is None  # y+2 is not a copy
+        assert RangeSet.constant(1).copy_symbol() is None
+
+    def test_hull(self):
+        rs = RangeSet.from_ranges(
+            [StridedRange.span(0.5, 0, 4, 1), StridedRange.span(0.5, 10, 12, 1)]
+        )
+        hull = rs.hull()
+        assert hull.lo.offset == 0 and hull.hi.offset == 12
+
+    def test_hull_of_incomparable_is_none(self):
+        rs = RangeSet.from_ranges(
+            [StridedRange.symbol(0.5, "x"), StridedRange.single(0.5, 3)],
+            max_ranges=4,
+        )
+        assert rs.hull() is None
+
+    def test_is_numeric(self):
+        assert RangeSet.span(0, 5).is_numeric()
+        assert not RangeSet.symbol("x").is_numeric()
+
+    def test_symbols(self):
+        assert RangeSet.symbol("n.0", 3).symbols() == {"n.0"}
+
+
+class TestApproxEqual:
+    def test_tolerates_small_probability_drift(self):
+        a = RangeSet.boolean(0.5)
+        b = RangeSet.boolean(0.5 + 1e-7)
+        assert a.approx_equal(b, tolerance=1e-6)
+        assert not a.approx_equal(b, tolerance=1e-9)
+
+    def test_kind_mismatch(self):
+        assert not TOP.approx_equal(BOTTOM)
+        assert not TOP.approx_equal(RangeSet.constant(1))
+
+
+class TestMergeWeighted:
+    def test_paper_phi_merge(self):
+        # y2 = phi(y1 weighted 0.2, y0 weighted 0.8) -> {0.2[1], 0.8[0:7]}
+        merged = merge_weighted(
+            [(0.2, RangeSet.constant(1)), (0.8, RangeSet.span(0, 7))]
+        )
+        by_extent = {
+            (float(r.lo.offset), float(r.hi.offset)): r.probability
+            for r in merged.ranges
+        }
+        assert by_extent[(1.0, 1.0)] == pytest.approx(0.2)
+        assert by_extent[(0.0, 7.0)] == pytest.approx(0.8)
+
+    def test_weights_renormalised(self):
+        merged = merge_weighted(
+            [(10.0, RangeSet.constant(1)), (30.0, RangeSet.constant(2))]
+        )
+        by_value = {r.lo.offset: r.probability for r in merged.ranges}
+        assert by_value[1] == pytest.approx(0.25)
+        assert by_value[2] == pytest.approx(0.75)
+
+    def test_top_contributions_ignored(self):
+        merged = merge_weighted([(1.0, TOP), (1.0, RangeSet.constant(3))])
+        assert merged.constant_value() == 3
+
+    def test_all_top_is_top(self):
+        assert merge_weighted([(1.0, TOP)]) is TOP
+        assert merge_weighted([]) is TOP
+
+    def test_bottom_contribution_poisons(self):
+        merged = merge_weighted([(1.0, BOTTOM), (5.0, RangeSet.constant(3))])
+        assert merged is BOTTOM
+
+    def test_zero_weight_bottom_ignored(self):
+        merged = merge_weighted([(0.0, BOTTOM), (1.0, RangeSet.constant(3))])
+        assert merged.constant_value() == 3

@@ -1,0 +1,99 @@
+"""Accuracy metric tests."""
+
+import pytest
+
+from repro.evalharness.accuracy import (
+    BranchError,
+    area_under_cdf,
+    average_cdfs,
+    branch_errors,
+    error_cdf,
+    mean_error,
+)
+from repro.profiling.profile_data import BranchProfile
+
+
+def make_profile(counts):
+    profile = BranchProfile()
+    for key, (taken, not_taken) in counts.items():
+        profile.branch_counts[key] = [taken, not_taken]
+    return profile
+
+
+class TestBranchErrors:
+    def test_errors_computed(self):
+        truth = make_profile({("main", "b1"): (90, 10)})
+        records = branch_errors({("main", "b1"): 0.8}, truth)
+        assert len(records) == 1
+        assert records[0].error_points == pytest.approx(10.0)
+        assert records[0].weight == 100
+
+    def test_unexecuted_branches_excluded(self):
+        truth = make_profile({("main", "b1"): (0, 0)})
+        assert branch_errors({("main", "b1"): 0.5}, truth) == []
+
+    def test_missing_prediction_uses_default(self):
+        truth = make_profile({("main", "b1"): (100, 0)})
+        records = branch_errors({}, truth, default_prediction=0.5)
+        assert records[0].error_points == pytest.approx(50.0)
+
+    def test_perfect_prediction_zero_error(self):
+        truth = make_profile({("main", "b1"): (3, 1)})
+        records = branch_errors({("main", "b1"): 0.75}, truth)
+        assert records[0].error_points == pytest.approx(0.0)
+
+
+class TestCDF:
+    def test_thresholds_strictly_less(self):
+        records = [
+            BranchError("m", "b", predicted=0.5, actual=0.49, weight=1),  # 1.0 pt
+        ]
+        cdf = error_cdf(records, thresholds=[1, 3])
+        assert cdf == [0.0, 100.0]  # error of exactly 1.0 is NOT < 1
+
+    def test_unweighted_counts_branches_equally(self):
+        records = [
+            BranchError("m", "a", 0.5, 0.5, weight=1000),  # 0 error
+            BranchError("m", "b", 0.0, 1.0, weight=1),  # 100 error
+        ]
+        cdf = error_cdf(records, thresholds=[5], weighted=False)
+        assert cdf == [50.0]
+
+    def test_weighted_counts_executions(self):
+        records = [
+            BranchError("m", "a", 0.5, 0.5, weight=999),
+            BranchError("m", "b", 0.0, 1.0, weight=1),
+        ]
+        cdf = error_cdf(records, thresholds=[5], weighted=True)
+        assert cdf == [pytest.approx(99.9)]
+
+    def test_empty_records(self):
+        assert error_cdf([], thresholds=[1, 3]) == [0.0, 0.0]
+
+    def test_monotone_nondecreasing(self):
+        records = [
+            BranchError("m", str(i), i / 100.0, 0.0, weight=1) for i in range(40)
+        ]
+        cdf = error_cdf(records)
+        assert all(a <= b for a, b in zip(cdf, cdf[1:]))
+
+
+class TestAggregation:
+    def test_average_cdfs(self):
+        assert average_cdfs([[0.0, 100.0], [100.0, 100.0]]) == [50.0, 100.0]
+
+    def test_average_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            average_cdfs([[1.0], [1.0, 2.0]])
+
+    def test_area_under_cdf(self):
+        assert area_under_cdf([0.0, 50.0, 100.0]) == pytest.approx(50.0)
+        assert area_under_cdf([]) == 0.0
+
+    def test_mean_error(self):
+        records = [
+            BranchError("m", "a", 0.5, 0.4, weight=1),  # 10 points
+            BranchError("m", "b", 0.5, 0.2, weight=3),  # 30 points
+        ]
+        assert mean_error(records) == pytest.approx(20.0)
+        assert mean_error(records, weighted=True) == pytest.approx(25.0)

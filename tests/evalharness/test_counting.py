@@ -1,0 +1,49 @@
+"""Work-count (Figure 5/6) harness tests."""
+
+import pytest
+
+from repro.evalharness.counting import (
+    linearity_ratio,
+    measure_scaling,
+    measure_source,
+    synthetic_program,
+)
+from repro.lang import compile_source
+
+
+class TestSyntheticPrograms:
+    def test_generated_source_compiles(self):
+        module = compile_source(synthetic_program(5))
+        assert "main" in module.functions
+
+    def test_size_scales_with_units(self):
+        small = compile_source(synthetic_program(2)).instruction_count()
+        large = compile_source(synthetic_program(20)).instruction_count()
+        assert large > 5 * small
+
+
+class TestMeasurement:
+    def test_measure_source_counts_positive(self):
+        instructions, evaluations, subops = measure_source(synthetic_program(3))
+        assert instructions > 0
+        assert evaluations > 0
+        assert subops > 0
+
+    def test_measure_scaling_monotone(self):
+        points = measure_scaling([2, 8, 16])
+        instructions = [p[0] for p in points]
+        evaluations = [p[1] for p in points]
+        assert instructions == sorted(instructions)
+        assert evaluations == sorted(evaluations)
+
+    def test_near_linear_growth(self):
+        points = measure_scaling([4, 16, 48])
+        ratio = linearity_ratio([(p[0], p[1]) for p in points])
+        # The paper's claim: linear in practice.  Allow modest drift.
+        assert ratio < 3.0
+
+    def test_linearity_ratio_edge_cases(self):
+        assert linearity_ratio([]) == 1.0
+        assert linearity_ratio([(10, 100)]) == 1.0
+        assert linearity_ratio([(10, 100), (20, 200)]) == pytest.approx(1.0)
+        assert linearity_ratio([(10, 100), (20, 800)]) == pytest.approx(4.0)

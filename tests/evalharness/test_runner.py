@@ -1,0 +1,110 @@
+"""Evaluation runner tests on a small custom workload."""
+
+import pytest
+
+from repro.evalharness.runner import (
+    evaluate_suite,
+    evaluate_workload,
+    prepare_workload,
+    profile_predictions,
+    standard_predictors,
+    vrp_predictions,
+)
+from repro.workloads import Workload
+
+TINY = Workload(
+    name="tiny-test",
+    suite="int",
+    description="test-only workload",
+    source="""
+    func main(n) {
+      var hits = 0;
+      for (i = 0; i < n; i = i + 1) {
+        var v = input() % 10;
+        if (v < 3) { hits = hits + 1; }
+      }
+      return hits;
+    }
+    """,
+    train_args=[50],
+    ref_args=[200],
+    train_inputs=[(i * 7) % 10 for i in range(50)],
+    ref_inputs=[(i * 3) % 10 for i in range(200)],
+)
+
+
+@pytest.fixture(scope="module")
+def prepared():
+    return prepare_workload(TINY)
+
+
+class TestPreparation:
+    def test_profiles_collected(self, prepared):
+        assert prepared.train_profile.branch_counts
+        assert prepared.truth_profile.branch_counts
+
+    def test_profiles_differ_between_inputs(self, prepared):
+        train = prepared.train_profile.branches_of("tiny-test")
+        truth = prepared.truth_profile.branches_of("tiny-test")
+        assert set(train) == set(truth)
+
+
+class TestPredictions:
+    def test_profile_predictions_cover_all_branches(self, prepared):
+        predictions = profile_predictions(prepared)
+        for key in prepared.truth_profile.branch_counts:
+            assert key in predictions
+
+    def test_vrp_predictions_cover_all_branches(self, prepared):
+        predictions = vrp_predictions(prepared)
+        for key in prepared.truth_profile.branch_counts:
+            assert key in predictions
+
+    def test_vrp_nails_the_mod_branch(self, prepared):
+        # v = input() % 10, branch v < 3: VRP predicts exactly 0.3.
+        predictions = vrp_predictions(prepared)
+        assert any(
+            abs(p - 0.3) < 1e-6 for p in predictions.values()
+        ), predictions
+
+    def test_standard_predictors_complete(self):
+        predictors = standard_predictors()
+        assert set(predictors) == {
+            "profile",
+            "vrp",
+            "vrp-numeric",
+            "ball-larus",
+            "rule-90-50",
+            "random",
+        }
+
+
+class TestEvaluation:
+    def test_evaluate_workload(self, prepared):
+        evaluation = evaluate_workload(TINY, prepared=prepared)
+        assert set(evaluation.records) == set(standard_predictors())
+        for records in evaluation.records.values():
+            assert records  # every predictor scored on real branches
+
+    def test_cdf_shapes(self, prepared):
+        evaluation = evaluate_workload(TINY, prepared=prepared)
+        cdf = evaluation.cdf("vrp")
+        assert len(cdf) == 20
+        assert all(0.0 <= point <= 100.0 for point in cdf)
+
+    def test_suite_aggregation(self, prepared):
+        suite_eval = evaluate_suite([TINY], "test-suite")
+        aggregate = suite_eval.aggregate_cdf("profile")
+        assert len(aggregate) == 20
+        assert suite_eval.predictors()
+
+
+class TestPerfectPredictor:
+    def test_perfect_is_exact_on_ref_behaviour(self, prepared):
+        from repro.evalharness import branch_errors, error_cdf, perfect_predictions
+
+        predictions = perfect_predictions(prepared)
+        records = branch_errors(predictions, prepared.truth_profile)
+        cdf = error_cdf(records)
+        # The paper: "a horizontal line across the top" -- 100% within <1.
+        assert cdf[0] == 100.0

@@ -1,0 +1,230 @@
+"""Ball-Larus heuristic tests."""
+
+import pytest
+
+from repro.heuristics.ball_larus import (
+    BallLarusPredictor,
+    LOOP_BRANCH_PROB,
+    OPCODE_PROB,
+    RETURN_PROB,
+    call_heuristic,
+    loop_branch_heuristic,
+    opcode_heuristic,
+    pointer_heuristic,
+    return_heuristic,
+    store_heuristic,
+)
+from repro.heuristics.base import FunctionContext
+from repro.ir.instructions import Branch
+
+from tests.helpers import prepare_single
+
+
+def context_and_branches(source):
+    function, _ = prepare_single(source)
+    context = FunctionContext(function)
+    return context, dict(context.branches())
+
+
+class TestLoopBranchHeuristic:
+    def test_loop_continuation_predicted_taken(self):
+        context, branches = context_and_branches(
+            "func main(n) { var t = 0; while (t < 10) { t = t + 1; } return t; }"
+        )
+        (label, branch), = branches.items()
+        estimate = loop_branch_heuristic(context, label, branch)
+        assert estimate == pytest.approx(LOOP_BRANCH_PROB)
+
+    def test_do_while_latch_predicted_taken(self):
+        context, branches = context_and_branches(
+            "func main(n) { var t = 0; do { t = t + 1; } while (t < 10); return t; }"
+        )
+        (label, branch), = branches.items()
+        estimate = loop_branch_heuristic(context, label, branch)
+        assert estimate == pytest.approx(LOOP_BRANCH_PROB)
+
+    def test_not_applicable_outside_loop(self):
+        context, branches = context_and_branches(
+            "func main(n) { if (n > 0) { n = 1; } return n; }"
+        )
+        (label, branch), = branches.items()
+        assert loop_branch_heuristic(context, label, branch) is None
+
+
+class TestOpcodeHeuristic:
+    def test_lt_zero_predicted_false(self):
+        context, branches = context_and_branches(
+            "func main(n) { if (n < 0) { n = 1; } return n; }"
+        )
+        (label, branch), = branches.items()
+        assert opcode_heuristic(context, label, branch) == pytest.approx(
+            1.0 - OPCODE_PROB
+        )
+
+    def test_gt_zero_predicted_true(self):
+        context, branches = context_and_branches(
+            "func main(n) { if (n > 0) { n = 1; } return n; }"
+        )
+        (label, branch), = branches.items()
+        assert opcode_heuristic(context, label, branch) == pytest.approx(OPCODE_PROB)
+
+    def test_eq_constant_predicted_false(self):
+        context, branches = context_and_branches(
+            "func main(n) { if (n == 42) { n = 1; } return n; }"
+        )
+        (label, branch), = branches.items()
+        assert opcode_heuristic(context, label, branch) == pytest.approx(
+            1.0 - OPCODE_PROB
+        )
+
+    def test_plain_lt_not_applicable(self):
+        context, branches = context_and_branches(
+            "func main(a, b) { if (a < b) { a = 1; } return a; }"
+        )
+        (label, branch), = branches.items()
+        assert opcode_heuristic(context, label, branch) is None
+
+
+class TestContentHeuristics:
+    def test_return_heuristic_fires(self):
+        context, branches = context_and_branches(
+            """
+            func main(n) {
+              if (n > 1000) { return 0; }
+              var t = 0;
+              for (i = 0; i < n; i = i + 1) { t = t + 1; }
+              return t;
+            }
+            """
+        )
+        label, branch = next(
+            (lbl, br)
+            for lbl, br in branches.items()
+            if return_heuristic(context, lbl, br) is not None
+        )
+        estimate = return_heuristic(context, label, branch)
+        # Only the early-exit arm returns immediately; predicted not taken.
+        assert estimate == pytest.approx(1.0 - RETURN_PROB)
+
+    def test_return_heuristic_silent_when_both_arms_return(self):
+        context, branches = context_and_branches(
+            """
+            func main(n) {
+              if (n > 1000) { return 0; }
+              return n;
+            }
+            """
+        )
+        (label, branch), = branches.items()
+        assert return_heuristic(context, label, branch) is None
+
+    def test_store_heuristic_fires(self):
+        context, branches = context_and_branches(
+            """
+            func main(n) {
+              array a[4];
+              if (n > 0) { a[0] = 1; }
+              return n;
+            }
+            """
+        )
+        (label, branch), = branches.items()
+        assert store_heuristic(context, label, branch) is not None
+
+    def test_call_heuristic_fires(self):
+        context, branches = context_and_branches(
+            """
+            func log() { return 0; }
+            func main(n) {
+              if (n > 0) { var x = log(); }
+              return n;
+            }
+            """
+        )
+        # main's only branch.
+        (label, branch), = branches.items()
+        assert call_heuristic(context, label, branch) is not None
+
+    def test_pointer_heuristic_needs_memory_operand(self):
+        context, branches = context_and_branches(
+            "func main(a, b) { if (a == b) { return 1; } return 0; }"
+        )
+        (label, branch), = branches.items()
+        assert pointer_heuristic(context, label, branch) is None
+
+    def test_pointer_heuristic_on_loaded_values(self):
+        context, branches = context_and_branches(
+            """
+            func main(n) {
+              array a[4];
+              var x = a[0];
+              if (x == n) { return 1; }
+              return 0;
+            }
+            """
+        )
+        (label, branch), = branches.items()
+        estimate = pointer_heuristic(context, label, branch)
+        assert estimate is not None
+        assert estimate < 0.5  # eq predicted false
+
+
+class TestCombination:
+    def test_probabilities_in_unit_interval(self):
+        predictor = BallLarusPredictor()
+        function, _ = prepare_single(
+            """
+            func main(n) {
+              var t = 0;
+              for (i = 0; i < n; i = i + 1) {
+                if (i % 3 == 0) { t = t + 1; }
+              }
+              return t;
+            }
+            """
+        )
+        for probability in predictor.predict_function(function).values():
+            assert 0.0 <= probability <= 1.0
+
+    def test_priority_mode_first_heuristic_wins(self):
+        source = (
+            "func main(n) { var t = 0; while (t < 10) { t = t + 1; } return t; }"
+        )
+        function, _ = prepare_single(source)
+        priority = BallLarusPredictor(combination="priority").predict_function(function)
+        (probability,) = priority.values()
+        assert probability == pytest.approx(LOOP_BRANCH_PROB)
+
+    def test_dempster_shafer_strengthens_agreeing_evidence(self):
+        source = (
+            "func main(n) { var t = 0; while (t < 10) { t = t + 1; } return t; }"
+        )
+        function, _ = prepare_single(source)
+        combined = BallLarusPredictor().predict_function(function)
+        (probability,) = combined.values()
+        # Loop-branch + loop-exit agree: combined above either alone.
+        assert probability > LOOP_BRANCH_PROB
+
+    def test_unknown_combination_rejected(self):
+        with pytest.raises(ValueError):
+            BallLarusPredictor(combination="voodoo")
+
+    def test_no_applicable_heuristics_gives_half(self):
+        function, _ = prepare_single(
+            "func main(a, b) { if (a < b) { a = a + 1; } a = a * 2; return a + b; }"
+        )
+        predictor = BallLarusPredictor()
+        probabilities = predictor.predict_function(function)
+        # Whatever applies, result is a probability; if none applied it is 0.5.
+        for probability in probabilities.values():
+            assert 0.0 <= probability <= 1.0
+
+    def test_applicable_heuristics_listing(self):
+        function, _ = prepare_single(
+            "func main(n) { var t = 0; while (t < 10) { t = t + 1; } return t; }"
+        )
+        context = FunctionContext(function)
+        predictor = BallLarusPredictor()
+        (label, branch), = dict(context.branches()).items()
+        names = [name for name, _ in predictor.applicable_heuristics(context, label, branch)]
+        assert "loop-branch" in names

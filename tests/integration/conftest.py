@@ -1,0 +1,14 @@
+"""Hypothesis profiles for the property/fuzz tests.
+
+Default ("ci"): derandomized, so the suite is deterministic run to run.
+Exploration: set HYPOTHESIS_PROFILE=fuzz (optionally with
+``--hypothesis-seed=N``) to search fresh random cases.
+"""
+
+import os
+
+from hypothesis import settings
+
+settings.register_profile("ci", derandomize=True)
+settings.register_profile("fuzz", derandomize=False)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "ci"))

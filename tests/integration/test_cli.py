@@ -1,0 +1,92 @@
+"""Command-line interface tests."""
+
+import pytest
+
+from repro.cli import main
+
+PROGRAM = """
+func main(n) {
+  var t = 0;
+  for (i = 0; i < 10; i = i + 1) { t = t + i; }
+  if (t > 1000) { t = 0; }
+  return t;
+}
+"""
+
+
+@pytest.fixture()
+def program_file(tmp_path):
+    path = tmp_path / "program.toy"
+    path.write_text(PROGRAM)
+    return str(path)
+
+
+class TestPredict:
+    def test_predict_prints_branches(self, program_file, capsys):
+        assert main(["predict", program_file]) == 0
+        out = capsys.readouterr().out
+        assert "main" in out
+        assert "90.9%" in out  # the 10/11 loop branch
+
+    def test_numeric_flag_accepted(self, program_file, capsys):
+        assert main(["predict", program_file, "--numeric", "--intra"]) == 0
+        assert "main" in capsys.readouterr().out
+
+    def test_max_ranges_flag(self, program_file, capsys):
+        assert main(["predict", program_file, "--max-ranges", "2"]) == 0
+
+
+class TestOtherCommands:
+    def test_ir_dump(self, program_file, capsys):
+        assert main(["ir", program_file]) == 0
+        out = capsys.readouterr().out
+        assert "phi" in out
+        assert "pi" in out  # assertions present
+
+    def test_ranges_dump(self, program_file, capsys):
+        assert main(["ranges", program_file]) == 0
+        out = capsys.readouterr().out
+        assert "func main:" in out
+        assert "[0:10:1]" in out
+
+    def test_run_with_profile(self, program_file, capsys):
+        assert main(["run", program_file, "--args", "0", "--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "return value: 45" in out
+        assert "90.9%" in out
+
+    def test_run_with_inputs(self, tmp_path, capsys):
+        path = tmp_path / "echo.toy"
+        path.write_text("func main(n) { return input() + input(); }")
+        assert main(["run", str(path), "--args", "0", "--inputs", "20,22"]) == 0
+        assert "return value: 42" in capsys.readouterr().out
+
+    def test_workloads_listing(self, capsys):
+        assert main(["workloads"]) == 0
+        out = capsys.readouterr().out
+        assert "matmul" in out
+        assert "tokenize" in out
+
+    def test_evaluate_single_workload(self, capsys):
+        assert main(["evaluate", "--workload", "interp"]) == 0
+        out = capsys.readouterr().out
+        assert "vrp" in out
+        assert "profile" in out
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+
+class TestErrorHandling:
+    def test_missing_file_exits_cleanly(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["predict", "/no/such/file.toy"])
+        assert "no such file" in str(excinfo.value)
+
+    def test_syntax_error_exits_cleanly(self, tmp_path):
+        path = tmp_path / "bad.toy"
+        path.write_text("func main(n) { returm 0; }")
+        with pytest.raises(SystemExit) as excinfo:
+            main(["predict", str(path)])
+        assert "error:" in str(excinfo.value)

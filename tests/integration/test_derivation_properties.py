@@ -1,0 +1,108 @@
+"""Property test: loop derivation vs. brute-force simulation.
+
+For randomly generated counted loops, the derived range of the header
+phi must cover exactly the values the header actually observes (the
+initial value, every intermediate, and the exit value).
+"""
+
+import pytest
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.core.propagation import analyse_function
+from repro.ir import prepare_for_analysis
+from repro.lang import compile_source
+
+
+def simulate_header_values(init, relop, bound, step):
+    """All values the loop header phi takes at runtime."""
+    compare = {
+        "<": lambda a, b: a < b,
+        "<=": lambda a, b: a <= b,
+        ">": lambda a, b: a > b,
+        ">=": lambda a, b: a >= b,
+        "!=": lambda a, b: a != b,
+    }[relop]
+    values = []
+    i = init
+    for _ in range(10_000):
+        values.append(i)
+        if not compare(i, bound):
+            return values
+        i += step
+    raise AssertionError("simulation did not terminate")
+
+
+def derived_support(prediction, variable="i"):
+    rangeset = prediction.values[f"{variable}.1"]
+    assert rangeset.is_set, rangeset
+    values = set()
+    for r in rangeset.ranges:
+        lo = int(r.lo.offset)
+        hi = int(r.hi.offset)
+        step = r.stride if r.stride else 1
+        values.update(range(lo, hi + 1, step))
+    return values
+
+
+@settings(max_examples=120, deadline=None)
+@given(
+    init=st.integers(min_value=-30, max_value=30),
+    bound=st.integers(min_value=-30, max_value=30),
+    step=st.integers(min_value=1, max_value=5),
+    relop=st.sampled_from(["<", "<="]),
+    direction=st.sampled_from(["up", "down"]),
+)
+def test_derived_range_matches_simulation(init, bound, step, relop, direction):
+    if direction == "up":
+        update = f"i = i + {step};"
+        condition = f"i {relop} {bound}"
+        observed = simulate_header_values(init, relop, bound, step)
+    else:
+        update = f"i = i - {step};"
+        flipped = {"<": ">", "<=": ">="}[relop]
+        condition = f"i {flipped} {bound}"
+        observed = simulate_header_values(init, flipped, bound, -step)
+    source = (
+        f"func main(n) {{ var t = 0; var i = {init}; "
+        f"while ({condition}) {{ t = t + 1; {update} }} return t; }}"
+    )
+    module = compile_source(source)
+    function = module.function("main")
+    info = prepare_for_analysis(function)
+    prediction = analyse_function(function, info)
+    support = derived_support(prediction)
+    missing = set(observed) - support
+    assert not missing, (
+        f"derived {sorted(support)} misses observed {sorted(missing)}\n{source}"
+    )
+    # Tightness: the derived support should not wildly over-approximate.
+    assert len(support) <= len(set(observed)) + 2, (
+        f"derived {sorted(support)} much larger than observed "
+        f"{sorted(set(observed))}\n{source}"
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    init=st.integers(min_value=0, max_value=20),
+    trip_count=st.integers(min_value=1, max_value=15),
+    step=st.integers(min_value=1, max_value=4),
+)
+def test_ne_termination_exact(init, trip_count, step):
+    # trip_count >= 1: a zero-trip "while (i != init)" loop soundly
+    # widens to an unbounded range (the ne bound equals the start and
+    # cannot act as a forward limit), which is not the exactness regime
+    # this test targets.
+    bound = init + trip_count * step  # exactly divisible: terminates
+    source = (
+        f"func main(n) {{ var i = {init}; "
+        f"while (i != {bound}) {{ i = i + {step}; }} return i; }}"
+    )
+    module = compile_source(source)
+    function = module.function("main")
+    info = prepare_for_analysis(function)
+    prediction = analyse_function(function, info)
+    observed = set(range(init, bound + 1, step))
+    support = derived_support(prediction)
+    assert observed <= support
+    assert len(support) <= len(observed) + 2

@@ -1,0 +1,157 @@
+"""End-to-end integration tests: prediction accuracy on analysable programs."""
+
+import pytest
+
+import repro
+from repro.core import VRPPredictor
+from repro.ir import prepare_module
+from repro.lang import compile_source
+from repro.profiling import run_module
+
+
+def predict_and_observe(source, args, inputs=None):
+    """Compile once; return (predictions, observed branch probabilities)."""
+    module = compile_source(source)
+    infos = prepare_module(module)
+    prediction = VRPPredictor().predict_module(module, infos)
+    run = run_module(module, args=args, input_values=inputs)
+    observed = {}
+    for (func, label), counts in run.branch_counts.items():
+        total = counts[0] + counts[1]
+        if total:
+            observed[(func, label)] = counts[0] / total
+    return prediction.all_branches(), observed
+
+
+class TestAnalyticAgreement:
+    def test_constant_loop_exact(self):
+        predictions, observed = predict_and_observe(
+            "func main(n) { var t = 0; for (i = 0; i < 100; i = i + 1) { t = t + 1; } return t; }",
+            args=[0],
+        )
+        for key, actual in observed.items():
+            assert predictions[key] == pytest.approx(actual, abs=1e-9)
+
+    def test_mod_branch_matches_uniform_data(self):
+        # Uniform input: VRP's uniform assumption is exactly right.
+        source = """
+        func main(n) {
+          var hits = 0;
+          for (i = 0; i < 1000; i = i + 1) {
+            var v = input() % 8;
+            if (v < 2) { hits = hits + 1; }
+          }
+          return hits;
+        }
+        """
+        predictions, observed = predict_and_observe(
+            source, args=[0], inputs=[i % 8 for i in range(1000)]
+        )
+        for key, actual in observed.items():
+            assert predictions[key] == pytest.approx(actual, abs=0.02)
+
+    def test_nested_diamond_matches(self):
+        # The paper's example executed for real: 30% observed.
+        source = """
+        func main(n) {
+          var hits = 0;
+          for (x = 0; x < 10; x = x + 1) {
+            var y = 0;
+            if (x > 7) { y = 1; } else { y = x; }
+            if (y == 1) { hits = hits + 1; }
+          }
+          return hits;
+        }
+        """
+        predictions, observed = predict_and_observe(source, args=[0])
+        module_keys = {key for key in observed}
+        for key in module_keys:
+            assert predictions[key] == pytest.approx(observed[key], abs=1e-9), key
+
+    def test_interprocedural_constant_matches(self):
+        source = """
+        func kernel(size) {
+          var t = 0;
+          for (i = 0; i < size; i = i + 1) { t = t + 1; }
+          return t;
+        }
+        func main(n) { return kernel(64); }
+        """
+        predictions, observed = predict_and_observe(source, args=[0])
+        for key, actual in observed.items():
+            assert predictions[key] == pytest.approx(actual, abs=1e-9)
+
+    def test_triangular_loops_close(self):
+        source = """
+        func main(n) {
+          var t = 0;
+          for (i = 0; i < 30; i = i + 1) {
+            for (j = 0; j <= i; j = j + 1) { t = t + 1; }
+          }
+          return t;
+        }
+        """
+        predictions, observed = predict_and_observe(source, args=[0])
+        for key, actual in observed.items():
+            assert predictions[key] == pytest.approx(actual, abs=0.05), key
+
+
+class TestTopLevelAPI:
+    def test_compile_and_predict(self):
+        probabilities = repro.compile_and_predict(
+            "func main(n) { var t = 0; for (i = 0; i < 4; i = i + 1) { t = t + i; } return t; }"
+        )
+        assert len(probabilities) == 1
+        (probability,) = probabilities.values()
+        assert probability == pytest.approx(4 / 5)
+
+    def test_version_exposed(self):
+        assert repro.__version__
+
+    def test_intraprocedural_flag(self):
+        source = """
+        func helper(k) { if (k > 0) { return 1; } return 0; }
+        func main(n) { return helper(3); }
+        """
+        inter = repro.compile_and_predict(source, interprocedural=True)
+        intra = repro.compile_and_predict(source, interprocedural=False)
+        helper_key = next(k for k in inter if k[0] == "helper")
+        assert inter[helper_key] == pytest.approx(1.0)
+        assert intra[helper_key] != pytest.approx(1.0)
+
+
+class TestPredictorComparison:
+    def test_vrp_beats_heuristics_on_analysable_program(self):
+        from repro.evalharness import branch_errors, mean_error, prepare_workload
+        from repro.heuristics import BallLarusPredictor
+        from repro.workloads import Workload
+
+        workload = Workload(
+            name="bench-tiny",
+            suite="fp",
+            description="test",
+            source="""
+            func main(n) {
+              var hits = 0;
+              for (i = 0; i < 500; i = i + 1) {
+                var v = input() % 100;
+                if (v < 37) { hits = hits + 1; }
+              }
+              return hits;
+            }
+            """,
+            train_args=[0],
+            ref_args=[0],
+            train_inputs=[(i * 13) % 100 for i in range(500)],
+            ref_inputs=[(i * 7) % 100 for i in range(500)],
+        )
+        prepared = prepare_workload(workload)
+        from repro.evalharness import vrp_predictions, profile_predictions
+
+        vrp_records = branch_errors(vrp_predictions(prepared), prepared.truth_profile)
+        heuristic_predictions = {}
+        for name, function in prepared.module.functions.items():
+            for label, p in BallLarusPredictor().predict_function(function).items():
+                heuristic_predictions[(name, label)] = p
+        heuristic_records = branch_errors(heuristic_predictions, prepared.truth_profile)
+        assert mean_error(vrp_records) < mean_error(heuristic_records)

@@ -1,0 +1,122 @@
+"""Interpreter semantics cross-checked against Python evaluation.
+
+Hypothesis generates arithmetic expression trees, renders them as toy
+source *and* evaluates them with Python's own operators; the interpreter
+must agree exactly (the language definition says "Python semantics").
+Division/modulo by zero must agree as traps.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.lang import compile_source
+from repro.ir import prepare_module
+from repro.profiling import InterpreterError, run_module
+
+
+class _Node:
+    """An expression tree that can render to toy source and evaluate."""
+
+    def __init__(self, kind, children=(), value=0):
+        self.kind = kind
+        self.children = children
+        self.value = value
+
+    def render(self) -> str:
+        if self.kind == "lit":
+            return f"({self.value})" if self.value >= 0 else f"(0 - {-self.value})"
+        if self.kind == "var":
+            return "n"
+        a = self.children[0].render()
+        if self.kind == "neg":
+            return f"(-({a}))"
+        if self.kind == "not":
+            return f"(!({a}))"
+        b = self.children[1].render()
+        op = {
+            "add": "+", "sub": "-", "mul": "*", "div": "/", "mod": "%",
+            "and": "&", "or": "|", "xor": "^", "shl": "<<", "shr": ">>",
+            "lt": "<", "le": "<=", "gt": ">", "ge": ">=", "eq": "==", "ne": "!=",
+        }[self.kind]
+        return f"(({a}) {op} ({b}))"
+
+    def evaluate(self, n):
+        if self.kind == "lit":
+            return self.value
+        if self.kind == "var":
+            return n
+        a = self.children[0].evaluate(n)
+        if self.kind == "neg":
+            return -a
+        if self.kind == "not":
+            return int(not a)
+        b = self.children[1].evaluate(n)
+        if self.kind == "add":
+            return a + b
+        if self.kind == "sub":
+            return a - b
+        if self.kind == "mul":
+            return a * b
+        if self.kind == "div":
+            if b == 0:
+                raise ZeroDivisionError
+            return a // b
+        if self.kind == "mod":
+            if b == 0:
+                raise ZeroDivisionError
+            return a % b
+        if self.kind == "and":
+            return a & b
+        if self.kind == "or":
+            return a | b
+        if self.kind == "xor":
+            return a ^ b
+        if self.kind == "shl":
+            if not 0 <= b <= 512:
+                raise ZeroDivisionError  # trap-equivalent
+            return a << b
+        if self.kind == "shr":
+            if not 0 <= b <= 512:
+                raise ZeroDivisionError
+            return a >> b
+        return {
+            "lt": a < b, "le": a <= b, "gt": a > b,
+            "ge": a >= b, "eq": a == b, "ne": a != b,
+        }[self.kind] and 1 or 0
+
+
+@st.composite
+def expression_trees(draw, depth=0):
+    if depth >= 3 or draw(st.booleans()) and depth > 0:
+        if draw(st.booleans()):
+            return _Node("lit", value=draw(st.integers(-50, 50)))
+        return _Node("var")
+    kind = draw(
+        st.sampled_from(
+            ["add", "sub", "mul", "div", "mod", "and", "or", "xor",
+             "lt", "le", "gt", "ge", "eq", "ne", "neg", "not"]
+        )
+    )
+    if kind in ("neg", "not"):
+        return _Node(kind, (draw(expression_trees(depth + 1)),))
+    return _Node(
+        kind,
+        (draw(expression_trees(depth + 1)), draw(expression_trees(depth + 1))),
+    )
+
+
+@settings(max_examples=150, deadline=None)
+@given(expression_trees(), st.integers(min_value=-30, max_value=30))
+def test_interpreter_matches_python(tree, n):
+    source = f"func main(n) {{ return {tree.render()}; }}"
+    module = compile_source(source)
+    prepare_module(module)
+    try:
+        expected = tree.evaluate(n)
+    except ZeroDivisionError:
+        try:
+            run_module(module, args=[n])
+        except InterpreterError:
+            return  # both trap: agreement
+        raise AssertionError(f"Python trapped but interpreter did not: {source}")
+    result = run_module(module, args=[n])
+    assert result.return_value == expected, source

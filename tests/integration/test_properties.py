@@ -1,0 +1,217 @@
+"""Property-based tests (hypothesis) on the core algebra.
+
+The range algebra's contract: whatever the probability weights say, the
+*support* of a result must cover every value actually producible from
+the operand supports.  These properties drive the algebra with random
+strided ranges and cross-check against brute-force enumeration.
+"""
+
+import math
+
+import pytest
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.core.bounds import Bound
+from repro.core.comparisons import compare_sets
+from repro.core.range_arith import evaluate_binop
+from repro.core.ranges import StridedRange
+from repro.core.rangeset import RangeSet
+from repro.core.refine import refine_set
+
+
+@st.composite
+def strided_ranges(draw, max_abs=60, max_count=25):
+    lo = draw(st.integers(min_value=-max_abs, max_value=max_abs))
+    stride = draw(st.integers(min_value=0, max_value=7))
+    count = draw(st.integers(min_value=1, max_value=max_count))
+    if stride == 0:
+        hi = lo
+    else:
+        hi = lo + stride * (count - 1)
+    return StridedRange(1.0, Bound.number(lo), Bound.number(hi), stride)
+
+
+def values_of(r: StridedRange):
+    if r.is_single():
+        return [int(r.lo.offset)]
+    step = r.stride if r.stride else 1
+    return list(range(int(r.lo.offset), int(r.hi.offset) + 1, step))
+
+
+@st.composite
+def range_sets(draw, pieces=2):
+    count = draw(st.integers(min_value=1, max_value=pieces))
+    ranges = [draw(strided_ranges()) for _ in range(count)]
+    return RangeSet.from_ranges(
+        [r.scaled(1.0 / count) for r in ranges], max_ranges=8
+    )
+
+
+def set_values(rangeset: RangeSet):
+    out = set()
+    for r in rangeset.ranges:
+        out.update(values_of(r))
+    return out
+
+
+def hull_contains(rangeset: RangeSet, value: int) -> bool:
+    hull = rangeset.hull()
+    if hull is None:
+        return False
+    return hull.lo.offset <= value <= hull.hi.offset
+
+
+class TestArithmeticSoundness:
+    @settings(max_examples=120, deadline=None)
+    @given(range_sets(), range_sets(), st.sampled_from(["add", "sub", "mul", "min", "max"]))
+    def test_result_hull_covers_all_products(self, a, b, op):
+        result = evaluate_binop(op, a, b, max_ranges=8)
+        if not result.is_set:
+            return  # ⊥ is always a sound answer
+        python_op = {
+            "add": lambda x, y: x + y,
+            "sub": lambda x, y: x - y,
+            "mul": lambda x, y: x * y,
+            "min": min,
+            "max": max,
+        }[op]
+        for x in set_values(a):
+            for y in set_values(b):
+                assert hull_contains(result, python_op(x, y)), (
+                    f"{x} {op} {y} = {python_op(x, y)} outside {result}"
+                )
+
+    @settings(max_examples=80, deadline=None)
+    @given(range_sets(), st.integers(min_value=1, max_value=40))
+    def test_div_soundness(self, a, divisor):
+        result = evaluate_binop("div", a, RangeSet.constant(divisor), max_ranges=8)
+        if not result.is_set:
+            return
+        for x in set_values(a):
+            assert hull_contains(result, x // divisor)
+
+    @settings(max_examples=80, deadline=None)
+    @given(range_sets(), st.integers(min_value=1, max_value=40))
+    def test_mod_soundness(self, a, modulus):
+        result = evaluate_binop("mod", a, RangeSet.constant(modulus), max_ranges=8)
+        if not result.is_set:
+            return
+        for x in set_values(a):
+            assert hull_contains(result, x % modulus)
+
+    @settings(max_examples=80, deadline=None)
+    @given(range_sets(), range_sets())
+    def test_probabilities_sum_to_one(self, a, b):
+        result = evaluate_binop("add", a, b, max_ranges=4)
+        if result.is_set:
+            assert sum(r.probability for r in result.ranges) == pytest.approx(1.0)
+
+
+class TestComparisonExactness:
+    @settings(max_examples=120, deadline=None)
+    @given(
+        strided_ranges(max_count=20),
+        strided_ranges(max_count=20),
+        st.sampled_from(["lt", "le", "gt", "ge", "eq", "ne"]),
+    )
+    def test_matches_brute_force(self, ra, rb, op):
+        a = RangeSet.from_ranges([ra])
+        b = RangeSet.from_ranges([rb])
+        outcome = compare_sets(op, a, b)
+        assert outcome is not None
+        assert outcome.is_known()
+        python_op = {
+            "lt": lambda x, y: x < y,
+            "le": lambda x, y: x <= y,
+            "gt": lambda x, y: x > y,
+            "ge": lambda x, y: x >= y,
+            "eq": lambda x, y: x == y,
+            "ne": lambda x, y: x != y,
+        }[op]
+        va, vb = values_of(ra), values_of(rb)
+        expected = sum(1 for x in va for y in vb if python_op(x, y)) / (
+            len(va) * len(vb)
+        )
+        assert outcome.probability == pytest.approx(expected, abs=1e-9)
+
+    @settings(max_examples=60, deadline=None)
+    @given(strided_ranges(), strided_ranges())
+    def test_trichotomy(self, ra, rb):
+        a = RangeSet.from_ranges([ra])
+        b = RangeSet.from_ranges([rb])
+        p_lt = compare_sets("lt", a, b).probability
+        p_eq = compare_sets("eq", a, b).probability
+        p_gt = compare_sets("gt", a, b).probability
+        assert p_lt + p_eq + p_gt == pytest.approx(1.0, abs=1e-9)
+
+
+class TestRefinementSemantics:
+    @settings(max_examples=120, deadline=None)
+    @given(
+        strided_ranges(max_count=20),
+        st.sampled_from(["lt", "le", "gt", "ge", "eq", "ne"]),
+        st.integers(min_value=-70, max_value=70),
+    )
+    def test_refined_support_is_exact_subset(self, r, op, bound):
+        source = RangeSet.from_ranges([r])
+        refined = refine_set(source, op, Bound.number(bound))
+        python_op = {
+            "lt": lambda x: x < bound,
+            "le": lambda x: x <= bound,
+            "gt": lambda x: x > bound,
+            "ge": lambda x: x >= bound,
+            "eq": lambda x: x == bound,
+            "ne": lambda x: x != bound,
+        }[op]
+        surviving = {x for x in values_of(r) if python_op(x)}
+        if not surviving:
+            assert refined.is_bottom
+            return
+        assert refined.is_set
+        refined_values = set_values(refined)
+        # Everything that satisfies the predicate must stay representable.
+        missing = surviving - refined_values
+        # 'ne' keeps interior holes, which over-approximates: the refined
+        # set may contain the hole, but must never lose surviving values.
+        assert not missing, f"lost values {missing} refining {r} by {op} {bound}"
+
+    @settings(max_examples=80, deadline=None)
+    @given(
+        strided_ranges(max_count=20),
+        st.sampled_from(["lt", "le", "gt", "ge"]),
+        st.integers(min_value=-70, max_value=70),
+    )
+    def test_clip_is_tight_for_orderings(self, r, op, bound):
+        # For orderings (no holes) refinement must be exact: the refined
+        # support equals exactly the surviving values.
+        source = RangeSet.from_ranges([r])
+        refined = refine_set(source, op, Bound.number(bound))
+        python_op = {
+            "lt": lambda x: x < bound,
+            "le": lambda x: x <= bound,
+            "gt": lambda x: x > bound,
+            "ge": lambda x: x >= bound,
+        }[op]
+        surviving = {x for x in values_of(r) if python_op(x)}
+        if not surviving:
+            assert refined.is_bottom
+        else:
+            assert set_values(refined) == surviving
+
+
+class TestCompactionInvariants:
+    @settings(max_examples=80, deadline=None)
+    @given(st.lists(strided_ranges(max_count=10), min_size=1, max_size=8))
+    def test_compaction_preserves_mass_and_support(self, ranges):
+        weighted = [r.scaled(1.0 / len(ranges)) for r in ranges]
+        rs = RangeSet.from_ranges(weighted, max_ranges=3)
+        if not rs.is_set:
+            return
+        assert len(rs.ranges) <= 3
+        assert sum(r.probability for r in rs.ranges) == pytest.approx(1.0)
+        # Support only grows under compaction.
+        original = set()
+        for r in ranges:
+            original.update(values_of(r))
+        for value in original:
+            assert hull_contains(rs, value)

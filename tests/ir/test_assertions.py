@@ -1,0 +1,82 @@
+"""Assertion (Pi) insertion tests."""
+
+from repro.ir import prepare_for_analysis
+from repro.ir.cfg import remove_unreachable_blocks, split_critical_edges
+from repro.ir.assertions import insert_assertions
+from repro.ir.instructions import Branch, Pi
+from repro.lang import compile_source
+
+
+def assertions_of(source: str, name: str = "main"):
+    module = compile_source(source)
+    function = module.function(name)
+    remove_unreachable_blocks(function)
+    split_critical_edges(function)
+    count = insert_assertions(function)
+    pis = [i for block in function.blocks.values() for i in block.pis()]
+    return function, pis, count
+
+
+class TestInsertion:
+    def test_both_edges_get_assertions(self):
+        function, pis, _ = assertions_of(
+            "func main(n) { if (n < 10) { n = 1; } else { n = 2; } return n; }"
+        )
+        ops = sorted(pi.op for pi in pis if pi.src.name == "n")
+        assert ops == ["ge", "lt"]  # true edge: n < 10; false edge: n >= 10
+
+    def test_variable_variable_compare_asserts_both(self):
+        function, pis, _ = assertions_of(
+            "func main(a, b) { if (a < b) { a = 0; } return a + b; }"
+        )
+        asserted = sorted({pi.src.name for pi in pis})
+        assert asserted == ["a", "b"]
+        # b's assertion uses the swapped operator on the true edge.
+        b_ops = {pi.op for pi in pis if pi.src.name == "b"}
+        assert "gt" in b_ops or "le" in b_ops
+
+    def test_constant_condition_gets_no_assertion(self):
+        _, pis, count = assertions_of("func main(n) { while (1) { break; } return n; }")
+        assert count == len(pis)
+
+    def test_equality_assertions(self):
+        _, pis, _ = assertions_of(
+            "func main(n) { if (n == 5) { n = 0; } return n; }"
+        )
+        ops = sorted(pi.op for pi in pis)
+        assert ops == ["eq", "ne"]
+
+    def test_assertion_placed_at_block_top(self):
+        function, pis, _ = assertions_of(
+            "func main(n) { if (n > 0) { n = n + 1; } return n; }"
+        )
+        for pi in pis:
+            block = pi.block
+            body_instrs = [i for i in block.instructions if not isinstance(i, Pi)]
+            first_pi_index = block.instructions.index(block.pis()[0])
+            assert first_pi_index == 0
+
+    def test_parent_tracks_source_after_ssa(self):
+        module = compile_source(
+            "func main(n) { if (n > 3) { n = n + 1; } return n; }"
+        )
+        function = module.function("main")
+        prepare_for_analysis(function)
+        pis = [i for block in function.blocks.values() for i in block.pis()]
+        for pi in pis:
+            assert pi.parent == pi.src.name  # rebound to the SSA version
+
+    def test_loop_condition_asserted_on_both_edges(self):
+        function, pis, _ = assertions_of(
+            "func main(n) { var i = 0; while (i < n) { i = i + 1; } return i; }"
+        )
+        i_ops = sorted(pi.op for pi in pis if pi.src.name == "i")
+        assert i_ops == ["ge", "lt"]
+
+    def test_branch_on_plain_variable_asserts_nonzero(self):
+        _, pis, _ = assertions_of(
+            "func main(n) { if (n) { n = 1; } return n; }"
+        )
+        # Condition lowered to n != 0: true edge asserts ne, false eq.
+        ops = sorted(pi.op for pi in pis if pi.src.name == "n")
+        assert ops == ["eq", "ne"]

@@ -1,0 +1,164 @@
+"""CFG construction and transformation tests."""
+
+import pytest
+
+from repro.ir.cfg import CFG, remove_unreachable_blocks, split_critical_edges
+from repro.ir.function import BasicBlock, Function
+from repro.ir.instructions import Branch, Cmp, Copy, Jump, Phi, Return
+from repro.ir.values import Constant, Temp
+
+
+def diamond() -> Function:
+    """entry -> (left | right) -> join -> exit"""
+    function = Function("diamond", ["n"])
+    entry = function.add_block(BasicBlock("entry"))
+    left = function.add_block(BasicBlock("left"))
+    right = function.add_block(BasicBlock("right"))
+    join = function.add_block(BasicBlock("join"))
+    entry.append(Cmp(Temp("c"), "lt", Temp("n"), Constant(0)))
+    entry.append(Branch(Temp("c"), "left", "right"))
+    left.append(Jump("join"))
+    right.append(Jump("join"))
+    join.append(Return(Constant(0)))
+    return function
+
+
+def loop() -> Function:
+    """entry -> header <-> body, header -> exit"""
+    function = Function("loop", ["n"])
+    entry = function.add_block(BasicBlock("entry"))
+    header = function.add_block(BasicBlock("header"))
+    body = function.add_block(BasicBlock("body"))
+    exit_block = function.add_block(BasicBlock("exit"))
+    entry.append(Jump("header"))
+    header.append(Cmp(Temp("c"), "gt", Temp("n"), Constant(0)))
+    header.append(Branch(Temp("c"), "body", "exit"))
+    body.append(Jump("header"))
+    exit_block.append(Return(Constant(0)))
+    return function
+
+
+class TestCFGQueries:
+    def test_successors(self):
+        cfg = CFG(diamond())
+        assert cfg.successors["entry"] == ["left", "right"]
+        assert cfg.successors["join"] == []
+
+    def test_predecessors(self):
+        cfg = CFG(diamond())
+        assert sorted(cfg.predecessors["join"]) == ["left", "right"]
+        assert cfg.predecessors["entry"] == []
+
+    def test_edges(self):
+        cfg = CFG(diamond())
+        assert ("entry", "left") in cfg.edges()
+        assert len(cfg.edges()) == 4
+
+    def test_unknown_target_raises(self):
+        function = Function("bad")
+        block = function.add_block(BasicBlock("entry"))
+        block.append(Jump("nowhere"))
+        with pytest.raises(KeyError):
+            CFG(function)
+
+    def test_back_edges_in_loop(self):
+        cfg = CFG(loop())
+        assert cfg.back_edges == frozenset({("body", "header")})
+
+    def test_no_back_edges_in_diamond(self):
+        assert not CFG(diamond()).back_edges
+
+    def test_dfs_preorder_starts_at_entry(self):
+        order = CFG(diamond()).dfs_preorder()
+        assert order[0] == "entry"
+        assert set(order) == {"entry", "left", "right", "join"}
+
+    def test_reverse_postorder_entry_first(self):
+        rpo = CFG(loop()).reverse_postorder()
+        assert rpo[0] == "entry"
+        assert rpo.index("header") < rpo.index("body")
+        assert rpo.index("header") < rpo.index("exit")
+
+    def test_reachable_excludes_orphan(self):
+        function = diamond()
+        orphan = function.add_block(BasicBlock("orphan"))
+        orphan.append(Return(Constant(9)))
+        assert "orphan" not in CFG(function).reachable()
+
+
+class TestCriticalEdgeSplitting:
+    def test_critical_edge_split(self):
+        # entry branches to join directly (critical: join has 2 preds).
+        function = Function("crit", ["n"])
+        entry = function.add_block(BasicBlock("entry"))
+        middle = function.add_block(BasicBlock("middle"))
+        join = function.add_block(BasicBlock("join"))
+        entry.append(Cmp(Temp("c"), "lt", Temp("n"), Constant(0)))
+        entry.append(Branch(Temp("c"), "middle", "join"))
+        middle.append(Jump("join"))
+        join.append(Return(Constant(0)))
+        assert split_critical_edges(function) == 1
+        cfg = CFG(function)
+        # Every branch successor now has exactly one predecessor.
+        branch = function.block("entry").terminator
+        for succ in branch.successors():
+            assert len(cfg.predecessors[succ]) == 1
+
+    def test_no_split_when_unneeded(self):
+        assert split_critical_edges(diamond()) == 0
+
+    def test_branch_with_shared_target_split_twice(self):
+        # Both out-edges of one branch go to the same block: each edge is
+        # critical and each must get its own forwarding block.
+        function = Function("shared", ["n"])
+        entry = function.add_block(BasicBlock("entry"))
+        join = function.add_block(BasicBlock("join"))
+        entry.append(Cmp(Temp("c"), "lt", Temp("n"), Constant(0)))
+        entry.append(Branch(Temp("c"), "join", "join"))
+        join.append(Return(Constant(0)))
+        assert split_critical_edges(function) == 2
+        branch = function.block("entry").terminator
+        assert branch.true_target != branch.false_target
+
+    def test_split_preserves_phi_routing(self):
+        function = Function("phis", ["n"])
+        entry = function.add_block(BasicBlock("entry"))
+        other = function.add_block(BasicBlock("other"))
+        join = function.add_block(BasicBlock("join"))
+        entry.append(Cmp(Temp("c"), "lt", Temp("n"), Constant(0)))
+        entry.append(Branch(Temp("c"), "other", "join"))
+        other.append(Jump("join"))
+        phi = Phi(Temp("x"), [("entry", Constant(1)), ("other", Constant(2))])
+        join.append(phi)
+        join.append(Return(Temp("x")))
+        split_critical_edges(function)
+        labels = [label for label, _ in phi.incomings]
+        assert "entry" not in labels  # redirected to the split block
+        assert "other" in labels
+        cfg = CFG(function)
+        assert set(labels) == set(cfg.predecessors["join"])
+
+
+class TestUnreachableRemoval:
+    def test_orphan_removed(self):
+        function = diamond()
+        orphan = function.add_block(BasicBlock("orphan"))
+        orphan.append(Return(Constant(1)))
+        removed = remove_unreachable_blocks(function)
+        assert removed == ["orphan"]
+        assert "orphan" not in function.blocks
+
+    def test_phi_incomings_pruned(self):
+        function = diamond()
+        orphan = function.add_block(BasicBlock("orphan"))
+        orphan.append(Jump("join"))
+        phi = Phi(
+            Temp("x"),
+            [("left", Constant(1)), ("right", Constant(2)), ("orphan", Constant(3))],
+        )
+        function.block("join").prepend_phi(phi)
+        remove_unreachable_blocks(function)
+        assert [label for label, _ in phi.incomings] == ["left", "right"]
+
+    def test_nothing_removed_when_all_reachable(self):
+        assert remove_unreachable_blocks(diamond()) == []

@@ -1,0 +1,132 @@
+"""Function / BasicBlock / Module container tests."""
+
+import pytest
+
+from repro.ir.function import BasicBlock, Function, Module
+from repro.ir.instructions import Copy, Jump, Phi, Pi, Return
+from repro.ir.values import Constant, Temp
+
+
+class TestBasicBlock:
+    def test_append_sets_backpointer(self):
+        block = BasicBlock("b")
+        instr = block.append(Copy(Temp("x"), Constant(1)))
+        assert instr.block is block
+
+    def test_append_after_terminator_rejected(self):
+        block = BasicBlock("b")
+        block.append(Return(Constant(0)))
+        with pytest.raises(ValueError, match="terminated"):
+            block.append(Copy(Temp("x"), Constant(1)))
+
+    def test_terminator_property(self):
+        block = BasicBlock("b")
+        with pytest.raises(ValueError):
+            _ = block.terminator
+        block.append(Jump("next"))
+        assert isinstance(block.terminator, Jump)
+
+    def test_phis_stop_at_first_non_phi(self):
+        block = BasicBlock("b")
+        block.append(Phi(Temp("a"), [("p", Constant(1))]))
+        block.append(Copy(Temp("b"), Constant(2)))
+        block.append(Return(Temp("b")))
+        assert len(block.phis()) == 1
+        assert len(block.body()) == 2
+
+    def test_prepend_phi_goes_after_existing_phis(self):
+        block = BasicBlock("b")
+        first = Phi(Temp("a"), [("p", Constant(1))])
+        block.append(first)
+        block.append(Return(Constant(0)))
+        second = Phi(Temp("b"), [("p", Constant(2))])
+        block.prepend_phi(second)
+        assert block.instructions[0] is first
+        assert block.instructions[1] is second
+
+    def test_pis_collected(self):
+        block = BasicBlock("b")
+        block.append(Pi(Temp("x2"), Temp("x1"), "lt", Constant(5)))
+        block.append(Return(Temp("x2")))
+        assert len(block.pis()) == 1
+
+    def test_remove(self):
+        block = BasicBlock("b")
+        instr = block.append(Copy(Temp("x"), Constant(1)))
+        block.append(Return(Temp("x")))
+        block.remove(instr)
+        assert instr.block is None
+        assert len(block.instructions) == 1
+
+
+class TestFunction:
+    def test_first_block_becomes_entry(self):
+        function = Function("f")
+        function.add_block(BasicBlock("start"))
+        function.add_block(BasicBlock("other"))
+        assert function.entry_label == "start"
+        assert function.entry.label == "start"
+
+    def test_duplicate_label_rejected(self):
+        function = Function("f")
+        function.add_block(BasicBlock("b"))
+        with pytest.raises(ValueError, match="duplicate"):
+            function.add_block(BasicBlock("b"))
+
+    def test_new_block_labels_unique(self):
+        function = Function("f")
+        labels = {function.new_block().label for _ in range(10)}
+        assert len(labels) == 10
+
+    def test_new_temp_names_unique(self):
+        function = Function("f")
+        names = {function.new_temp().name for _ in range(10)}
+        assert len(names) == 10
+
+    def test_cannot_remove_entry(self):
+        function = Function("f")
+        function.add_block(BasicBlock("entry"))
+        with pytest.raises(ValueError):
+            function.remove_block("entry")
+
+    def test_entry_of_empty_function_rejected(self):
+        with pytest.raises(ValueError):
+            _ = Function("f").entry
+
+    def test_instruction_count(self):
+        function = Function("f")
+        block = function.add_block(BasicBlock("b"))
+        block.append(Copy(Temp("x"), Constant(1)))
+        block.append(Return(Temp("x")))
+        assert function.instruction_count() == 2
+
+    def test_instructions_iterates_all_blocks(self):
+        function = Function("f")
+        a = function.add_block(BasicBlock("a"))
+        b = function.add_block(BasicBlock("b"))
+        a.append(Jump("b"))
+        b.append(Return(Constant(0)))
+        assert len(list(function.instructions())) == 2
+
+
+class TestModule:
+    def test_duplicate_function_rejected(self):
+        module = Module()
+        module.add_function(Function("f"))
+        with pytest.raises(ValueError, match="duplicate"):
+            module.add_function(Function("f"))
+
+    def test_main_property(self):
+        module = Module()
+        main = Function("main")
+        module.add_function(main)
+        assert module.main is main
+
+    def test_instruction_count_sums_functions(self):
+        module = Module()
+        for name in ("a", "b"):
+            function = Function(name)
+            block = function.add_block(BasicBlock("entry"))
+            block.append(Return(Constant(0)))
+            module.add_function(function)
+        assert module.instruction_count() == 2

@@ -1,0 +1,69 @@
+"""Postdominator tests."""
+
+from repro.ir.cfg import CFG
+from repro.ir.postdominance import PostDominatorTree
+from repro.lang import compile_source
+
+
+def postdom_of(source: str):
+    function = compile_source(source).function("main")
+    cfg = CFG(function)
+    return function, cfg, PostDominatorTree(cfg)
+
+
+class TestPostdominance:
+    def test_join_postdominates_both_arms(self):
+        function, cfg, pdt = postdom_of(
+            "func main(n) { if (n > 0) { n = 1; } else { n = 2; } return n; }"
+        )
+        # Find the branch block and its successors.
+        from repro.ir.instructions import Branch
+
+        for label, block in function.blocks.items():
+            if isinstance(block.terminator, Branch):
+                t, f = block.terminator.successors()
+                join_candidates = set(cfg.successors[t]) & set(cfg.successors[f])
+                for join in join_candidates:
+                    assert pdt.postdominates(join, t)
+                    assert pdt.postdominates(join, f)
+                    assert pdt.postdominates(join, label)
+
+    def test_then_does_not_postdominate_branch(self):
+        function, cfg, pdt = postdom_of(
+            "func main(n) { if (n > 0) { n = 1; } return n; }"
+        )
+        from repro.ir.instructions import Branch
+
+        for label, block in function.blocks.items():
+            if isinstance(block.terminator, Branch):
+                then_target = block.terminator.true_target
+                assert not pdt.postdominates(then_target, label)
+
+    def test_every_block_postdominated_by_itself(self):
+        _, cfg, pdt = postdom_of(
+            "func main(n) { while (n > 0) { n = n - 1; } return n; }"
+        )
+        for label in cfg.reachable():
+            assert pdt.postdominates(label, label)
+
+    def test_infinite_loop_handled(self):
+        # No path to exit from the loop: the virtual exit edge keeps the
+        # computation well-defined instead of crashing.
+        _, cfg, pdt = postdom_of(
+            "func main(n) { while (1) { n = n + 1; } return n; }"
+        )
+        for label in cfg.reachable():
+            assert pdt.postdominates(label, label)
+
+    def test_return_block_postdominates_entry_in_straight_line(self):
+        function, cfg, pdt = postdom_of("func main(n) { var x = n + 1; return x; }")
+        from repro.ir.instructions import Return
+
+        return_blocks = [
+            label
+            for label, block in function.blocks.items()
+            if isinstance(block.terminator, Return)
+        ]
+        assert any(
+            pdt.postdominates(label, function.entry_label) for label in return_blocks
+        )

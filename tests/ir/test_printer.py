@@ -1,0 +1,55 @@
+"""IR printer tests."""
+
+from repro.ir import format_function, format_module
+from repro.lang import compile_source
+
+from tests.helpers import prepare_single
+
+
+class TestFormatFunction:
+    def test_contains_signature_and_blocks(self):
+        function, _ = prepare_single("func main(a, b) { return a + b; }")
+        text = format_function(function)
+        assert "func main(a, b) {" in text
+        assert "entry0:" in text
+        assert text.rstrip().endswith("}")
+
+    def test_shows_arrays(self):
+        function, _ = prepare_single(
+            "func main(n) { array buf[32]; buf[0] = n; return buf[0]; }"
+        )
+        text = format_function(function)
+        assert "array buf[32]" in text
+
+    def test_predecessor_annotations(self):
+        function, _ = prepare_single(
+            "func main(n) { if (n > 0) { n = 1; } return n; }"
+        )
+        text = format_function(function, show_preds=True)
+        assert "; preds:" in text
+
+    def test_instructions_rendered(self):
+        function, _ = prepare_single(
+            "func main(n) { var t = 0; while (t < 3) { t = t + 1; } return t; }"
+        )
+        text = format_function(function)
+        assert "phi" in text
+        assert "cmp.lt" in text
+        assert "branch" in text
+        assert "pi" in text
+
+    def test_every_instruction_appears(self):
+        function, _ = prepare_single("func main(n) { return n * 2 + 1; }")
+        text = format_function(function)
+        for instr in function.instructions():
+            assert repr(instr) in text
+
+
+class TestFormatModule:
+    def test_all_functions_included(self):
+        module = compile_source(
+            "func a() { return 1; } func main(n) { return a(); }"
+        )
+        text = format_module(module)
+        assert "func a()" in text
+        assert "func main(n)" in text

@@ -1,0 +1,153 @@
+"""SSA construction tests."""
+
+import pytest
+
+from repro.ir import prepare_for_analysis
+from repro.ir.cfg import CFG, remove_unreachable_blocks, split_critical_edges
+from repro.ir.function import Function
+from repro.ir.instructions import Phi
+from repro.ir.ssa import PARAM_DEF, build_ssa_edges, construct_ssa
+from repro.ir.values import Temp
+from repro.ir.verifier import verify_function
+from repro.lang import compile_source
+
+
+def to_ssa(source: str, name: str = "main"):
+    module = compile_source(source)
+    function = module.function(name)
+    remove_unreachable_blocks(function)
+    split_critical_edges(function)
+    info = construct_ssa(function)
+    return function, info
+
+
+class TestConstruction:
+    def test_if_join_gets_phi(self):
+        function, _ = to_ssa(
+            "func main(n) { var x = 0; if (n > 0) { x = 1; } else { x = 2; } return x; }"
+        )
+        phis = [p for block in function.blocks.values() for p in block.phis()]
+        assert any(p.dest.name.startswith("x.") for p in phis)
+
+    def test_loop_header_gets_phi(self):
+        function, _ = to_ssa(
+            "func main(n) { var i = 0; while (i < n) { i = i + 1; } return i; }"
+        )
+        cfg = CFG(function)
+        headers = {dst for _, dst in cfg.back_edges}
+        assert headers
+        for header in headers:
+            names = [p.dest.name for p in function.block(header).phis()]
+            assert any(name.startswith("i.") for name in names)
+
+    def test_single_assignment_property(self):
+        function, info = to_ssa(
+            "func main(n) { var x = 1; x = x + 1; x = x * 2; return x; }"
+        )
+        defined = set(info.param_names.values())
+        for instr in function.instructions():
+            result = instr.result
+            if result is not None:
+                assert result.name not in defined, f"{result.name} defined twice"
+                defined.add(result.name)
+
+    def test_params_get_entry_versions(self):
+        _, info = to_ssa("func main(a, b) { return a + b; }", "main")
+        assert info.param_names == {"a": "a.0", "b": "b.0"}
+
+    def test_verifier_accepts_result(self):
+        function, info = to_ssa(
+            """
+            func main(n) {
+              var t = 0;
+              for (i = 0; i < n; i = i + 1) {
+                if (i % 2 == 0) { t = t + i; } else { t = t - 1; }
+              }
+              return t;
+            }
+            """
+        )
+        verify_function(function, ssa=True, param_names=set(info.param_names.values()))
+
+    def test_no_phi_for_block_local_temp(self):
+        # A temp defined and used within one block needs no phi.
+        function, _ = to_ssa(
+            "func main(n) { if (n > 0) { n = n + 1; } return n; }"
+        )
+        phis = [p for block in function.blocks.values() for p in block.phis()]
+        assert all(not p.dest.name.startswith("t$") for p in phis)
+
+    def test_original_name_mapping(self):
+        _, info = to_ssa("func main(n) { var x = 1; x = 2; return x; }")
+        originals = {info.original_name[n] for n in info.original_name if n.startswith("x.")}
+        assert originals == {"x"}
+
+    def test_undef_on_maybe_uninitialised_path(self):
+        # y is only assigned in the then-branch; the join phi must carry
+        # an Undef for the other path rather than crash.
+        function, _ = to_ssa(
+            "func main(n) { if (n > 0) { y = 1; } return y; }"
+        )
+        verify_function(function)
+
+
+class TestSSAEdges:
+    def test_def_use_chains(self):
+        function, info = to_ssa(
+            "func main(n) { var x = n + 1; var y = x * 2; return y; }"
+        )
+        edges = build_ssa_edges(function, info)
+        # n.0 is used by exactly one instruction (the add).
+        uses = edges.uses_of["n.0"]
+        assert len(uses) == 1
+        assert edges.def_of["n.0"] == PARAM_DEF
+
+    def test_every_definition_registered(self):
+        function, info = to_ssa(
+            "func main(n) { var t = 0; while (t < n) { t = t + 2; } return t; }"
+        )
+        edges = build_ssa_edges(function, info)
+        for instr in function.instructions():
+            if instr.result is not None:
+                assert instr.result.name in edges.def_of
+
+    def test_duplicate_definition_rejected(self):
+        function = compile_source("func main(n) { var x = 1; x = 2; return x; }").function("main")
+        # Not in SSA form: same name defined twice.
+        with pytest.raises(ValueError):
+            build_ssa_edges(function)
+
+    def test_defining_instruction_lookup(self):
+        function, info = to_ssa("func main(n) { var x = n * 3; return x; }")
+        edges = build_ssa_edges(function, info)
+        definition = edges.defining_instruction("x.0")
+        assert definition is not None
+        assert definition.result == Temp("x.0")
+        assert edges.defining_instruction("n.0") is None  # parameter
+
+
+class TestPreparePipeline:
+    def test_prepare_for_analysis_full(self):
+        module = compile_source(
+            """
+            func main(n) {
+              var acc = 0;
+              for (i = 0; i < 10; i = i + 1) {
+                if (i > 5 && n > 0) { acc = acc + 1; }
+              }
+              return acc;
+            }
+            """
+        )
+        function = module.function("main")
+        info = prepare_for_analysis(function)
+        assert info.phi_count > 0
+        # Pipeline leaves no unreachable blocks.
+        assert CFG(function).reachable() == set(function.blocks)
+
+    def test_prepare_without_assertions(self):
+        module = compile_source("func main(n) { if (n > 3) { n = 0; } return n; }")
+        function = module.function("main")
+        prepare_for_analysis(function, assertions=False)
+        pis = [i for block in function.blocks.values() for i in block.pis()]
+        assert pis == []

@@ -1,0 +1,47 @@
+"""Value operand tests."""
+
+from repro.ir.values import Constant, Temp, UNDEF, Undef
+
+
+class TestConstant:
+    def test_equality_by_value(self):
+        assert Constant(3) == Constant(3)
+        assert Constant(3) != Constant(4)
+
+    def test_bool_normalised_to_int(self):
+        assert Constant(True).value == 1
+        assert Constant(True) == Constant(1)
+
+    def test_hashable(self):
+        assert len({Constant(1), Constant(1), Constant(2)}) == 2
+
+    def test_str(self):
+        assert str(Constant(-7)) == "-7"
+
+    def test_is_constant(self):
+        assert Constant(0).is_constant()
+        assert not Constant(0).is_temp()
+
+
+class TestTemp:
+    def test_equality_by_name(self):
+        assert Temp("x") == Temp("x")
+        assert Temp("x") != Temp("y")
+
+    def test_not_equal_to_constant(self):
+        assert Temp("x") != Constant(0)
+
+    def test_hashable(self):
+        assert len({Temp("a"), Temp("a"), Temp("b")}) == 2
+
+    def test_str_prefix(self):
+        assert str(Temp("x.1")) == "%x.1"
+
+
+class TestUndef:
+    def test_singleton_equality(self):
+        assert Undef() == UNDEF
+
+    def test_distinct_from_others(self):
+        assert UNDEF != Constant(0)
+        assert UNDEF != Temp("undef")

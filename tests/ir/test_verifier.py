@@ -1,0 +1,124 @@
+"""IR verifier tests: malformed functions must be rejected."""
+
+import pytest
+
+from repro.ir.function import BasicBlock, Function
+from repro.ir.instructions import Branch, Cmp, Copy, Jump, Phi, Return
+from repro.ir.values import Constant, Temp
+from repro.ir.verifier import VerificationError, verify_function
+
+
+def minimal() -> Function:
+    function = Function("f", ["n"])
+    entry = function.add_block(BasicBlock("entry"))
+    entry.append(Return(Constant(0)))
+    return function
+
+
+class TestStructural:
+    def test_minimal_function_passes(self):
+        verify_function(minimal())
+
+    def test_empty_function_rejected(self):
+        with pytest.raises(VerificationError):
+            verify_function(Function("empty"))
+
+    def test_unterminated_block_rejected(self):
+        function = Function("f")
+        block = function.add_block(BasicBlock("entry"))
+        block.instructions.append(Copy(Temp("x"), Constant(1)))  # bypass append check
+        with pytest.raises(VerificationError, match="not terminated"):
+            verify_function(function)
+
+    def test_dangling_target_rejected(self):
+        function = Function("f")
+        block = function.add_block(BasicBlock("entry"))
+        block.append(Jump("ghost"))
+        with pytest.raises(VerificationError, match="unknown block"):
+            verify_function(function)
+
+    def test_instructions_after_terminator_rejected(self):
+        function = minimal()
+        block = function.block("entry")
+        block.instructions.append(Copy(Temp("x"), Constant(1)))
+        with pytest.raises(VerificationError, match="after terminator"):
+            verify_function(function)
+
+    def test_phi_after_non_phi_rejected(self):
+        function = Function("f", ["n"])
+        entry = function.add_block(BasicBlock("entry"))
+        target = function.add_block(BasicBlock("target"))
+        entry.append(Jump("target"))
+        target.instructions.append(Copy(Temp("x"), Constant(1)))
+        target.instructions.append(Phi(Temp("y"), [("entry", Constant(0))]))
+        target.instructions.append(Return(Temp("y")))
+        with pytest.raises(VerificationError, match="after non-phi"):
+            verify_function(function)
+
+    def test_phi_incoming_mismatch_rejected(self):
+        function = Function("f", ["n"])
+        entry = function.add_block(BasicBlock("entry"))
+        target = function.add_block(BasicBlock("target"))
+        entry.append(Jump("target"))
+        target.append(Phi(Temp("x"), [("elsewhere", Constant(0))]))
+        target.append(Return(Temp("x")))
+        with pytest.raises(VerificationError, match="predecessors"):
+            verify_function(function)
+
+
+class TestSSAChecks:
+    def test_double_definition_rejected(self):
+        function = minimal()
+        block = function.block("entry")
+        block.insert(0, Copy(Temp("x"), Constant(1)))
+        block.insert(1, Copy(Temp("x"), Constant(2)))
+        with pytest.raises(VerificationError, match="more than once"):
+            verify_function(function, ssa=True)
+
+    def test_use_before_definition_in_block_rejected(self):
+        function = Function("f")
+        entry = function.add_block(BasicBlock("entry"))
+        entry.append(Copy(Temp("y"), Temp("x")))
+        entry.append(Copy(Temp("x"), Constant(1)))
+        entry.append(Return(Temp("y")))
+        with pytest.raises(VerificationError):
+            verify_function(function, ssa=True)
+
+    def test_use_not_dominated_rejected(self):
+        function = Function("f", ["n"])
+        entry = function.add_block(BasicBlock("entry"))
+        left = function.add_block(BasicBlock("left"))
+        right = function.add_block(BasicBlock("right"))
+        join = function.add_block(BasicBlock("join"))
+        entry.append(Cmp(Temp("c"), "lt", Temp("n.0"), Constant(0)))
+        entry.append(Branch(Temp("c"), "left", "right"))
+        left.append(Copy(Temp("x"), Constant(1)))
+        left.append(Jump("join"))
+        right.append(Jump("join"))
+        join.append(Return(Temp("x")))  # x does not dominate join
+        with pytest.raises(VerificationError, match="dominate"):
+            verify_function(function, ssa=True, param_names={"n.0"})
+
+    def test_valid_ssa_accepted(self):
+        function = Function("f", ["n"])
+        entry = function.add_block(BasicBlock("entry"))
+        entry.append(Copy(Temp("x.0"), Temp("n.0")))
+        entry.append(Return(Temp("x.0")))
+        verify_function(function, ssa=True, param_names={"n.0"})
+
+    def test_phi_incoming_dominance_checked(self):
+        function = Function("f", ["n"])
+        entry = function.add_block(BasicBlock("entry"))
+        a = function.add_block(BasicBlock("a"))
+        b = function.add_block(BasicBlock("b"))
+        join = function.add_block(BasicBlock("join"))
+        entry.append(Cmp(Temp("c"), "lt", Temp("n.0"), Constant(0)))
+        entry.append(Branch(Temp("c"), "a", "b"))
+        a.append(Copy(Temp("va"), Constant(1)))
+        a.append(Jump("join"))
+        b.append(Jump("join"))
+        # Incoming for edge b uses va, which is defined only in a.
+        join.append(Phi(Temp("x"), [("a", Temp("va")), ("b", Temp("va"))]))
+        join.append(Return(Temp("x")))
+        with pytest.raises(VerificationError, match="dominate"):
+            verify_function(function, ssa=True, param_names={"n.0"})

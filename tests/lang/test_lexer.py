@@ -1,0 +1,133 @@
+"""Lexer unit tests."""
+
+import pytest
+
+from repro.lang.lexer import LexError, tokenize
+from repro.lang.tokens import TokenKind
+
+
+def kinds(source):
+    return [t.kind for t in tokenize(source)]
+
+
+def texts(source):
+    return [t.text for t in tokenize(source)[:-1]]  # drop EOF
+
+
+class TestBasicTokens:
+    def test_empty_source_yields_eof_only(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1
+        assert tokens[0].kind == TokenKind.EOF
+
+    def test_integer_literal(self):
+        token = tokenize("42")[0]
+        assert token.kind == TokenKind.INT
+        assert token.value == 42
+
+    def test_zero_literal(self):
+        assert tokenize("0")[0].value == 0
+
+    def test_hex_literal(self):
+        token = tokenize("0xFF")[0]
+        assert token.value == 255
+
+    def test_hex_literal_lowercase(self):
+        assert tokenize("0x1a")[0].value == 26
+
+    def test_identifier(self):
+        token = tokenize("counter_2")[0]
+        assert token.kind == TokenKind.IDENT
+        assert token.text == "counter_2"
+
+    def test_identifier_with_leading_underscore(self):
+        assert tokenize("_tmp")[0].kind == TokenKind.IDENT
+
+    def test_keyword_recognised(self):
+        token = tokenize("while")[0]
+        assert token.kind == TokenKind.KEYWORD
+
+    def test_keyword_prefix_is_identifier(self):
+        token = tokenize("whilex")[0]
+        assert token.kind == TokenKind.IDENT
+
+
+class TestOperators:
+    @pytest.mark.parametrize(
+        "op",
+        ["+", "-", "*", "/", "%", "<", ">", "<=", ">=", "==", "!=", "&&",
+         "||", "!", "&", "|", "^", "<<", ">>", "="],
+    )
+    def test_operator(self, op):
+        token = tokenize(op)[0]
+        assert token.kind == TokenKind.OP
+        assert token.text == op
+
+    def test_maximal_munch_shift_left(self):
+        assert texts("a << b") == ["a", "<<", "b"]
+
+    def test_maximal_munch_le(self):
+        assert texts("a <= b") == ["a", "<=", "b"]
+
+    def test_adjacent_lt(self):
+        assert texts("a < < b") == ["a", "<", "<", "b"]
+
+    def test_logical_and_vs_bitand(self):
+        assert texts("a && b & c") == ["a", "&&", "b", "&", "c"]
+
+
+class TestTrivia:
+    def test_line_comment_skipped(self):
+        assert texts("a // comment here\nb") == ["a", "b"]
+
+    def test_block_comment_skipped(self):
+        assert texts("a /* x\ny */ b") == ["a", "b"]
+
+    def test_unterminated_block_comment_raises(self):
+        with pytest.raises(LexError):
+            tokenize("a /* never ends")
+
+    def test_whitespace_mix(self):
+        assert texts("  a\t\n  b ") == ["a", "b"]
+
+
+class TestPositions:
+    def test_line_numbers(self):
+        tokens = tokenize("a\nb\nc")
+        assert [t.line for t in tokens[:-1]] == [1, 2, 3]
+
+    def test_column_numbers(self):
+        tokens = tokenize("ab cd")
+        assert tokens[0].column == 1
+        assert tokens[1].column == 4
+
+
+class TestErrors:
+    def test_unknown_character(self):
+        with pytest.raises(LexError) as excinfo:
+            tokenize("a $ b")
+        assert "$" in str(excinfo.value)
+
+    def test_float_literal_rejected(self):
+        with pytest.raises(LexError):
+            tokenize("1.5")
+
+    def test_malformed_hex(self):
+        with pytest.raises(LexError):
+            tokenize("0xZZ")
+
+
+class TestFullProgram:
+    def test_paper_example_tokenises(self):
+        source = """
+        func main(n) {
+          for (x = 0; x < 10; x = x + 1) {
+            if (x > 7) { y = 1; } else { y = x; }
+          }
+          return n;
+        }
+        """
+        tokens = tokenize(source)
+        assert tokens[-1].kind == TokenKind.EOF
+        assert sum(1 for t in tokens if t.is_keyword("if")) == 1
+        assert sum(1 for t in tokens if t.is_punct("{")) == 4

@@ -1,0 +1,175 @@
+"""Lowering (AST -> IR) unit tests."""
+
+import pytest
+
+from repro.ir.cfg import CFG
+from repro.ir.function import Module
+from repro.ir.instructions import (
+    BinOp,
+    Branch,
+    Call,
+    Cmp,
+    Copy,
+    Input,
+    Jump,
+    Load,
+    Return,
+    Store,
+)
+from repro.ir.verifier import verify_function
+from repro.lang.lowering import LoweringError, compile_source
+
+
+def lower_main(body: str, extra: str = ""):
+    module = compile_source(f"{extra}\nfunc main(n) {{ {body} }}")
+    return module.function("main")
+
+
+def instructions_of_type(function, instr_type):
+    return [i for i in function.instructions() if isinstance(i, instr_type)]
+
+
+class TestBasicLowering:
+    def test_assignment_produces_copy(self):
+        function = lower_main("x = 5; return x;")
+        copies = instructions_of_type(function, Copy)
+        assert any(c.dest.name == "x" for c in copies)
+
+    def test_arithmetic_produces_binop(self):
+        function = lower_main("x = n + 2 * n; return x;")
+        ops = {b.op for b in instructions_of_type(function, BinOp)}
+        assert ops == {"add", "mul"}
+
+    def test_every_block_terminated(self):
+        function = lower_main("if (n) { return 1; } return 2;")
+        for block in function.blocks.values():
+            assert block.is_terminated()
+
+    def test_verifies(self):
+        function = lower_main(
+            "var t = 0; for (i = 0; i < n; i = i + 1) { t = t + i; } return t;"
+        )
+        verify_function(function)
+
+    def test_implicit_return_zero(self):
+        function = lower_main("x = 1;")
+        returns = instructions_of_type(function, Return)
+        assert returns  # lowering appended a return
+
+
+class TestControlFlow:
+    def test_if_creates_branch(self):
+        function = lower_main("if (n > 0) { n = 1; } return n;")
+        branches = instructions_of_type(function, Branch)
+        assert len(branches) == 1
+
+    def test_branch_targets_are_distinct(self):
+        function = lower_main("if (n > 0) { n = 1; } else { n = 2; } return n;")
+        for branch in instructions_of_type(function, Branch):
+            assert branch.true_target != branch.false_target
+
+    def test_while_back_edge(self):
+        function = lower_main("while (n > 0) { n = n - 1; } return n;")
+        assert CFG(function).back_edges
+
+    def test_do_while_executes_body_first(self):
+        function = lower_main("do { n = n - 1; } while (n > 0); return n;")
+        cfg = CFG(function)
+        # The entry must reach the body without passing a branch.
+        entry_succs = cfg.successors[function.entry_label]
+        assert len(entry_succs) == 1
+
+    def test_break_jumps_to_exit(self):
+        function = lower_main("while (1) { break; } return 0;")
+        cfg = CFG(function)
+        # Reachable blocks must include the return block.
+        reachable = cfg.reachable()
+        return_blocks = [
+            label
+            for label in reachable
+            if isinstance(function.block(label).terminator, Return)
+        ]
+        assert return_blocks
+
+    def test_continue_outside_loop_rejected(self):
+        with pytest.raises(LoweringError):
+            lower_main("continue;")
+
+    def test_break_outside_loop_rejected(self):
+        with pytest.raises(LoweringError):
+            lower_main("break;")
+
+    def test_logical_and_short_circuits(self):
+        function = lower_main("if (n > 0 && n < 10) { n = 1; } return n;")
+        # Two comparisons, two branches: the second only on the first's true path.
+        assert len(instructions_of_type(function, Branch)) == 2
+        assert len(instructions_of_type(function, Cmp)) == 2
+
+    def test_logical_or_value_materialisation(self):
+        function = lower_main("x = (n > 0) || (n < -5); return x;")
+        verify_function(function)
+        assert len(instructions_of_type(function, Branch)) >= 1
+
+    def test_not_swaps_targets(self):
+        plain = lower_main("if (n > 0) { n = 1; } else { n = 2; } return n;")
+        negated = lower_main("if (!(n > 0)) { n = 2; } else { n = 1; } return n;")
+        # Same number of branches either way; negation costs nothing.
+        assert len(instructions_of_type(plain, Branch)) == len(
+            instructions_of_type(negated, Branch)
+        )
+
+    def test_constant_condition_becomes_jump(self):
+        function = lower_main("while (1) { break; } return 0;")
+        # The while(1) header must not contain a conditional branch.
+        assert all(
+            not isinstance(b.cond, int) for b in instructions_of_type(function, Branch)
+        )
+
+
+class TestArraysAndCalls:
+    def test_array_roundtrip(self):
+        function = lower_main("array a[10]; a[0] = 5; x = a[0]; return x;")
+        assert function.arrays == {"a": 10}
+        assert len(instructions_of_type(function, Store)) == 1
+        assert len(instructions_of_type(function, Load)) == 1
+
+    def test_unknown_array_rejected(self):
+        with pytest.raises(LoweringError):
+            lower_main("a[0] = 1;")
+
+    def test_array_as_scalar_rejected(self):
+        with pytest.raises(LoweringError):
+            lower_main("array a[4]; x = a; return x;")
+
+    def test_array_redeclaration_rejected(self):
+        with pytest.raises(LoweringError):
+            lower_main("array a[4]; array a[8];")
+
+    def test_call_lowered(self):
+        function = lower_main("x = f(n); return x;", extra="func f(v) { return v; }")
+        calls = instructions_of_type(function, Call)
+        assert len(calls) == 1
+        assert calls[0].callee == "f"
+
+    def test_call_unknown_function_rejected(self):
+        with pytest.raises(LoweringError):
+            lower_main("x = nosuch(1); return x;")
+
+    def test_call_arity_mismatch_rejected(self):
+        with pytest.raises(LoweringError):
+            lower_main("x = f(1, 2); return x;", extra="func f(v) { return v; }")
+
+    def test_duplicate_function_rejected(self):
+        with pytest.raises(LoweringError):
+            compile_source("func f() { return 0; } func f() { return 1; }")
+
+    def test_input_lowered(self):
+        function = lower_main("x = input(); return x;")
+        assert len(instructions_of_type(function, Input)) == 1
+
+    def test_module_holds_all_functions(self):
+        module = compile_source(
+            "func a() { return 1; } func b() { return a(); } func main(n) { return b(); }"
+        )
+        assert isinstance(module, Module)
+        assert sorted(module.functions) == ["a", "b", "main"]

@@ -1,0 +1,153 @@
+"""Inlining transformation tests."""
+
+import pytest
+
+from repro.core import VRPPredictor
+from repro.ir.instructions import Call
+from repro.ir.verifier import verify_function
+from repro.opt.inlining import InlineError, inline_call, inline_hot_calls
+from repro.profiling import run_module
+
+from tests.helpers import compile_and_prepare
+
+CALLER_CALLEE = """
+func square(v) {
+  return v * v;
+}
+
+func clamp(v, limit) {
+  if (v > limit) { return limit; }
+  return v;
+}
+
+func main(n) {
+  var total = 0;
+  for (i = 0; i < 10; i = i + 1) {
+    total = total + clamp(square(i), 50);
+  }
+  return total;
+}
+"""
+
+
+def find_call(function, callee):
+    for block in function.blocks.values():
+        for instr in block.instructions:
+            if isinstance(instr, Call) and instr.callee == callee:
+                return instr
+    return None
+
+
+def expected_result():
+    return sum(min(i * i, 50) for i in range(10))
+
+
+class TestInlineCall:
+    def test_single_return_callee(self):
+        module, _ = compile_and_prepare(CALLER_CALLEE)
+        main = module.function("main")
+        call = find_call(main, "square")
+        inline_call(main, call, module.function("square"), tag="t0")
+        verify_function(main, ssa=True, param_names={"n.0"})
+        assert find_call(main, "square") is None
+        assert run_module(module, args=[0]).return_value == expected_result()
+
+    def test_multi_return_callee_gets_phi(self):
+        module, _ = compile_and_prepare(CALLER_CALLEE)
+        main = module.function("main")
+        call = find_call(main, "clamp")
+        inline_call(main, call, module.function("clamp"), tag="t1")
+        verify_function(main, ssa=True, param_names={"n.0"})
+        assert run_module(module, args=[0]).return_value == expected_result()
+
+    def test_both_inlined_execution_preserved(self):
+        module, _ = compile_and_prepare(CALLER_CALLEE)
+        main = module.function("main")
+        inline_call(main, find_call(main, "square"), module.function("square"), "a")
+        inline_call(main, find_call(main, "clamp"), module.function("clamp"), "b")
+        verify_function(main, ssa=True, param_names={"n.0"})
+        assert find_call(main, "square") is None
+        assert find_call(main, "clamp") is None
+        assert run_module(module, args=[0]).return_value == expected_result()
+
+    def test_inlined_function_analysable(self):
+        module, infos = compile_and_prepare(CALLER_CALLEE)
+        main = module.function("main")
+        inline_call(main, find_call(main, "square"), module.function("square"), "a")
+        prediction = VRPPredictor().predict_module(module, infos)
+        assert prediction.functions["main"].branch_probability
+
+    def test_self_inline_rejected(self):
+        source = """
+        func main(n) { if (n > 0) { return main(n - 1); } return 0; }
+        """
+        module, _ = compile_and_prepare(source)
+        main = module.function("main")
+        call = find_call(main, "main")
+        with pytest.raises(InlineError):
+            inline_call(main, call, main, tag="x")
+
+    def test_arrays_renamed(self):
+        source = """
+        func fill() {
+          array buf[8];
+          for (i = 0; i < 8; i = i + 1) { buf[i] = i; }
+          return buf[7];
+        }
+        func main(n) {
+          array buf[4];
+          buf[0] = 100;
+          return fill() + buf[0];
+        }
+        """
+        module, _ = compile_and_prepare(source)
+        main = module.function("main")
+        inline_call(main, find_call(main, "fill"), module.function("fill"), "f")
+        verify_function(main, ssa=True, param_names={"n.0"})
+        assert any(name.startswith("f$") for name in main.arrays)
+        assert run_module(module, args=[0]).return_value == 107
+
+    def test_successor_phis_retargeted(self):
+        # The call sits before a join whose phi referenced the call block.
+        source = """
+        func one() { return 1; }
+        func main(n) {
+          var x = 0;
+          if (n > 0) {
+            x = one();
+          }
+          return x;
+        }
+        """
+        module, _ = compile_and_prepare(source)
+        main = module.function("main")
+        inline_call(main, find_call(main, "one"), module.function("one"), "o")
+        verify_function(main, ssa=True, param_names={"n.0"})
+        assert run_module(module, args=[5]).return_value == 1
+        assert run_module(module, args=[-5]).return_value == 0
+
+
+class TestInlinePolicy:
+    def test_hot_small_calls_inlined(self):
+        module, infos = compile_and_prepare(CALLER_CALLEE)
+        prediction = VRPPredictor().predict_module(module, infos)
+        decisions = inline_hot_calls(module, prediction)
+        assert decisions  # in-loop calls are hot
+        verify_function(module.function("main"), ssa=True, param_names={"n.0"})
+        assert run_module(module, args=[0]).return_value == expected_result()
+
+    def test_recursive_callee_skipped(self):
+        source = """
+        func fact(k) { if (k <= 1) { return 1; } return k * fact(k - 1); }
+        func main(n) { return fact(6); }
+        """
+        module, infos = compile_and_prepare(source)
+        prediction = VRPPredictor().predict_module(module, infos)
+        decisions = inline_hot_calls(module, prediction)
+        assert all(d.callee != "fact" for d in decisions)
+
+    def test_size_threshold_respected(self):
+        module, infos = compile_and_prepare(CALLER_CALLEE)
+        prediction = VRPPredictor().predict_module(module, infos)
+        decisions = inline_hot_calls(module, prediction, max_callee_size=1)
+        assert decisions == []

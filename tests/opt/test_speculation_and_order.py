@@ -1,0 +1,177 @@
+"""Speculation assessment + function ordering + array tracking tests."""
+
+import pytest
+
+from repro.core import VRPConfig, VRPPredictor
+from repro.opt.function_order import allocation_priority, function_order
+from repro.opt.speculation import (
+    execution_probability,
+    hoisting_candidates,
+    path_probability,
+    useless_speculation,
+)
+
+from tests.helpers import analyse, compile_and_prepare
+
+
+class TestSpeculation:
+    def test_paper_motivating_arithmetic(self):
+        # Two 60%-taken branches in a row: the block below both executes
+        # 36% of the time -- exactly the paper's speculation argument.
+        source = """
+        func main(n) {
+          var hits = 0;
+          for (i = 0; i < 1000; i = i + 1) {
+            var a = input() % 10;
+            var b = input() % 10;
+            if (a < 6) {
+              if (b < 6) {
+                hits = hits + 1;
+              }
+            }
+          }
+          return hits;
+        }
+        """
+        prediction = analyse(source)
+        # Find the innermost then-block (frequency ~0.36 per iteration).
+        labels = sorted(prediction.branch_probability)
+        inner_probabilities = [
+            prediction.branch_probability[label] for label in labels
+        ]
+        assert any(abs(p - 0.6) < 0.01 for p in inner_probabilities)
+        # The hoisting table must contain a candidate with ~36% usefulness.
+        candidates = hoisting_candidates(prediction.function, prediction)
+        assert any(
+            abs(c.usefulness - 0.36) < 0.02 and c.speculation_depth >= 2
+            for c in candidates
+        ), candidates
+
+    def test_execution_probability_of_dominator_is_one(self):
+        prediction = analyse(
+            "func main(n) { var x = 1; if (x < 5) { n = 1; } return n; }"
+        )
+        entry = prediction.function.entry_label
+        assert execution_probability(prediction, entry, entry) == pytest.approx(1.0)
+
+    def test_path_probability_multiplies_edges(self):
+        prediction = analyse(
+            "func main(n) { var x = 1; if (x < 5) { n = 1; } return n; }"
+        )
+        (label,) = prediction.branch_probability
+        branch = prediction.function.block(label).terminator
+        path = [label, branch.true_target]
+        assert path_probability(prediction, path) == pytest.approx(1.0)
+
+    def test_useless_speculation_found(self):
+        source = """
+        func main(n) {
+          var total = 0;
+          for (i = 0; i < 100; i = i + 1) {
+            var v = input() % 100;
+            if (v < 50) {
+              if (v < 25) {
+                if (v < 5) {
+                  total = total + 1;
+                }
+              }
+            }
+          }
+          return total;
+        }
+        """
+        prediction = analyse(source)
+        wasted = useless_speculation(prediction.function, prediction, threshold=0.2)
+        assert wasted  # the v<5 block is ~5% useful from two levels up
+
+    def test_candidates_sorted_best_first(self):
+        prediction = analyse(
+            "func main(n) { if (n > 0) { n = 1; } else { n = 2; } return n; }"
+        )
+        candidates = hoisting_candidates(prediction.function, prediction)
+        usefulness = [c.usefulness for c in candidates]
+        assert usefulness == sorted(usefulness, reverse=True)
+
+
+class TestFunctionOrder:
+    def test_hot_leaf_ranked_above_cold_helper(self):
+        source = """
+        func hot() { return 1; }
+        func cold() { return 2; }
+        func main(n) {
+          var total = 0;
+          for (i = 0; i < 500; i = i + 1) { total = total + hot(); }
+          if (n == 123456) { total = total + cold(); }
+          return total;
+        }
+        """
+        module, infos = compile_and_prepare(source)
+        prediction = VRPPredictor().predict_module(module, infos)
+        ordered = function_order(module, prediction)
+        names = [name for name, _ in ordered]
+        assert names.index("hot") < names.index("cold")
+        frequencies = dict(ordered)
+        assert frequencies["hot"] == pytest.approx(500, rel=0.1)
+        assert frequencies["main"] == pytest.approx(1.0)
+
+    def test_allocation_priority_names_only(self):
+        source = "func main(n) { return n; }"
+        module, infos = compile_and_prepare(source)
+        prediction = VRPPredictor().predict_module(module, infos)
+        assert allocation_priority(module, prediction) == ["main"]
+
+
+class TestArrayTracking:
+    SOURCE = """
+    func main(n) {
+      array a[32];
+      for (i = 0; i < 32; i = i + 1) { a[i] = i % 4; }
+      var small = 0;
+      for (i = 0; i < 32; i = i + 1) {
+        if (a[i] < 4) { small = small + 1; }
+      }
+      return small;
+    }
+    """
+
+    def test_default_loads_are_bottom(self):
+        prediction = analyse(self.SOURCE)
+        assert prediction.used_heuristic  # branch on a load falls back
+
+    def test_tracking_bounds_loads(self):
+        prediction = analyse(self.SOURCE, config=VRPConfig(track_arrays=True))
+        # a holds values in [0:3] (plus the zero initialiser): the branch
+        # a[i] < 4 is provably always taken.
+        (load_branch,) = [
+            label
+            for label in prediction.branch_probability
+            if label not in prediction.used_heuristic
+            and prediction.branch_probability[label] == pytest.approx(1.0)
+        ]
+        assert load_branch
+
+    def test_tracking_stays_sound_with_unknown_stores(self):
+        source = """
+        func main(n) {
+          array a[8];
+          a[0] = input();
+          if (a[1] > 100) { return 1; }
+          return 0;
+        }
+        """
+        prediction = analyse(source, config=VRPConfig(track_arrays=True))
+        # An unknown store poisons the whole array: back to heuristics.
+        assert prediction.used_heuristic
+
+    def test_tracking_terminates_on_self_update(self):
+        source = """
+        func main(n) {
+          array a[4];
+          for (i = 0; i < 100; i = i + 1) {
+            a[i % 4] = a[(i + 1) % 4] + 1;
+          }
+          return a[0];
+        }
+        """
+        prediction = analyse(source, config=VRPConfig(track_arrays=True))
+        assert not prediction.aborted

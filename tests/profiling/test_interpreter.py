@@ -1,0 +1,244 @@
+"""Interpreter semantics and profiling tests."""
+
+import pytest
+
+from repro.profiling.interpreter import (
+    AssertionViolation,
+    InterpreterError,
+    StepLimitExceeded,
+    run_module,
+)
+
+from tests.helpers import compile_and_prepare
+
+
+def run(source, args=None, inputs=None, **kwargs):
+    module, _ = compile_and_prepare(source)
+    return run_module(module, args=args or [0], input_values=inputs, **kwargs)
+
+
+class TestArithmetic:
+    def test_basic_ops(self):
+        result = run("func main(n) { return 2 + 3 * 4 - 1; }")
+        assert result.return_value == 13
+
+    def test_floor_division(self):
+        assert run("func main(n) { return 7 / 2; }").return_value == 3
+        assert run("func main(n) { return -7 / 2; }").return_value == -4
+
+    def test_floor_modulo(self):
+        assert run("func main(n) { return 7 % 3; }").return_value == 1
+        assert run("func main(n) { return -7 % 3; }").return_value == 2
+
+    def test_shifts(self):
+        assert run("func main(n) { return 1 << 10; }").return_value == 1024
+        assert run("func main(n) { return 1024 >> 3; }").return_value == 128
+
+    def test_bitwise(self):
+        assert run("func main(n) { return (12 & 10) + (12 | 10) + (12 ^ 10); }").return_value == 8 + 14 + 6
+
+    def test_comparisons_produce_bits(self):
+        assert run("func main(n) { return (3 < 5) + (5 <= 5) + (3 == 4); }").return_value == 2
+
+    def test_unary(self):
+        assert run("func main(n) { return -n + !0; }", args=[5]).return_value == -4
+
+    def test_division_by_zero_traps(self):
+        with pytest.raises(InterpreterError):
+            run("func main(n) { return 1 / n; }", args=[0])
+
+    def test_modulo_by_zero_traps(self):
+        with pytest.raises(InterpreterError):
+            run("func main(n) { return 1 % n; }", args=[0])
+
+
+class TestControlFlow:
+    def test_if_else(self):
+        source = "func main(n) { if (n > 0) { return 1; } else { return 2; } }"
+        assert run(source, args=[5]).return_value == 1
+        assert run(source, args=[-5]).return_value == 2
+
+    def test_while_loop(self):
+        result = run(
+            "func main(n) { var t = 0; while (n > 0) { t = t + n; n = n - 1; } return t; }",
+            args=[10],
+        )
+        assert result.return_value == 55
+
+    def test_for_with_break_continue(self):
+        result = run(
+            """
+            func main(n) {
+              var t = 0;
+              for (i = 0; i < 100; i = i + 1) {
+                if (i == 10) { break; }
+                if (i % 2 == 0) { continue; }
+                t = t + i;
+              }
+              return t;
+            }
+            """
+        )
+        assert result.return_value == 1 + 3 + 5 + 7 + 9
+
+    def test_do_while_runs_once(self):
+        result = run(
+            "func main(n) { var t = 0; do { t = t + 1; } while (0); return t; }"
+        )
+        assert result.return_value == 1
+
+    def test_short_circuit_semantics(self):
+        # The right operand of && must not evaluate (division by zero!)
+        # when the left is false.
+        result = run(
+            "func main(n) { if (n > 0 && 10 / n > 2) { return 1; } return 0; }",
+            args=[0],
+        )
+        assert result.return_value == 0
+
+    def test_logical_value(self):
+        result = run("func main(n) { var x = (n > 0) || (n < -10); return x; }", args=[3])
+        assert result.return_value == 1
+
+
+class TestFunctionsAndArrays:
+    def test_call_and_return(self):
+        result = run(
+            "func double(v) { return v * 2; } func main(n) { return double(n) + 1; }",
+            args=[20],
+        )
+        assert result.return_value == 41
+
+    def test_recursion(self):
+        result = run(
+            """
+            func fib(n) {
+              if (n < 2) { return n; }
+              return fib(n - 1) + fib(n - 2);
+            }
+            func main(n) { return fib(n); }
+            """,
+            args=[15],
+        )
+        assert result.return_value == 610
+
+    def test_arrays_are_frame_local(self):
+        result = run(
+            """
+            func poke() { array a[4]; a[0] = 99; return a[0]; }
+            func main(n) {
+              array a[4];
+              a[0] = 1;
+              var x = poke();
+              return a[0] * 100 + x;
+            }
+            """
+        )
+        assert result.return_value == 199
+
+    def test_arrays_zero_initialised(self):
+        assert run("func main(n) { array a[8]; return a[7]; }").return_value == 0
+
+    def test_out_of_bounds_load_traps(self):
+        with pytest.raises(InterpreterError):
+            run("func main(n) { array a[4]; return a[4]; }")
+
+    def test_out_of_bounds_store_traps(self):
+        with pytest.raises(InterpreterError):
+            run("func main(n) { array a[4]; a[-1] = 0; return 0; }")
+
+    def test_input_stream(self):
+        result = run(
+            "func main(n) { return input() + input() * 10; }",
+            inputs=[3, 7],
+        )
+        assert result.return_value == 73
+
+    def test_input_exhausted_yields_zero(self):
+        assert run("func main(n) { return input(); }", inputs=[]).return_value == 0
+
+    def test_wrong_arity_rejected(self):
+        with pytest.raises(InterpreterError):
+            run("func main(a, b) { return a; }", args=[1])
+
+
+class TestProfiling:
+    def test_branch_counts(self):
+        result = run(
+            "func main(n) { var t = 0; while (t < 5) { t = t + 1; } return t; }"
+        )
+        (key,) = [k for k in result.branch_counts]
+        taken, not_taken = result.branch_counts[key]
+        assert taken == 5
+        assert not_taken == 1
+
+    def test_branch_probability_helper(self):
+        result = run(
+            "func main(n) { var t = 0; while (t < 9) { t = t + 1; } return t; }"
+        )
+        ((func, label),) = result.branch_counts
+        assert result.branch_probability(func, label) == pytest.approx(0.9)
+        assert result.branch_probability(func, "ghost") is None
+
+    def test_block_counts(self):
+        result = run("func main(n) { return n; }")
+        entry_key = ("main", "entry0")
+        assert result.block_counts[entry_key] == 1
+
+    def test_edge_counts_consistent_with_blocks(self):
+        result = run(
+            "func main(n) { var t = 0; while (t < 3) { t = t + 1; } return t; }"
+        )
+        for (func, src, dst), count in result.edge_counts.items():
+            assert count <= result.block_counts[(func, src)]
+
+    def test_call_counts(self):
+        result = run(
+            "func f() { return 1; } func main(n) { return f() + f() + f(); }"
+        )
+        assert result.call_counts["f"] == 3
+
+    def test_merge_accumulates(self):
+        module, _ = compile_and_prepare(
+            "func main(n) { var t = 0; while (t < n) { t = t + 1; } return t; }"
+        )
+        a = run_module(module, args=[3])
+        b = run_module(module, args=[5])
+        a.merge(b)
+        ((func, label),) = [k for k in a.branch_counts]
+        taken, not_taken = a.branch_counts[(func, label)]
+        assert taken == 8
+        assert not_taken == 2
+
+
+class TestSafety:
+    def test_step_limit(self):
+        with pytest.raises(StepLimitExceeded):
+            run(
+                "func main(n) { while (1) { n = n + 1; } return n; }",
+                max_steps=1000,
+            )
+
+    def test_assertions_checked(self):
+        # Assertions inserted by the pipeline must hold on every run --
+        # this is the compiler's own soundness check.
+        result = run(
+            """
+            func main(n) {
+              var t = 0;
+              for (i = 0; i < 50; i = i + 1) {
+                if (i % 7 < 3) { t = t + 1; }
+              }
+              return t;
+            }
+            """,
+            check_assertions=True,
+        )
+        assert result.return_value == sum(1 for i in range(50) if i % 7 < 3)
+
+    def test_deep_recursion_guard(self):
+        with pytest.raises(InterpreterError):
+            run(
+                "func f(n) { return f(n + 1); } func main(n) { return f(0); }",
+                max_steps=10_000_000,
+            )

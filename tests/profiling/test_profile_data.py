@@ -1,0 +1,70 @@
+"""Branch profile aggregation and the profile predictor."""
+
+import pytest
+
+from repro.profiling import BranchProfile, ProfilePredictor, run_module
+
+from tests.helpers import compile_and_prepare
+
+SOURCE = """
+func main(n) {
+  var low = 0;
+  for (i = 0; i < n; i = i + 1) {
+    if (input() % 4 == 0) { low = low + 1; }
+  }
+  return low;
+}
+"""
+
+
+def run_once(args, inputs):
+    module, _ = compile_and_prepare(SOURCE)
+    return module, run_module(module, args=args, input_values=inputs)
+
+
+class TestBranchProfile:
+    def test_from_single_run(self):
+        module, result = run_once([8], [0, 1, 2, 3, 4, 5, 6, 7])
+        profile = BranchProfile.from_runs([result])
+        branches = profile.branches_of("main")
+        assert branches  # both branches observed
+        # The mod-4 branch was taken exactly twice out of eight.
+        assert any(abs(p - 0.25) < 1e-9 for p in branches.values())
+
+    def test_accumulation_across_runs(self):
+        module, first = run_once([4], [0, 0, 0, 0])
+        _, second = run_once([4], [1, 1, 1, 1])
+        profile = BranchProfile.from_runs([first, second])
+        # Taken 4/8 across both runs for the mod branch.
+        assert any(
+            abs(p - 0.5) < 1e-9 for p in profile.branches_of("main").values()
+        )
+
+    def test_execution_count(self):
+        module, result = run_once([5], [0] * 5)
+        profile = BranchProfile.from_runs([result])
+        counts = [
+            profile.execution_count("main", label)
+            for label in profile.branches_of("main")
+        ]
+        assert 5 in counts  # the if ran five times
+
+    def test_probability_of_unknown_branch_is_none(self):
+        profile = BranchProfile()
+        assert profile.probability("main", "nowhere") is None
+        assert profile.execution_count("main", "nowhere") == 0
+
+
+class TestProfilePredictor:
+    def test_predicts_observed_probability(self):
+        module, result = run_once([8], [0, 1, 2, 3, 4, 5, 6, 7])
+        predictor = ProfilePredictor(BranchProfile.from_runs([result]))
+        predictions = predictor.predict_function(module.function("main"))
+        assert any(abs(p - 0.25) < 1e-9 for p in predictions.values())
+
+    def test_unseen_branch_gets_default(self):
+        module, _ = compile_and_prepare(SOURCE)
+        predictor = ProfilePredictor(BranchProfile(), unseen=0.7)
+        predictions = predictor.predict_function(module.function("main"))
+        assert predictions
+        assert all(p == 0.7 for p in predictions.values())

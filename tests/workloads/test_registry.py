@@ -1,0 +1,87 @@
+"""Workload registry and program validity tests.
+
+Every workload must compile, pass the SSA verifier, and run both input
+sets deterministically -- these are the programs all figures depend on.
+"""
+
+import pytest
+
+from repro.ir import prepare_module, verify_function
+from repro.lang import compile_source
+from repro.profiling import run_module
+from repro.workloads import Workload, all_workloads, get_workload, lcg_stream, suite
+
+
+class TestRegistry:
+    def test_suites_populated(self):
+        assert len(suite("int")) >= 10
+        assert len(suite("fp")) >= 10
+
+    def test_names_unique(self):
+        names = [w.name for w in all_workloads()]
+        assert len(names) == len(set(names))
+
+    def test_get_workload(self):
+        assert get_workload("matmul").suite == "fp"
+        with pytest.raises(KeyError):
+            get_workload("no_such_workload")
+
+    def test_invalid_suite_rejected(self):
+        with pytest.raises(ValueError):
+            Workload(
+                name="x", suite="quantum", description="", source="",
+                train_args=[], ref_args=[],
+            )
+
+    def test_lcg_stream_deterministic(self):
+        assert lcg_stream(42, 10) == lcg_stream(42, 10)
+        assert lcg_stream(42, 10) != lcg_stream(43, 10)
+
+    def test_lcg_stream_bounds(self):
+        for value in lcg_stream(7, 100, modulus=50):
+            assert 0 <= value < 50
+
+    def test_train_and_ref_inputs_differ(self):
+        for workload in all_workloads():
+            distinct = (
+                workload.train_args != workload.ref_args
+                or workload.train_inputs != workload.ref_inputs
+            )
+            assert distinct, f"{workload.name} train and ref are identical"
+
+
+@pytest.mark.parametrize("workload", all_workloads(), ids=lambda w: w.name)
+class TestWorkloadValidity:
+    def test_compiles_and_verifies(self, workload):
+        module = compile_source(workload.source, module_name=workload.name)
+        infos = prepare_module(module)
+        for name, function in module.functions.items():
+            verify_function(
+                function, ssa=True, param_names=set(infos[name].param_names.values())
+            )
+
+    def test_train_run_completes(self, workload):
+        module = compile_source(workload.source, module_name=workload.name)
+        prepare_module(module)
+        result = run_module(
+            module,
+            args=workload.train_args,
+            input_values=workload.train_inputs,
+            max_steps=workload.max_steps,
+        )
+        assert result.return_value is not None
+        assert result.branch_counts  # every program must exercise branches
+
+    def test_train_run_deterministic(self, workload):
+        module = compile_source(workload.source, module_name=workload.name)
+        prepare_module(module)
+        first = run_module(
+            module, args=workload.train_args, input_values=workload.train_inputs,
+            max_steps=workload.max_steps,
+        )
+        second = run_module(
+            module, args=workload.train_args, input_values=workload.train_inputs,
+            max_steps=workload.max_steps,
+        )
+        assert first.return_value == second.return_value
+        assert first.branch_counts == second.branch_counts
