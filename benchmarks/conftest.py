@@ -39,3 +39,15 @@ def emit(results_dir: pathlib.Path, name: str, text: str) -> None:
     print()
     print(text)
     (results_dir / name).write_text(text + "\n")
+
+
+def emit_metrics(results_dir: pathlib.Path, name: str, report) -> pathlib.Path:
+    """Persist a MetricsReport as a ``BENCH_<name>.json`` result file.
+
+    The machine-readable companion of :func:`emit`: the rendered table
+    stays the human artefact, the report carries the same run for tools
+    (schema in ``docs/OBSERVABILITY.md``).
+    """
+    path = results_dir / f"BENCH_{name}.json"
+    path.write_text(report.to_json() + "\n")
+    return path

@@ -7,10 +7,11 @@ benchmarking a full analysis run.
 
 import pytest
 
-from benchmarks.conftest import emit
+from benchmarks.conftest import emit, emit_metrics
 from repro.core.propagation import analyse_function
 from repro.ir import prepare_for_analysis
 from repro.lang import compile_source
+from repro.observability import trace_analysis, validate_report_dict
 
 PAPER_FIGURE_2 = """
 func main(n) {
@@ -53,3 +54,19 @@ def test_figure4_worked_example(benchmark, results_dir):
     assert prediction.branch_probability["join7"] == pytest.approx(0.3)
     assert str(prediction.values["x.1"]) == "{ 1[0:10:1] }"
     assert str(prediction.values["x.3"]) == "{ 1[0:9:1] }"
+
+
+def test_figure4_metrics_report(results_dir):
+    """The worked example as a machine-readable BENCH_*.json report."""
+    session = trace_analysis(PAPER_FIGURE_2, module_name="fig4")
+    report = session.metrics_report()
+    path = emit_metrics(results_dir, "fig4_metrics", report)
+
+    assert path.exists()
+    assert validate_report_dict(report.to_dict()) is None
+    by_label = {record["label"]: record for record in report.branches}
+    assert by_label["for1"]["probability"] == pytest.approx(10 / 11)
+    assert by_label["body2"]["probability"] == pytest.approx(0.2)
+    assert by_label["join7"]["probability"] == pytest.approx(0.3)
+    assert all(record["source"] == "ranges" for record in report.branches)
+    assert report.phases["propagate"]["count"] >= 1

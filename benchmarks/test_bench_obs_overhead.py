@@ -1,0 +1,123 @@
+"""Observability overhead guard.
+
+Two guarantees protect the Figure 5/6 measurements from the tracing
+layer:
+
+1. **Bit-for-bit work counts.**  With tracing disabled (the default),
+   the engine must do exactly the work it did before instrumentation --
+   every count in ``seed_work_counts.json`` (captured on the
+   pre-instrumentation tree) must match exactly.
+2. **<5% wall time.**  A disabled hook is a single ``is not None``
+   attribute test.  We bound total overhead analytically: (number of
+   hook executions) x (measured cost of one check) must stay below 5%
+   of the measured suite wall time.  The hook count is taken from a
+   traced run's event counts -- every emitted event corresponds to one
+   guarded site execution -- padded 3x for guard sites that check but
+   do not emit.  The analytic bound avoids the flakiness of A/B
+   wall-clock comparison under CI noise.
+"""
+
+import json
+import pathlib
+import time
+import timeit
+
+from benchmarks.conftest import emit
+from repro.evalharness.counting import measure_scaling, measure_workloads
+from repro.lang import compile_source
+from repro.ir import prepare_module
+from repro.core import VRPPredictor
+from repro.observability import Tracer, use
+from repro.workloads import all_workloads
+
+SEED_COUNTS = pathlib.Path(__file__).parent / "seed_work_counts.json"
+
+SCALING_UNITS = [2, 4, 8, 16, 32, 64]
+
+# Guard sites that test the tracer but emit nothing (e.g. `_update` on
+# an unchanged value) are invisible to event counts; pad generously.
+HOOK_PADDING = 3.0
+
+OVERHEAD_BUDGET = 0.05
+
+
+def test_work_counts_byte_identical_to_seed(results_dir):
+    """Disabled tracing must not change a single unit of engine work."""
+    seed = json.loads(SEED_COUNTS.read_text())
+    current = {
+        "workloads": [list(row) for row in measure_workloads()],
+        "scaling": [list(row) for row in measure_scaling(SCALING_UNITS)],
+    }
+    assert current["workloads"] == seed["workloads"]
+    assert current["scaling"] == seed["scaling"]
+
+
+def _count_hook_executions() -> int:
+    """Total events over a fully traced suite run (= hook executions)."""
+    total = 0
+    for workload in all_workloads():
+        module = compile_source(workload.source, module_name=workload.name)
+        ssa_infos = prepare_module(module)
+        tracer = Tracer(record_events=False)  # counts only: cheap and exact
+        with use(tracer):
+            VRPPredictor().predict_module(module, ssa_infos)
+        total += sum(tracer.event_counts.values())
+    return total
+
+
+def test_disabled_tracing_overhead_under_budget(results_dir):
+    # Wall time of the untraced suite run (the protected measurement).
+    started = time.perf_counter()
+    measure_workloads()
+    wall_seconds = time.perf_counter() - started
+
+    # Cost of one disabled hook: an attribute load plus an identity test.
+    class Holder:
+        __slots__ = ("_trace",)
+
+        def __init__(self):
+            self._trace = None
+
+    holder = Holder()
+    trials = 1_000_000
+    per_check = (
+        timeit.timeit("holder._trace is not None", globals={"holder": holder}, number=trials)
+        / trials
+    )
+
+    hooks = _count_hook_executions()
+    padded_hooks = int(hooks * HOOK_PADDING)
+    overhead_seconds = padded_hooks * per_check
+    overhead_fraction = overhead_seconds / wall_seconds
+
+    lines = [
+        "Observability overhead guard",
+        "",
+        f"suite wall time (untraced):   {wall_seconds * 1e3:10.2f} ms",
+        f"hook executions (traced run): {hooks:10d}",
+        f"padded hook count (x{HOOK_PADDING:.0f}):      {padded_hooks:10d}",
+        f"cost per disabled check:      {per_check * 1e9:10.2f} ns",
+        f"analytic overhead:            {overhead_seconds * 1e3:10.2f} ms"
+        f"  ({overhead_fraction:.3%} of wall time)",
+        f"budget:                       {OVERHEAD_BUDGET:.0%}",
+    ]
+    emit(results_dir, "obs_overhead.txt", "\n".join(lines))
+
+    report = {
+        "benchmark": "obs_overhead",
+        "wall_seconds": wall_seconds,
+        "hook_executions": hooks,
+        "padded_hook_executions": padded_hooks,
+        "seconds_per_check": per_check,
+        "overhead_seconds": overhead_seconds,
+        "overhead_fraction": overhead_fraction,
+        "budget": OVERHEAD_BUDGET,
+    }
+    (results_dir / "BENCH_obs_overhead.json").write_text(
+        json.dumps(report, indent=1, sort_keys=True) + "\n"
+    )
+
+    assert overhead_fraction < OVERHEAD_BUDGET, (
+        f"instrumentation overhead {overhead_fraction:.2%} exceeds "
+        f"{OVERHEAD_BUDGET:.0%} budget"
+    )

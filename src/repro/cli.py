@@ -6,8 +6,13 @@ Commands:
 * ``ir FILE``        -- dump the canonicalised SSA IR;
 * ``run FILE``       -- interpret a program and print its profile;
 * ``ranges FILE``    -- final value ranges per SSA variable;
+* ``trace FILE``     -- phase timings + propagation event stream;
+* ``explain FILE BRANCH`` -- why a branch got its probability;
 * ``workloads``      -- list the built-in benchmark suite;
 * ``evaluate``       -- score all predictors on a workload or a suite.
+
+``predict`` and ``evaluate`` accept ``--emit-metrics PATH`` to write a
+machine-readable metrics JSON (schema in ``docs/OBSERVABILITY.md``).
 """
 
 from __future__ import annotations
@@ -62,12 +67,111 @@ def cmd_predict(args: argparse.Namespace) -> int:
     predictor = VRPPredictor(
         config=_config_from_args(args), interprocedural=not args.intra
     )
-    prediction = predictor.predict_module(module, ssa_infos)
+    emit_metrics = getattr(args, "emit_metrics", None)
+    if emit_metrics:
+        from repro.observability import Tracer, build_metrics_report, use
+
+        tracer = Tracer()
+        with use(tracer):
+            prediction = predictor.predict_module(module, ssa_infos)
+    else:
+        tracer = None
+        prediction = predictor.predict_module(module, ssa_infos)
     heuristic = prediction.heuristic_branches()
     print(f"{'function':<14s} {'branch':<12s} {'P(taken)':>9s}  source")
     for (function, label), probability in sorted(prediction.all_branches().items()):
         marker = "heuristic" if (function, label) in heuristic else "ranges"
         print(f"{function:<14s} {label:<12s} {probability:>8.1%}  {marker}")
+    if emit_metrics:
+        report = build_metrics_report(prediction, tracer, program=module.name)
+        try:
+            report.write(emit_metrics)
+        except OSError as error:
+            raise SystemExit(f"error: cannot write metrics: {error}")
+        print(f"metrics written to {emit_metrics}")
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    from repro.observability.instrument import trace_analysis
+
+    try:
+        source = _read_source(args.file)
+    except FileNotFoundError:
+        raise SystemExit(f"error: no such file: {args.file}")
+    from repro.lang import LexError, LoweringError, ParseError
+
+    try:
+        session = trace_analysis(
+            source,
+            config=_config_from_args(args),
+            interprocedural=not args.intra,
+            record_events=not args.no_events,
+        )
+    except (LexError, ParseError, LoweringError) as error:
+        raise SystemExit(f"error: {error}")
+    tracer = session.tracer
+
+    print("phase timings:")
+    print(f"  {'phase':<22s} {'count':>7s} {'seconds':>10s}")
+    for timing in tracer.phase_timings().values():
+        print(f"  {timing.name:<22s} {timing.count:>7d} {timing.seconds:>10.6f}")
+
+    print()
+    print("event counts:")
+    for kind in sorted(tracer.event_counts):
+        print(f"  {kind:<22s} {tracer.event_counts[kind]:>7d}")
+    if tracer.dropped_events:
+        print(f"  (dropped {tracer.dropped_events} events past the cap)")
+
+    print()
+    print("counters:")
+    for name, value in session.prediction.counters.as_dict().items():
+        print(f"  {name:<22s} {value:>7d}")
+
+    if args.jsonl:
+        import json
+
+        try:
+            with open(args.jsonl, "w", encoding="utf-8") as handle:
+                for event in tracer.events:
+                    handle.write(json.dumps(event.as_dict()) + "\n")
+        except OSError as error:
+            raise SystemExit(f"error: cannot write event stream: {error}")
+        print()
+        print(f"{len(tracer.events)} events written to {args.jsonl}")
+    return 0
+
+
+def cmd_explain(args: argparse.Namespace) -> int:
+    from repro.observability.explain import explain_module
+
+    module, ssa_infos = _prepare(args)
+    explanations = explain_module(
+        module,
+        ssa_infos,
+        config=_config_from_args(args),
+        interprocedural=not args.intra,
+    )
+    if not explanations:
+        print("no conditional branches")
+        return 0
+    function, _, label = args.branch.partition("/")
+    selected = [
+        explanation
+        for (fn, lbl), explanation in sorted(explanations.items())
+        if (fn == function or (not label and lbl == function))
+        and (not label or lbl == label)
+    ]
+    if not selected:
+        known = ", ".join(f"{fn}/{lbl}" for fn, lbl in sorted(explanations))
+        raise SystemExit(
+            f"error: no branch matches {args.branch!r}; known branches: {known}"
+        )
+    for index, explanation in enumerate(selected):
+        if index:
+            print()
+        print(explanation.render())
     return 0
 
 
@@ -133,17 +237,28 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
     from repro.evalharness.accuracy import error_cdf
     from repro.workloads import get_workload, suite
 
+    emit_metrics = getattr(args, "emit_metrics", None)
     if args.workload:
         workload = get_workload(args.workload)
-        evaluation = evaluate_workload(workload, prepared=prepare_workload(workload))
+        prepared = prepare_workload(workload)
+        evaluation = evaluate_workload(workload, prepared=prepared)
         series = {
             name: error_cdf(records, weighted=args.weighted)
             for name, records in evaluation.records.items()
         }
         print(format_cdf_table(series, title=f"workload {workload.name}"))
+        if emit_metrics:
+            from repro.evalharness.runner import workload_metrics
+
+            try:
+                workload_metrics(prepared).write(emit_metrics)
+            except OSError as error:
+                raise SystemExit(f"error: cannot write metrics: {error}")
+            print(f"metrics written to {emit_metrics}")
         return 0
     suite_name = args.suite or "fp"
-    evaluation = evaluate_suite(suite(suite_name), suite_name)
+    workloads = suite(suite_name)
+    evaluation = evaluate_suite(workloads, suite_name)
     print(
         format_suite_figure(
             evaluation,
@@ -151,6 +266,24 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
             title=f"{suite_name} suite",
         )
     )
+    if emit_metrics:
+        import json
+
+        from repro.evalharness.runner import workload_metrics
+
+        reports = [
+            workload_metrics(prepare_workload(workload)).to_dict()
+            for workload in workloads
+        ]
+        try:
+            with open(emit_metrics, "w", encoding="utf-8") as handle:
+                json.dump(
+                    {"suite": suite_name, "workloads": reports}, handle, indent=1
+                )
+                handle.write("\n")
+        except OSError as error:
+            raise SystemExit(f"error: cannot write metrics: {error}")
+        print(f"metrics written to {emit_metrics}")
     return 0
 
 
@@ -171,11 +304,40 @@ def build_parser() -> argparse.ArgumentParser:
 
     predict = sub.add_parser("predict", help="predict every conditional branch")
     add_analysis_flags(predict)
+    predict.add_argument(
+        "--emit-metrics",
+        metavar="PATH",
+        help="write a metrics JSON (timings, counters, branch provenance)",
+    )
     predict.set_defaults(handler=cmd_predict)
 
     ranges_cmd = sub.add_parser("ranges", help="print final value ranges")
     add_analysis_flags(ranges_cmd)
     ranges_cmd.set_defaults(handler=cmd_ranges)
+
+    trace_cmd = sub.add_parser(
+        "trace", help="phase timings and the propagation event stream"
+    )
+    add_analysis_flags(trace_cmd)
+    trace_cmd.add_argument(
+        "--jsonl", metavar="PATH", help="dump every trace event as JSONL"
+    )
+    trace_cmd.add_argument(
+        "--no-events",
+        action="store_true",
+        help="record phase timings and event counts only",
+    )
+    trace_cmd.set_defaults(handler=cmd_trace)
+
+    explain_cmd = sub.add_parser(
+        "explain", help="explain one branch prediction (why this probability?)"
+    )
+    add_analysis_flags(explain_cmd)
+    explain_cmd.add_argument(
+        "branch",
+        help="branch to explain: FUNCTION/LABEL, LABEL, or FUNCTION (all its branches)",
+    )
+    explain_cmd.set_defaults(handler=cmd_explain)
 
     ir_cmd = sub.add_parser("ir", help="dump canonicalised SSA IR")
     ir_cmd.add_argument("file")
@@ -196,6 +358,11 @@ def build_parser() -> argparse.ArgumentParser:
     evaluate_cmd.add_argument("--workload", help="one workload by name")
     evaluate_cmd.add_argument("--suite", choices=["int", "fp"], help="whole suite")
     evaluate_cmd.add_argument("--weighted", action="store_true")
+    evaluate_cmd.add_argument(
+        "--emit-metrics",
+        metavar="PATH",
+        help="write VRP metrics JSON for the evaluated workload(s)",
+    )
     evaluate_cmd.set_defaults(handler=cmd_evaluate)
 
     return parser

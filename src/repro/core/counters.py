@@ -9,11 +9,16 @@ evaluation (the paper notes up to R^2 sub-operations per evaluation).
 
 The propagation engine installs its own :class:`Counters` with
 :func:`use`, and the range algebra increments whatever is active via
-:func:`active` -- no plumbing through every arithmetic helper.
+:func:`active` -- no plumbing through every arithmetic helper.  The
+active counters live in a :class:`contextvars.ContextVar` (not a module
+global), so concurrent engines in different threads or tasks each tally
+into their own instance; :mod:`repro.observability.tracer` reuses the
+same pattern.
 """
 
 from __future__ import annotations
 
+import contextvars
 from contextlib import contextmanager
 from typing import Iterator
 
@@ -54,21 +59,23 @@ class Counters:
         return f"Counters({inner})"
 
 
-_ACTIVE = Counters()
+# Fallback sink for tallies made outside any use() block.  Per-context
+# installation goes through the ContextVar so threads/tasks don't race.
+_DEFAULT = Counters()
+
+_ACTIVE: contextvars.ContextVar[Counters] = contextvars.ContextVar("repro-counters")
 
 
 def active() -> Counters:
     """The counters currently receiving tallies."""
-    return _ACTIVE
+    return _ACTIVE.get(_DEFAULT)
 
 
 @contextmanager
 def use(counters: Counters) -> Iterator[Counters]:
     """Route tallies to ``counters`` for the duration of the block."""
-    global _ACTIVE
-    previous = _ACTIVE
-    _ACTIVE = counters
+    token = _ACTIVE.set(counters)
     try:
         yield counters
     finally:
-        _ACTIVE = previous
+        _ACTIVE.reset(token)

@@ -35,10 +35,17 @@ MAX_PATH_LENGTH = 256
 
 @dataclass
 class DerivationOutcome:
-    """Result of a derivation attempt."""
+    """Result of a derivation attempt.
+
+    ``detail`` carries the matched template description on success and
+    the failure reason otherwise -- the propagation engine forwards it
+    to the trace event stream so ``repro trace`` can say *why* a loop
+    phi fell back to brute-force iteration.
+    """
 
     status: str  # "derived" | "failed" | "not_ready"
     rangeset: Optional[RangeSet] = None
+    detail: str = ""
 
     @property
     def derived(self) -> bool:
@@ -56,6 +63,10 @@ class _Path:
 
 class _TraceFailure(Exception):
     """Internal: the derivation does not match the induction template."""
+
+    def __init__(self, reason: str = "template mismatch"):
+        self.reason = reason
+        super().__init__(reason)
 
 
 def derive_loop_phi(
@@ -86,14 +97,16 @@ def derive_loop_phi(
             else:
                 constant = constant_of(value)
                 if constant is None:
-                    return DerivationOutcome("failed")
+                    return DerivationOutcome(
+                        "failed", detail="entry value not a known constant"
+                    )
                 entry_sets.append(RangeSet.constant(constant))
     if not back_values:
-        return DerivationOutcome("failed")
+        return DerivationOutcome("failed", detail="no back-edge values")
     if any(s.is_top for s in entry_sets) or not entry_sets:
-        return DerivationOutcome("not_ready")
+        return DerivationOutcome("not_ready", detail="entry value still unknown (top)")
     if any(s.is_bottom for s in entry_sets):
-        return DerivationOutcome("failed")
+        return DerivationOutcome("failed", detail="entry value is bottom")
 
     init = RangeSet.from_ranges(
         [
@@ -105,21 +118,21 @@ def derive_loop_phi(
         renormalise=True,
     )
     if not init.is_set:
-        return DerivationOutcome("failed")
+        return DerivationOutcome("failed", detail="entry merge not a range set")
 
     paths: List[_Path] = []
     try:
         for value in back_values:
             paths.extend(_trace(value, target, edges, constant_of))
-    except _TraceFailure:
-        return DerivationOutcome("failed")
+    except _TraceFailure as failure:
+        return DerivationOutcome("failed", detail=failure.reason)
     if not paths:
-        return DerivationOutcome("failed")
+        return DerivationOutcome("failed", detail="no induction paths to the phi")
 
-    rangeset = _closed_form(init, paths, symbolic, max_ranges)
+    rangeset, detail = _closed_form(init, paths, symbolic, max_ranges)
     if rangeset is None:
-        return DerivationOutcome("failed")
-    return DerivationOutcome("derived", rangeset)
+        return DerivationOutcome("failed", detail=detail)
+    return DerivationOutcome("derived", rangeset, detail=detail)
 
 
 # ---------------------------------------------------------------------------
@@ -141,9 +154,9 @@ def _trace(
     while stack:
         current, pending, constraints, visited, depth = stack.pop()
         if depth > MAX_PATH_LENGTH or len(finished) > MAX_PATHS:
-            raise _TraceFailure
+            raise _TraceFailure("path explosion in the loop body")
         if not isinstance(current, Temp):
-            raise _TraceFailure  # constant fed back: not inductive
+            raise _TraceFailure("constant fed back: not inductive")
         name = current.name
         if name == target:
             path = _Path(total_increment=pending, constraints=list(constraints))
@@ -156,10 +169,10 @@ def _trace(
                 # re-asserts the variable): this path adds nothing the
                 # first visit did not cover; drop it.
                 continue
-            raise _TraceFailure  # the variable moves inside a foreign loop
+            raise _TraceFailure("the variable moves inside a foreign loop")
         definition = edges.defining_instruction(name)
         if definition is None:
-            raise _TraceFailure  # parameter or unknown: not inductive
+            raise _TraceFailure("parameter or unknown definition: not inductive")
         visited = tuple(sorted((*seen.items(), (name, pending))))
         if isinstance(definition, Copy):
             stack.append((definition.src, pending, constraints, visited, depth + 1))
@@ -171,7 +184,7 @@ def _trace(
         elif isinstance(definition, BinOp) and definition.op in ("add", "sub"):
             step, operand = _affine_step(definition, constant_of)
             if operand is None:
-                raise _TraceFailure
+                raise _TraceFailure(f"non-affine step ({definition.op})")
             stack.append(
                 (operand, pending + step, constraints, visited, depth + 1)
             )
@@ -179,7 +192,9 @@ def _trace(
             for _, incoming in definition.incomings:
                 stack.append((incoming, pending, constraints, visited, depth + 1))
         else:
-            raise _TraceFailure
+            raise _TraceFailure(
+                f"unsupported {type(definition).__name__} in the induction chain"
+            )
     return finished
 
 
@@ -221,12 +236,13 @@ def _closed_form(
     paths: List[_Path],
     symbolic: bool,
     max_ranges: int,
-) -> Optional[RangeSet]:
+) -> Tuple[Optional[RangeSet], str]:
+    """The derived range set plus a template/failure description."""
     increments = [p.total_increment for p in paths]
     if all(i == 0 for i in increments):
-        return init  # pure copy-back: the phi never moves
+        return init, "pure copy-back: the phi never moves"
     if any(i > 0 for i in increments) and any(i < 0 for i in increments):
-        return None  # non-monotone: out of template
+        return None, "mixed-sign increments (non-monotone)"
     increasing = any(i > 0 for i in increments)
 
     stride = 0
@@ -237,24 +253,29 @@ def _closed_form(
     if stride == 0:
         stride = 1
 
+    template = (
+        f"{'increasing' if increasing else 'decreasing'} induction, "
+        f"steps {sorted(set(increments))}, stride {stride}"
+    )
+
     init_hull = init.hull()
     if init_hull is None:
-        return None
+        return None, "initial value has no hull"
 
     if increasing:
         lo = init_hull.lo
         hi = _moving_limit(paths, init_hull.hi, increasing=True, symbolic=symbolic)
         if hi is None:
-            return None
+            return None, "no usable limit in the moving direction"
     else:
         hi = init_hull.hi
         lo = _moving_limit(paths, init_hull.lo, increasing=False, symbolic=symbolic)
         if lo is None:
-            return None
+            return None, "no usable limit in the moving direction"
     order = lo.compare(hi)
     if order is not None and order > 0:
         # The loop bound is below the initial value: body never re-entered.
-        return init
+        return init, template + " (body never re-entered)"
     if not increasing:
         # The progression is anchored at the *initial* (high) end; snap
         # the lower limit up onto its phase (StridedRange normalisation
@@ -262,8 +283,9 @@ def _closed_form(
         width = lo.distance(hi)
         if width is not None and not math.isinf(width) and stride > 1:
             lo = hi.add_const(-int(width // stride) * stride)
-    return RangeSet.from_ranges(
-        [StridedRange(1.0, lo, hi, stride)], max_ranges=max_ranges
+    return (
+        RangeSet.from_ranges([StridedRange(1.0, lo, hi, stride)], max_ranges=max_ranges),
+        template,
     )
 
 

@@ -101,19 +101,23 @@ class InterproceduralVRP:
     # -- driver ---------------------------------------------------------------
 
     def run(self) -> ModulePrediction:
+        from repro.observability import tracer as tracing
+
+        tracer = tracing.active()
         total = counters_mod.Counters()
         order = self.callgraph.bottom_up_order()
         rounds_used = 0
         for round_number in range(1, self.max_rounds + 1):
             rounds_used = round_number
             changed = False
-            for name in order:
-                prediction = self._analyse_one(name)
-                self.predictions[name] = prediction
-                if self._record_return(name, prediction):
+            with tracer.span("interprocedural-round"):
+                for name in order:
+                    prediction = self._analyse_one(name)
+                    self.predictions[name] = prediction
+                    if self._record_return(name, prediction):
+                        changed = True
+                if self._recompute_jump_functions():
                     changed = True
-            if self._recompute_jump_functions():
-                changed = True
             if not changed and round_number > 1:
                 break
         for prediction in self.predictions.values():

@@ -59,6 +59,23 @@ class VRPPredictor(Predictor):
         entry_param_ranges: Optional[Dict[str, RangeSet]] = None,
     ) -> ModulePrediction:
         """Analyse a whole prepared module."""
+        from repro.observability import tracer as tracing
+
+        tracer = tracing.active()
+        if tracer.enabled:
+            with tracer.span("predict"):
+                return self._predict_module(
+                    module, ssa_infos, entry, entry_param_ranges
+                )
+        return self._predict_module(module, ssa_infos, entry, entry_param_ranges)
+
+    def _predict_module(
+        self,
+        module: Module,
+        ssa_infos: Dict[str, SSAInfo],
+        entry: str,
+        entry_param_ranges: Optional[Dict[str, RangeSet]],
+    ) -> ModulePrediction:
         heuristic = self.fallback.as_fallback() if self.fallback else None
         if self.interprocedural:
             return analyse_module(

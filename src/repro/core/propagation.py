@@ -55,6 +55,8 @@ from repro.ir.instructions import (
 )
 from repro.ir.ssa import SSAEdges, SSAInfo, build_ssa_edges
 from repro.ir.values import Constant, Temp, Undef, Value
+from repro.observability import events as trace_events
+from repro.observability import tracer as tracing
 
 Edge = Tuple[str, str]
 
@@ -131,6 +133,11 @@ class PropagationEngine:
         self.cfg = CFG(function)
         self.edges = build_ssa_edges(function, ssa_info)
         self.counters = counters_mod.Counters()
+        # Tracing: one attribute check per instrumented site.  With the
+        # default NullTracer this stays None and every hook reduces to a
+        # single `is not None` test.
+        tracer = tracing.active()
+        self._trace = tracer if tracer.enabled else None
 
         self.values: Dict[str, RangeSet] = {}
         for param, ssa_name in ssa_info.param_names.items():
@@ -179,9 +186,15 @@ class PropagationEngine:
 
     def run(self) -> FunctionPrediction:
         """Propagate to a fixed point and collect the results."""
-        with counters_mod.use(self.counters):
-            self._seed()
-            self._drain()
+        if self._trace is not None:
+            with self._trace.span("propagate"):
+                with counters_mod.use(self.counters):
+                    self._seed()
+                    self._drain()
+        else:
+            with counters_mod.use(self.counters):
+                self._seed()
+                self._drain()
         return self._collect()
 
     # -- worklist machinery --------------------------------------------------------
@@ -214,22 +227,46 @@ class PropagationEngine:
             if use_flow:
                 edge = self.flow_list.popleft()
                 self.flow_pending.discard(edge)
+                if self._trace is not None:
+                    self._trace.emit(
+                        trace_events.WorklistPop(
+                            self.function.name, "flow", f"{edge[0]}->{edge[1]}"
+                        )
+                    )
                 self._process_flow_edge(edge)
             else:
                 instr = self.ssa_list.popleft()
                 self.ssa_pending.discard(id(instr))
+                if self._trace is not None:
+                    self._trace.emit(
+                        trace_events.WorklistPop(
+                            self.function.name, "ssa", _describe_ssa_item(instr)
+                        )
+                    )
                 self._process_ssa_item(instr)
 
     def _push_flow(self, edge: Edge) -> None:
         if edge not in self.flow_pending:
             self.flow_pending.add(edge)
             self.flow_list.append(edge)
+            if self._trace is not None:
+                self._trace.emit(
+                    trace_events.WorklistPush(
+                        self.function.name, "flow", f"{edge[0]}->{edge[1]}"
+                    )
+                )
 
     def _push_uses(self, name: str) -> None:
         for use in self.edges.uses_of.get(name, ()):
             if id(use) not in self.ssa_pending:
                 self.ssa_pending.add(id(use))
                 self.ssa_list.append(use)
+                if self._trace is not None:
+                    self._trace.emit(
+                        trace_events.WorklistPush(
+                            self.function.name, "ssa", _describe_ssa_item(use)
+                        )
+                    )
 
     # -- frequencies ----------------------------------------------------------------
 
@@ -302,6 +339,12 @@ class PropagationEngine:
         old_value = self.values.get(name, TOP)
         if new_value.approx_equal(old_value, self.config.tolerance):
             return
+        if self._trace is not None:
+            self._trace.emit(
+                trace_events.LatticeTransition(
+                    self.function.name, name, str(old_value), str(new_value)
+                )
+            )
         self.values[name] = new_value
         self._push_uses(name)
 
@@ -432,7 +475,20 @@ class PropagationEngine:
         bound = self._refinement_bound(instr.bound)
         if bound is None:
             return src
-        return refine_set(src, instr.op, bound, max_ranges=self.config.max_ranges)
+        refined = refine_set(src, instr.op, bound, max_ranges=self.config.max_ranges)
+        if self._trace is not None:
+            self._trace.emit(
+                trace_events.PiRefinement(
+                    self.function.name,
+                    instr.dest.name,
+                    instr.src.name if isinstance(instr.src, Temp) else str(instr.src),
+                    instr.op,
+                    str(bound),
+                    str(src),
+                    str(refined),
+                )
+            )
+        return refined
 
     def _symbol_range(self, name: str, depth: int = 3) -> Optional[RangeSet]:
         """Numeric distribution of a symbol (for comparison integration).
@@ -511,6 +567,12 @@ class PropagationEngine:
             if id(load) not in self.ssa_pending:
                 self.ssa_pending.add(id(load))
                 self.ssa_list.append(load)
+                if self._trace is not None:
+                    self._trace.emit(
+                        trace_events.WorklistPush(
+                            self.function.name, "ssa", _describe_ssa_item(load)
+                        )
+                    )
 
     # -- phi evaluation (steps 4 and 5) ----------------------------------------------------------------
 
@@ -532,15 +594,20 @@ class PropagationEngine:
             and name not in self.underivable
         ):
             self.counters.derivations_attempted += 1
-            outcome = derive_loop_phi(
-                phi,
-                back_preds,
-                self.edges,
-                value_of=lambda n: self.values.get(n, TOP),
-                constant_of=self._constant_of,
-                symbolic=self.config.symbolic,
-                max_ranges=self.config.max_ranges,
-            )
+            if self._trace is not None:
+                with self._trace.span("derive"):
+                    outcome = self._derive(phi, back_preds)
+                self._trace.emit(
+                    trace_events.DerivationAttempt(
+                        self.function.name,
+                        name,
+                        outcome.status,
+                        outcome.detail,
+                        str(outcome.rangeset) if outcome.rangeset is not None else None,
+                    )
+                )
+            else:
+                outcome = self._derive(phi, back_preds)
             if outcome.derived:
                 self.counters.derivations_succeeded += 1
                 self.derived.add(name)
@@ -551,6 +618,20 @@ class PropagationEngine:
                 self.underivable.add(name)
             # "not_ready": fall through to a merge; derivation retried later.
 
+        self._evaluate_phi_merge(phi, name, label)
+
+    def _derive(self, phi: Phi, back_preds: Set[str]):
+        return derive_loop_phi(
+            phi,
+            back_preds,
+            self.edges,
+            value_of=lambda n: self.values.get(n, TOP),
+            constant_of=self._constant_of,
+            symbolic=self.config.symbolic,
+            max_ranges=self.config.max_ranges,
+        )
+
+    def _evaluate_phi_merge(self, phi: Phi, name: str, label: str) -> None:
         self.counters.phi_evaluations += 1
         self.counters.expr_evaluations += 1
         merged = self._merge_phi(phi, label)
@@ -562,6 +643,17 @@ class PropagationEngine:
                 # Oscillating merge (e.g. an alternating recurrence whose
                 # probabilities never settle): freeze at the current value
                 # to guarantee termination.
+                if self._trace is not None:
+                    self._trace.emit(
+                        trace_events.PhiMerge(
+                            self.function.name,
+                            name,
+                            label,
+                            str(old),
+                            widened=name in self.widened,
+                            frozen=True,
+                        )
+                    )
                 return
         if name in self.widened:
             # Once widened, stay widened: the hull may only grow further.
@@ -574,6 +666,17 @@ class PropagationEngine:
             if grows > self.config.widen_after and merged.is_set:
                 self.widened.add(name)
                 merged = _widen(old, merged)
+        if self._trace is not None:
+            self._trace.emit(
+                trace_events.PhiMerge(
+                    self.function.name,
+                    name,
+                    label,
+                    str(merged),
+                    widened=name in self.widened,
+                    frozen=False,
+                )
+            )
         self._update(name, merged)
 
     def _merge_phi(self, phi: Phi, label: str) -> RangeSet:
@@ -631,8 +734,42 @@ class PropagationEngine:
         old = self.branch_prob.get(label)
         if old is None or abs(probability - old) > self.config.tolerance:
             self.branch_prob[label] = probability
+            if self._trace is not None:
+                self._emit_branch_resolution(instr, label, probability)
         self._set_edge_freq((label, instr.true_target), freq * probability)
         self._set_edge_freq((label, instr.false_target), freq * (1.0 - probability))
+
+    def _emit_branch_resolution(
+        self, instr: Branch, label: str, probability: float
+    ) -> None:
+        """Record why this branch got its probability (tracing only)."""
+        cond = instr.cond
+        cond_name = cond.name if isinstance(cond, Temp) else None
+        cmp_op: Optional[str] = None
+        operands: Tuple[Tuple[str, str], ...] = ()
+        if cond_name is not None:
+            definition = self.edges.defining_instruction(cond_name)
+            if isinstance(definition, Cmp):
+                cmp_op = definition.op
+                operands = tuple(
+                    (
+                        operand.name if isinstance(operand, Temp) else str(operand),
+                        str(self.value_of(operand)),
+                    )
+                    for operand in (definition.lhs, definition.rhs)
+                )
+        self._trace.emit(
+            trace_events.BranchResolution(
+                self.function.name,
+                label,
+                "heuristic" if label in self.used_heuristic else "ranges",
+                probability,
+                cond_name,
+                str(self.value_of(cond)),
+                cmp_op,
+                operands,
+            )
+        )
 
     def _branch_probability(self, instr: Branch, label: str) -> Optional[float]:
         cond = self.value_of(instr.cond)
@@ -692,6 +829,15 @@ class PropagationEngine:
             return_set=return_set,
             aborted=self.aborted,
         )
+
+
+def _describe_ssa_item(instr: Instruction) -> str:
+    """Stable label for a worklist item (trace output only)."""
+    result = instr.result
+    if result is not None:
+        return result.name
+    block = instr.block
+    return f"{type(instr).__name__.lower()}@{block.label if block else '?'}"
 
 
 def _hull_grew(old: RangeSet, new: RangeSet) -> bool:

@@ -41,7 +41,9 @@ from repro.evalharness.runner import (
     prepare_workload,
     profile_predictions,
     standard_predictors,
+    suite_metrics,
     vrp_predictions,
+    workload_metrics,
 )
 
 __all__ = [
@@ -69,6 +71,8 @@ __all__ = [
     "profile_predictions",
     "ranking",
     "standard_predictors",
+    "suite_metrics",
     "synthetic_program",
     "vrp_predictions",
+    "workload_metrics",
 ]

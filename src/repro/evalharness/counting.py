@@ -9,7 +9,7 @@ the paper's 50-program collection).
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 from repro.core import VRPConfig, VRPPredictor
 from repro.ir import prepare_module
@@ -17,7 +17,9 @@ from repro.lang import compile_source
 from repro.workloads import Workload, all_workloads
 
 
-def measure_source(source: str, config: VRPConfig = None) -> Tuple[int, int, int]:
+def measure_source(
+    source: str, config: Optional[VRPConfig] = None
+) -> Tuple[int, int, int]:
     """(instructions, expression evaluations, sub-operations) for a program."""
     module = compile_source(source)
     ssa_infos = prepare_module(module)
@@ -30,7 +32,9 @@ def measure_source(source: str, config: VRPConfig = None) -> Tuple[int, int, int
     )
 
 
-def measure_workloads(config: VRPConfig = None) -> List[Tuple[str, int, int, int]]:
+def measure_workloads(
+    config: Optional[VRPConfig] = None,
+) -> List[Tuple[str, int, int, int]]:
     """Work counts for the full 20-program suite."""
     out: List[Tuple[str, int, int, int]] = []
     for workload in all_workloads():
@@ -63,7 +67,7 @@ def synthetic_program(units: int) -> str:
 
 
 def measure_scaling(
-    unit_counts: List[int] = None, config: VRPConfig = None
+    unit_counts: Optional[List[int]] = None, config: Optional[VRPConfig] = None
 ) -> List[Tuple[int, int, int]]:
     """(instructions, evaluations, sub-operations) over the synthetic family."""
     if unit_counts is None:

@@ -111,6 +111,33 @@ def vrp_predictions(
     return prediction.all_branches()
 
 
+def workload_metrics(prepared: PreparedWorkload, config: Optional[VRPConfig] = None):
+    """A :class:`~repro.observability.MetricsReport` for one VRP run.
+
+    Re-runs the VRP predictor over the prepared workload under a
+    recording tracer, so the report carries phase timings, counters,
+    and per-branch provenance -- the machine-readable counterpart of
+    the rendered figure tables.
+    """
+    from repro.observability import Tracer, build_metrics_report, use
+
+    tracer = Tracer()
+    with use(tracer):
+        predictor = VRPPredictor(config=config)
+        prediction = predictor.predict_module(prepared.module, prepared.ssa_infos)
+    return build_metrics_report(
+        prediction, tracer, program=prepared.workload.name
+    )
+
+
+def suite_metrics(
+    prepared_workloads: List[PreparedWorkload],
+    config: Optional[VRPConfig] = None,
+) -> List:
+    """Metrics reports for every workload of a prepared suite."""
+    return [workload_metrics(prepared, config) for prepared in prepared_workloads]
+
+
 def standard_predictors() -> Dict[str, PredictionFn]:
     """The six prediction lines of the paper's Figures 7 and 8."""
     numeric_config = VRPConfig(symbolic=False)

@@ -281,17 +281,47 @@ class BallLarusPredictor(Predictor):
     def predict_branch(
         self, context: FunctionContext, label: str, branch: Branch
     ) -> float:
-        estimates = []
-        for _, heuristic in HEURISTIC_ORDER:
+        chain: List[Tuple[str, float]] = []
+        for name, heuristic in HEURISTIC_ORDER:
             estimate = heuristic(context, label, branch)
             if estimate is None:
                 continue
+            chain.append((name, estimate))
             if self.combination == "priority":
-                return estimate
-            estimates.append(estimate)
-        if not estimates:
-            return 0.5
-        return dempster_shafer(estimates)
+                break
+        if self.combination == "priority":
+            combined = chain[0][1] if chain else 0.5
+        elif not chain:
+            combined = 0.5
+        else:
+            combined = dempster_shafer([estimate for _, estimate in chain])
+        self._emit_chain(context, label, chain, combined)
+        return combined
+
+    def _emit_chain(
+        self,
+        context: FunctionContext,
+        label: str,
+        chain: List[Tuple[str, float]],
+        combined: float,
+    ) -> None:
+        """Tag the trace with which heuristics fired (no-op when disabled)."""
+        from repro.observability import tracer as tracing
+
+        tracer = tracing.active()
+        if not tracer.enabled:
+            return
+        from repro.observability.events import HeuristicChain
+
+        tracer.emit(
+            HeuristicChain(
+                context.function.name,
+                label,
+                self.combination,
+                tuple(chain),
+                combined,
+            )
+        )
 
     def applicable_heuristics(
         self, context: FunctionContext, label: str, branch: Branch

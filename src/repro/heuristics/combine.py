@@ -12,15 +12,36 @@ The neutral element is 0.5; combining complementary evidence cancels.
 
 from __future__ import annotations
 
-from typing import Iterable
+from typing import Iterable, List
+
+
+def _combine_pair(combined: float, p: float) -> float:
+    p = min(1.0 - 1e-9, max(1e-9, p))
+    numerator = combined * p
+    denominator = numerator + (1.0 - combined) * (1.0 - p)
+    return numerator / denominator
 
 
 def dempster_shafer(probabilities: Iterable[float], neutral: float = 0.5) -> float:
     """Fuse independent probability estimates for one binary event."""
     combined = neutral
     for p in probabilities:
-        p = min(1.0 - 1e-9, max(1e-9, p))
-        numerator = combined * p
-        denominator = numerator + (1.0 - combined) * (1.0 - p)
-        combined = numerator / denominator
+        combined = _combine_pair(combined, p)
     return combined
+
+
+def dempster_shafer_steps(
+    probabilities: Iterable[float], neutral: float = 0.5
+) -> List[float]:
+    """The running combination after each piece of evidence.
+
+    Used by the observability layer's explain mode to show the
+    Dempster-Shafer walkthrough heuristic by heuristic; the last element
+    (or ``neutral`` for no evidence) equals :func:`dempster_shafer`.
+    """
+    combined = neutral
+    steps: List[float] = []
+    for p in probabilities:
+        combined = _combine_pair(combined, p)
+        steps.append(combined)
+    return steps

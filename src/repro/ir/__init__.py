@@ -54,13 +54,25 @@ def prepare_for_analysis(function: Function, assertions: bool = True) -> SSAInfo
     Removes unreachable blocks, splits conditional out-edges so each has
     a unique destination, inserts assertion (Pi) nodes, and rewrites into
     SSA form.  Returns the :class:`SSAInfo` from SSA construction.
+
+    Each stage runs under a tracer span ("cfg-cleanup" / "assert" /
+    "ssa"), so phase timings cover the whole pipeline when a tracer is
+    active; the default NullTracer makes the spans no-ops.
     """
-    remove_unreachable_blocks(function)
-    split_critical_edges(function)
+    from repro.observability import tracer as tracing
+
+    tracer = tracing.active()
+    with tracer.span("cfg-cleanup"):
+        remove_unreachable_blocks(function)
+        split_critical_edges(function)
     if assertions:
-        insert_assertions(function)
-    info = construct_ssa(function)
-    verify_function(function, ssa=True, param_names=set(info.param_names.values()))
+        with tracer.span("assert"):
+            insert_assertions(function)
+    with tracer.span("ssa"):
+        info = construct_ssa(function)
+        verify_function(
+            function, ssa=True, param_names=set(info.param_names.values())
+        )
     return info
 
 

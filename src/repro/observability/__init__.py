@@ -1,0 +1,94 @@
+"""End-to-end observability: tracing, metrics, and branch explanation.
+
+* :mod:`repro.observability.tracer`  -- span timing + event stream
+  (:class:`Tracer` / :class:`NullTracer`, ``active()`` / ``use()``);
+* :mod:`repro.observability.events`  -- the event taxonomy;
+* :mod:`repro.observability.metrics` -- :class:`MetricsReport`, the
+  JSON export consumed by the harness and the benchmarks;
+* :mod:`repro.observability.explain` -- "why is this branch 87.5%?";
+* :mod:`repro.observability.instrument` -- traced compile/analyse
+  pipelines (phase spans for lex/parse/lower/ssa/propagate/predict).
+
+``explain`` and ``instrument`` depend on the analysis layers, while the
+engine itself imports the tracer from here -- they are loaded lazily
+(PEP 562) to keep ``repro.core`` -> ``repro.observability`` acyclic.
+"""
+
+from repro.observability.events import (
+    EVENT_KINDS,
+    BranchResolution,
+    DerivationAttempt,
+    HeuristicChain,
+    LatticeTransition,
+    PhiMerge,
+    PiRefinement,
+    TraceEvent,
+    WorklistPop,
+    WorklistPush,
+)
+from repro.observability.metrics import (
+    SCHEMA_KEYS,
+    SCHEMA_VERSION,
+    MetricsReport,
+    build_metrics_report,
+    validate_report_dict,
+)
+from repro.observability.tracer import (
+    NULL_TRACER,
+    NullTracer,
+    PhaseTiming,
+    SpanRecord,
+    Tracer,
+    active,
+    use,
+)
+
+_LAZY = {
+    "BranchExplanation": "repro.observability.explain",
+    "explain_branch": "repro.observability.explain",
+    "explain_module": "repro.observability.explain",
+    "TraceSession": "repro.observability.instrument",
+    "compile_source_traced": "repro.observability.instrument",
+    "trace_analysis": "repro.observability.instrument",
+}
+
+
+def __getattr__(name: str):
+    module_name = _LAZY.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)
+
+
+__all__ = [
+    "EVENT_KINDS",
+    "NULL_TRACER",
+    "SCHEMA_KEYS",
+    "SCHEMA_VERSION",
+    "BranchExplanation",
+    "BranchResolution",
+    "DerivationAttempt",
+    "HeuristicChain",
+    "LatticeTransition",
+    "MetricsReport",
+    "NullTracer",
+    "PhaseTiming",
+    "PhiMerge",
+    "PiRefinement",
+    "SpanRecord",
+    "TraceEvent",
+    "TraceSession",
+    "Tracer",
+    "WorklistPop",
+    "WorklistPush",
+    "active",
+    "build_metrics_report",
+    "compile_source_traced",
+    "explain_branch",
+    "explain_module",
+    "trace_analysis",
+    "use",
+    "validate_report_dict",
+]

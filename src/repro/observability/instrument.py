@@ -1,0 +1,78 @@
+"""Traced front-end pipelines: phase spans around the whole toolchain.
+
+:func:`compile_source_traced` mirrors :func:`repro.lang.compile_source`
+but runs each front-end stage under its own span (``lex`` / ``parse`` /
+``lower``); preparation and the engine add ``cfg-cleanup`` / ``assert``
+/ ``ssa`` / ``propagate`` / ``derive`` / ``predict`` spans of their
+own, so one :func:`trace_analysis` call yields the full phase-timing
+breakdown the paper's Figures 5/6 work counts cannot show.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.core.config import VRPConfig
+from repro.core.interprocedural import ModulePrediction
+from repro.core.predictor import VRPPredictor
+from repro.ir import prepare_module
+from repro.ir.function import Module
+from repro.ir.ssa import SSAInfo
+from repro.lang.lexer import tokenize
+from repro.lang.lowering import lower_program
+from repro.lang.parser import Parser
+from repro.observability.metrics import MetricsReport, build_metrics_report
+from repro.observability.tracer import Tracer, active, use
+
+
+def compile_source_traced(source: str, module_name: str = "module") -> Module:
+    """``repro.lang.compile_source`` with per-stage spans."""
+    tracer = active()
+    with tracer.span("lex"):
+        tokens = tokenize(source)
+    with tracer.span("parse"):
+        program = Parser(tokens).parse_program()
+    with tracer.span("lower"):
+        return lower_program(program, module_name=module_name)
+
+
+@dataclass
+class TraceSession:
+    """Everything one traced analysis run produced."""
+
+    module: Module
+    ssa_infos: Dict[str, SSAInfo]
+    prediction: ModulePrediction
+    tracer: Tracer
+
+    def metrics_report(self, program: Optional[str] = None) -> MetricsReport:
+        return build_metrics_report(
+            self.prediction,
+            self.tracer,
+            program=program or self.module.name,
+        )
+
+
+def trace_analysis(
+    source: str,
+    module_name: str = "module",
+    config: Optional[VRPConfig] = None,
+    interprocedural: bool = True,
+    tracer: Optional[Tracer] = None,
+    record_events: bool = True,
+) -> TraceSession:
+    """Compile, prepare, and predict one program under a recording tracer."""
+    if tracer is None:
+        tracer = Tracer(record_events=record_events)
+    with use(tracer):
+        module = compile_source_traced(source, module_name=module_name)
+        ssa_infos = prepare_module(module)
+        predictor = VRPPredictor(config=config, interprocedural=interprocedural)
+        prediction = predictor.predict_module(module, ssa_infos)
+    return TraceSession(
+        module=module,
+        ssa_infos=ssa_infos,
+        prediction=prediction,
+        tracer=tracer,
+    )

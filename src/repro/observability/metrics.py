@@ -1,0 +1,163 @@
+"""Machine-readable metrics for one analysis run.
+
+A :class:`MetricsReport` aggregates the three observability products --
+work counters, span phase timings, and per-branch provenance -- into a
+stable JSON document (schema documented in ``docs/OBSERVABILITY.md``).
+The evaluation harness and the ``benchmarks/`` suite write these as
+``BENCH_*.json`` files so figures can be post-processed by tools
+instead of scraped from tables.
+
+Top-level schema keys (``SCHEMA_KEYS``):
+
+* ``schema_version`` -- integer, currently 1;
+* ``program``        -- module/workload name;
+* ``phases``         -- {span name: {"count": int, "seconds": float}};
+* ``counters``       -- the :class:`repro.core.counters.Counters` dict;
+* ``branches``       -- list of per-branch provenance records;
+* ``meta``           -- rounds, function/event totals, drop counts.
+
+Each branch record has ``function``, ``label``, ``probability``,
+``source`` ("ranges" or "heuristic"), and -- when a recording tracer
+was active -- ``cond``, ``cond_range``, ``cmp_op``, ``operands`` and
+``heuristics`` (the Ball-Larus chain with per-heuristic estimates).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.observability.events import BranchResolution, HeuristicChain
+
+SCHEMA_VERSION = 1
+
+SCHEMA_KEYS = ("schema_version", "program", "phases", "counters", "branches", "meta")
+
+BRANCH_KEYS = ("function", "label", "probability", "source")
+
+
+@dataclass
+class MetricsReport:
+    """Aggregated, serialisable metrics of one analysis run."""
+
+    program: str
+    phases: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    counters: Dict[str, int] = field(default_factory=dict)
+    branches: List[dict] = field(default_factory=list)
+    meta: Dict[str, object] = field(default_factory=dict)
+    schema_version: int = SCHEMA_VERSION
+
+    # -- serialisation -------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "schema_version": self.schema_version,
+            "program": self.program,
+            "phases": self.phases,
+            "counters": self.counters,
+            "branches": self.branches,
+            "meta": self.meta,
+        }
+
+    def to_json(self, indent: int = 1) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "MetricsReport":
+        return cls(
+            program=data["program"],
+            phases=data.get("phases", {}),
+            counters=data.get("counters", {}),
+            branches=data.get("branches", []),
+            meta=data.get("meta", {}),
+            schema_version=data.get("schema_version", SCHEMA_VERSION),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "MetricsReport":
+        return cls.from_dict(json.loads(text))
+
+    def write(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_json() + "\n")
+
+    @classmethod
+    def read(cls, path: str) -> "MetricsReport":
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.from_json(handle.read())
+
+
+def build_metrics_report(prediction, tracer=None, program: str = "module") -> "MetricsReport":
+    """Assemble a report from a :class:`ModulePrediction` and a tracer.
+
+    Works with a disabled (or absent) tracer: phase timings come out
+    empty and branch provenance degrades to probability + source, both
+    reconstructable from the prediction alone.
+    """
+    phases: Dict[str, Dict[str, float]] = {}
+    meta: Dict[str, object] = {
+        "rounds": getattr(prediction, "rounds", 1),
+        "functions": len(prediction.functions),
+        "aborted_functions": sorted(
+            name
+            for name, function_prediction in prediction.functions.items()
+            if function_prediction.aborted
+        ),
+    }
+    provenance: Dict[tuple, BranchResolution] = {}
+    chains: Dict[tuple, HeuristicChain] = {}
+    if tracer is not None and tracer.enabled:
+        for name, timing in tracer.phase_timings().items():
+            phases[name] = {"count": timing.count, "seconds": timing.seconds}
+        # Later events overwrite earlier ones: the final resolution wins.
+        for event in tracer.events_of(BranchResolution):
+            provenance[(event.function, event.label)] = event
+        for event in tracer.events_of(HeuristicChain):
+            chains[(event.function, event.label)] = event
+        meta["event_counts"] = dict(tracer.event_counts)
+        meta["dropped_events"] = tracer.dropped_events
+
+    heuristic_branches = prediction.heuristic_branches()
+    branches: List[dict] = []
+    for (function, label), probability in sorted(prediction.all_branches().items()):
+        record: dict = {
+            "function": function,
+            "label": label,
+            "probability": probability,
+            "source": (
+                "heuristic" if (function, label) in heuristic_branches else "ranges"
+            ),
+        }
+        resolution = provenance.get((function, label))
+        if resolution is not None:
+            record["cond"] = resolution.cond
+            record["cond_range"] = resolution.cond_range
+            record["cmp_op"] = resolution.cmp_op
+            record["operands"] = [list(pair) for pair in resolution.operands]
+        chain = chains.get((function, label))
+        if chain is not None:
+            record["heuristics"] = [list(pair) for pair in chain.chain]
+        branches.append(record)
+
+    return MetricsReport(
+        program=program,
+        phases=phases,
+        counters=prediction.counters.as_dict(),
+        branches=branches,
+        meta=meta,
+    )
+
+
+def validate_report_dict(data: dict) -> Optional[str]:
+    """Schema check; returns an error message or None when valid."""
+    for key in SCHEMA_KEYS:
+        if key not in data:
+            return f"missing top-level key {key!r}"
+    if not isinstance(data["schema_version"], int):
+        return "schema_version must be an integer"
+    for record in data["branches"]:
+        for key in BRANCH_KEYS:
+            if key not in record:
+                return f"branch record missing key {key!r}"
+    return None

@@ -1,5 +1,7 @@
 """Command-line interface tests."""
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -76,6 +78,113 @@ class TestOtherCommands:
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):
             main(["frobnicate"])
+
+
+class TestTrace:
+    def test_trace_prints_timings_events_and_counters(self, program_file, capsys):
+        assert main(["trace", program_file]) == 0
+        out = capsys.readouterr().out
+        assert "phase timings:" in out
+        for phase in ("lex", "parse", "lower", "ssa", "propagate", "predict"):
+            assert phase in out
+        assert "event counts:" in out
+        assert "lattice.transition" in out
+        assert "counters:" in out
+        assert "expr_evaluations" in out
+
+    def test_trace_jsonl_dumps_the_event_stream(self, program_file, tmp_path, capsys):
+        path = tmp_path / "events.jsonl"
+        assert main(["trace", program_file, "--jsonl", str(path)]) == 0
+        lines = path.read_text().splitlines()
+        assert lines
+        kinds = {json.loads(line)["kind"] for line in lines}
+        assert "worklist.push" in kinds
+        assert "lattice.transition" in kinds
+        assert "branch.resolve" in kinds
+
+    def test_trace_missing_file_exits_cleanly(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["trace", "/no/such/file.toy"])
+        assert "no such file" in str(excinfo.value)
+
+
+class TestExplain:
+    def test_explain_names_controlling_range(self, program_file, capsys):
+        assert main(["explain", program_file, "main/for1"]) == 0
+        out = capsys.readouterr().out
+        assert "P(true) = 90.9%" in out
+        assert "predicted from value ranges" in out
+        assert "{ 1[0:10:1] }" in out
+
+    def test_explain_bare_label_and_whole_function(self, program_file, capsys):
+        assert main(["explain", program_file, "for1"]) == 0
+        assert "main/for1" in capsys.readouterr().out
+        assert main(["explain", program_file, "main"]) == 0
+        out = capsys.readouterr().out
+        assert "main/for1" in out and "main/exit4" in out
+
+    def test_explain_heuristic_fallback_branch(self, tmp_path, capsys):
+        path = tmp_path / "bottom.toy"
+        path.write_text(
+            "func main(n) {\n"
+            "  var v = input();\n"
+            "  if (v < 0) { return 0; }\n"
+            "  return 1;\n"
+            "}\n"
+        )
+        assert main(["explain", str(path), "main"]) == 0
+        out = capsys.readouterr().out
+        assert "heuristic fallback (controlling range is bottom)" in out
+        assert "Ball-Larus heuristic chain" in out
+
+    def test_explain_unknown_branch_lists_known(self, program_file):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["explain", program_file, "main/nope"])
+        message = str(excinfo.value)
+        assert "known branches" in message
+        assert "main/for1" in message
+
+
+class TestEmitMetrics:
+    def test_predict_emit_metrics_writes_valid_report(
+        self, program_file, tmp_path, capsys
+    ):
+        from repro.observability import validate_report_dict
+
+        path = tmp_path / "metrics.json"
+        assert main(["predict", program_file, "--emit-metrics", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert f"metrics written to {path}" in out
+        data = json.loads(path.read_text())
+        assert validate_report_dict(data) is None
+        assert data["schema_version"] == 1
+
+    def test_emitted_probabilities_match_predict_output(
+        self, program_file, tmp_path, capsys
+    ):
+        path = tmp_path / "metrics.json"
+        assert main(["predict", program_file, "--emit-metrics", str(path)]) == 0
+        capsys.readouterr()
+        data = json.loads(path.read_text())
+        by_label = {record["label"]: record for record in data["branches"]}
+        assert by_label["for1"]["probability"] == pytest.approx(10 / 11)
+        assert by_label["for1"]["source"] == "ranges"
+        # The plain predict output quotes the same number.
+        assert main(["predict", program_file]) == 0
+        assert "90.9%" in capsys.readouterr().out
+
+    def test_evaluate_emit_metrics_single_workload(self, tmp_path, capsys):
+        from repro.observability import validate_report_dict
+
+        path = tmp_path / "workload.json"
+        assert (
+            main(["evaluate", "--workload", "interp", "--emit-metrics", str(path)])
+            == 0
+        )
+        data = json.loads(path.read_text())
+        assert validate_report_dict(data) is None
+        assert data["program"] == "interp"
+        assert data["counters"]["expr_evaluations"] > 0
 
 
 class TestErrorHandling:

@@ -1,0 +1,161 @@
+"""Event-stream completeness on the paper's Figure 4 worked example.
+
+The stream must be a faithful journal of the propagation run: replaying
+the lattice transitions alone reproduces the engine's final range sets,
+and the worklist pop events agree with the work counters.
+"""
+
+import pytest
+
+from repro.core.propagation import analyse_function
+from repro.ir import prepare_for_analysis
+from repro.lang import compile_source
+from repro.observability.events import (
+    BranchResolution,
+    DerivationAttempt,
+    LatticeTransition,
+    PhiMerge,
+    PiRefinement,
+    WorklistPop,
+    WorklistPush,
+)
+from repro.observability.tracer import Tracer, use
+
+PAPER_FIGURE_2 = """
+func main(n) {
+  var y = 0;
+  for (x = 0; x < 10; x = x + 1) {
+    if (x > 7) { y = 1; } else { y = x; }
+    if (y == 1) { n = n + 1; }
+  }
+  return n;
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def traced_run():
+    module = compile_source(PAPER_FIGURE_2)
+    function = module.function("main")
+    info = prepare_for_analysis(function)
+    tracer = Tracer()
+    with use(tracer):
+        prediction = analyse_function(function, info)
+    return tracer, prediction, info
+
+
+def test_all_event_kinds_fire(traced_run):
+    tracer, _, _ = traced_run
+    for kind in (
+        "worklist.push",
+        "worklist.pop",
+        "lattice.transition",
+        "phi.merge",
+        "pi.refine",
+        "derive.attempt",
+        "branch.resolve",
+    ):
+        assert tracer.event_counts.get(kind, 0) > 0, kind
+
+
+def test_every_lattice_transition_is_recorded(traced_run):
+    """Names can only change via ``_update``; the stream must show it."""
+    tracer, prediction, info = traced_run
+    transitioned = {e.name for e in tracer.events_of(LatticeTransition)}
+    param_seeds = set(info.param_names.values())
+    for name in prediction.values:
+        if name in param_seeds:
+            continue  # parameters are seeded before propagation starts
+        assert name in transitioned, f"no transition recorded for {name}"
+
+
+def test_transitions_chain_old_to_new(traced_run):
+    tracer, _, _ = traced_run
+    last_seen = {}
+    for event in tracer.events_of(LatticeTransition):
+        previous = last_seen.get(event.name)
+        if previous is not None:
+            assert event.old == previous, event.name
+        last_seen[event.name] = event.new
+
+
+def test_replaying_transitions_reproduces_final_range_sets(traced_run):
+    tracer, prediction, info = traced_run
+    replayed = {}
+    for event in tracer.events_of(LatticeTransition):
+        replayed[event.name] = event.new
+    param_seeds = set(info.param_names.values())
+    for name, rangeset in prediction.values.items():
+        if name in param_seeds:
+            continue
+        assert replayed[name] == str(rangeset), name
+    # The paper's headline ranges survive the replay.
+    assert replayed["x.1"] == "{ 1[0:10:1] }"
+    assert replayed["x.3"] == "{ 1[0:9:1] }"
+
+
+def test_worklist_pops_match_work_counters(traced_run):
+    tracer, prediction, _ = traced_run
+    pops = tracer.events_of(WorklistPop)
+    flow = sum(1 for e in pops if e.list_name == "flow")
+    ssa = sum(1 for e in pops if e.list_name == "ssa")
+    assert flow == prediction.counters.flow_edges_processed
+    assert ssa == prediction.counters.ssa_edges_processed
+
+
+def test_pushes_and_pops_share_vocabulary(traced_run):
+    tracer, _, _ = traced_run
+    pushed = {(e.list_name, e.item) for e in tracer.events_of(WorklistPush)}
+    for event in tracer.events_of(WorklistPop):
+        if event.list_name == "flow" and event.item == "<entry>->entry0":
+            continue  # the seed edge is enqueued before draining starts
+        assert (event.list_name, event.item) in pushed
+
+
+def test_derivation_attempts_explain_themselves(traced_run):
+    tracer, _, _ = traced_run
+    attempts = tracer.events_of(DerivationAttempt)
+    derived = [e for e in attempts if e.status == "derived"]
+    assert derived, "the Figure 4 loop phi must derive"
+    assert any(e.name == "x.1" for e in derived)
+    for event in derived:
+        assert "induction" in event.detail
+        assert event.result is not None
+
+
+def test_phi_merges_report_freezes_distinctly(traced_run):
+    tracer, _, _ = traced_run
+    merges = tracer.events_of(PhiMerge)
+    assert merges
+    assert all(isinstance(e.frozen, bool) for e in merges)
+
+
+def test_pi_refinements_name_source_and_bound(traced_run):
+    tracer, _, _ = traced_run
+    for event in tracer.events_of(PiRefinement):
+        assert event.dest != event.src
+        assert event.op
+        assert event.before != "" and event.after != ""
+
+
+def test_branch_resolutions_match_final_probabilities(traced_run):
+    tracer, prediction, _ = traced_run
+    final = {}
+    for event in tracer.events_of(BranchResolution):
+        final[event.label] = event
+    assert set(final) == set(prediction.branch_probability)
+    for label, probability in prediction.branch_probability.items():
+        event = final[label]
+        assert event.probability == pytest.approx(probability)
+        assert event.source == "ranges"
+        assert len(event.operands) == 2
+
+
+def test_disabled_tracer_records_nothing_for_the_same_run():
+    module = compile_source(PAPER_FIGURE_2)
+    function = module.function("main")
+    info = prepare_for_analysis(function)
+    tracer = Tracer()
+    prediction = analyse_function(function, info)  # no use(): NullTracer active
+    assert tracer.events == [] and tracer.spans == []
+    assert prediction.branch_probability["for1"] == pytest.approx(10 / 11)

@@ -1,0 +1,143 @@
+"""Tracer mechanics: spans, the event stream, and the ambient context."""
+
+import time
+
+import pytest
+
+from repro.observability.events import WorklistPush
+from repro.observability.tracer import (
+    NULL_TRACER,
+    NullTracer,
+    Tracer,
+    active,
+    use,
+)
+
+
+def _event(item: str = "x") -> WorklistPush:
+    return WorklistPush(function="f", list_name="flow", item=item)
+
+
+class TestSpans:
+    def test_span_times_the_region(self):
+        tracer = Tracer()
+        with tracer.span("work"):
+            time.sleep(0.002)
+        (record,) = tracer.spans
+        assert record.name == "work"
+        assert record.end is not None
+        assert record.seconds >= 0.002
+
+    def test_spans_nest_and_remember_parents(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+            with tracer.span("inner"):
+                pass
+        outer, first, second = tracer.spans
+        assert outer.depth == 0 and outer.parent is None
+        assert first.depth == 1 and first.parent == outer.index
+        assert second.depth == 1 and second.parent == outer.index
+
+    def test_open_span_reports_zero_seconds(self):
+        tracer = Tracer()
+        manager = tracer.span("open")
+        manager.__enter__()
+        assert tracer.spans[0].seconds == 0.0
+        manager.__exit__(None, None, None)
+        assert tracer.spans[0].seconds > 0.0
+
+    def test_phase_timings_aggregate_by_name(self):
+        tracer = Tracer()
+        for _ in range(3):
+            with tracer.span("derive"):
+                pass
+        with tracer.span("propagate"):
+            pass
+        timings = tracer.phase_timings()
+        assert timings["derive"].count == 3
+        assert timings["propagate"].count == 1
+        assert timings["derive"].seconds >= 0.0
+
+    def test_phase_timings_skip_open_spans(self):
+        tracer = Tracer()
+        manager = tracer.span("open")
+        manager.__enter__()
+        assert "open" not in tracer.phase_timings()
+        manager.__exit__(None, None, None)
+        assert tracer.phase_timings()["open"].count == 1
+
+    def test_span_closes_on_exception(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("boom"):
+                raise RuntimeError("boom")
+        assert tracer.spans[0].end is not None
+        with tracer.span("after"):
+            pass
+        assert tracer.spans[1].depth == 0  # stack unwound correctly
+
+
+class TestEvents:
+    def test_emit_records_and_counts(self):
+        tracer = Tracer()
+        tracer.emit(_event("a"))
+        tracer.emit(_event("b"))
+        assert [e.item for e in tracer.events] == ["a", "b"]
+        assert tracer.event_counts == {"worklist.push": 2}
+
+    def test_events_of_accepts_kind_string_and_class(self):
+        tracer = Tracer()
+        tracer.emit(_event())
+        assert tracer.events_of("worklist.push") == tracer.events
+        assert tracer.events_of(WorklistPush) == tracer.events
+        assert tracer.events_of("worklist.pop") == []
+
+    def test_max_events_caps_the_stream(self):
+        tracer = Tracer(max_events=2)
+        for index in range(5):
+            tracer.emit(_event(str(index)))
+        assert len(tracer.events) == 2
+        assert tracer.dropped_events == 3
+        assert tracer.event_counts["worklist.push"] == 5  # counts keep going
+
+    def test_record_events_false_keeps_only_counts(self):
+        tracer = Tracer(record_events=False)
+        tracer.emit(_event())
+        assert tracer.events == []
+        assert tracer.event_counts == {"worklist.push": 1}
+
+
+class TestNullTracer:
+    def test_disabled_and_inert(self):
+        tracer = NullTracer()
+        assert tracer.enabled is False
+        with tracer.span("anything") as span:
+            assert span is None
+        tracer.emit(_event())
+        assert tracer.spans == []
+        assert tracer.events == []
+        assert tracer.event_counts == {}
+        assert tracer.phase_timings() == {}
+        assert tracer.events_of("worklist.push") == []
+
+
+class TestAmbientContext:
+    def test_default_is_the_null_tracer(self):
+        assert active() is NULL_TRACER
+        assert active().enabled is False
+
+    def test_use_scopes_the_active_tracer(self):
+        tracer = Tracer()
+        with use(tracer) as installed:
+            assert installed is tracer
+            assert active() is tracer
+        assert active() is NULL_TRACER
+
+    def test_use_nests(self):
+        outer, inner = Tracer(), Tracer()
+        with use(outer):
+            with use(inner):
+                assert active() is inner
+            assert active() is outer
