@@ -1,7 +1,7 @@
-"""Observability overhead guard.
+"""Observability and diagnostics overhead guard.
 
-Two guarantees protect the Figure 5/6 measurements from the tracing
-layer:
+Three guarantees protect the Figure 5/6 measurements from the tracing
+and diagnostics layers:
 
 1. **Bit-for-bit work counts.**  With tracing disabled (the default),
    the engine must do exactly the work it did before instrumentation --
@@ -15,6 +15,11 @@ layer:
    guarded site execution -- padded 3x for guard sites that check but
    do not emit.  The analytic bound avoids the flakiness of A/B
    wall-clock comparison under CI noise.
+3. **Checker neutrality.**  The diagnostics engine and the lattice
+   sanitizer are pure consumers: with ``sanitize`` off (the default)
+   the engine's work counts stay byte-identical to the seed even with
+   :mod:`repro.diagnostics` imported, and running the checker afterward
+   changes nothing about the propagation that already happened.
 """
 
 import json
@@ -47,6 +52,27 @@ def test_work_counts_byte_identical_to_seed(results_dir):
     current = {
         "workloads": [list(row) for row in measure_workloads()],
         "scaling": [list(row) for row in measure_scaling(SCALING_UNITS)],
+    }
+    assert current["workloads"] == seed["workloads"]
+    assert current["scaling"] == seed["scaling"]
+
+
+def test_work_counts_unchanged_with_checker_off(results_dir):
+    """Diagnostics off (``sanitize=False``) must be invisible to the engine.
+
+    The import of :mod:`repro.diagnostics` and the explicit
+    ``sanitize=False`` config both route through the new hook sites;
+    neither may change a single unit of work relative to the seed.
+    """
+    import repro.diagnostics  # noqa: F401 -- the import itself is the test
+
+    from repro.core.config import VRPConfig
+
+    config = VRPConfig(sanitize=False)
+    seed = json.loads(SEED_COUNTS.read_text())
+    current = {
+        "workloads": [list(row) for row in measure_workloads(config)],
+        "scaling": [list(row) for row in measure_scaling(SCALING_UNITS, config)],
     }
     assert current["workloads"] == seed["workloads"]
     assert current["scaling"] == seed["scaling"]

@@ -6,6 +6,9 @@ Commands:
 * ``ir FILE``        -- dump the canonicalised SSA IR;
 * ``run FILE``       -- interpret a program and print its profile;
 * ``ranges FILE``    -- final value ranges per SSA variable;
+* ``check FILE``     -- static diagnostics from the computed ranges
+  (dead branches, out-of-bounds accesses, division by zero, ...) as
+  text, JSON, or SARIF 2.1.0;
 * ``trace FILE``     -- phase timings + propagation event stream;
 * ``explain FILE BRANCH`` -- why a branch got its probability;
 * ``workloads``      -- list the built-in benchmark suite;
@@ -46,6 +49,7 @@ def _config_from_args(args: argparse.Namespace) -> VRPConfig:
         symbolic=not args.numeric,
         derive_loops=not args.no_derive,
         track_arrays=args.track_arrays,
+        sanitize=getattr(args, "sanitize", False),
     )
 
 
@@ -90,6 +94,55 @@ def cmd_predict(args: argparse.Namespace) -> int:
             raise SystemExit(f"error: cannot write metrics: {error}")
         print(f"metrics written to {emit_metrics}")
     return 0
+
+
+def cmd_check(args: argparse.Namespace) -> int:
+    from repro.diagnostics import check_module, render_json, render_sarif, render_text
+
+    module, ssa_infos = _prepare(args)
+    config = _config_from_args(args)
+    predictor = VRPPredictor(config=config, interprocedural=not args.intra)
+    program = module.name if args.file == "-" else args.file
+    emit_metrics = getattr(args, "emit_metrics", None)
+    if emit_metrics:
+        from repro.observability import Tracer, build_metrics_report, use
+
+        tracer = Tracer()
+        with use(tracer):
+            prediction = predictor.predict_module(module, ssa_infos)
+            report = check_module(module, prediction, program=program)
+    else:
+        tracer = None
+        prediction = predictor.predict_module(module, ssa_infos)
+        report = check_module(module, prediction, program=program)
+
+    if args.format == "json":
+        rendered = render_json(report)
+    elif args.format == "sarif":
+        rendered = render_sarif(report, artifact_uri=program)
+    else:
+        rendered = render_text(report)
+    if args.output:
+        try:
+            with open(args.output, "w", encoding="utf-8") as handle:
+                handle.write(rendered + "\n")
+        except OSError as error:
+            raise SystemExit(f"error: cannot write report: {error}")
+        print(f"{args.format} report written to {args.output}")
+    else:
+        print(rendered)
+
+    if emit_metrics:
+        metrics = build_metrics_report(
+            prediction, tracer, program=program, findings=report.findings
+        )
+        try:
+            metrics.write(emit_metrics)
+        except OSError as error:
+            raise SystemExit(f"error: cannot write metrics: {error}")
+        print(f"metrics written to {emit_metrics}")
+
+    return 1 if report.fails(args.fail_on) else 0
 
 
 def cmd_trace(args: argparse.Namespace) -> int:
@@ -301,6 +354,11 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--no-derive", action="store_true", help="disable loop derivation")
         p.add_argument("--track-arrays", action="store_true", help="track array contents")
         p.add_argument("--max-ranges", type=int, default=4, help="ranges per variable (default 4)")
+        p.add_argument(
+            "--sanitize",
+            action="store_true",
+            help="validate engine lattice invariants while propagating",
+        )
 
     predict = sub.add_parser("predict", help="predict every conditional branch")
     add_analysis_flags(predict)
@@ -314,6 +372,32 @@ def build_parser() -> argparse.ArgumentParser:
     ranges_cmd = sub.add_parser("ranges", help="print final value ranges")
     add_analysis_flags(ranges_cmd)
     ranges_cmd.set_defaults(handler=cmd_ranges)
+
+    check_cmd = sub.add_parser(
+        "check", help="static diagnostics from the computed ranges"
+    )
+    add_analysis_flags(check_cmd)
+    check_cmd.add_argument(
+        "--format",
+        choices=["text", "json", "sarif"],
+        default="text",
+        help="output format (default text)",
+    )
+    check_cmd.add_argument(
+        "--fail-on",
+        choices=["error", "warning", "never"],
+        default="error",
+        help="exit non-zero when a finding at/above this severity exists",
+    )
+    check_cmd.add_argument(
+        "--output", metavar="PATH", help="write the report to a file"
+    )
+    check_cmd.add_argument(
+        "--emit-metrics",
+        metavar="PATH",
+        help="write a metrics JSON including the findings",
+    )
+    check_cmd.set_defaults(handler=cmd_check)
 
     trace_cmd = sub.add_parser(
         "trace", help="phase timings and the propagation event stream"
@@ -369,9 +453,14 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    from repro.core import SanitizerError
+
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.handler(args)
+    try:
+        return args.handler(args)
+    except SanitizerError as error:
+        raise SystemExit(f"error: {error}")
 
 
 if __name__ == "__main__":

@@ -24,7 +24,7 @@ from repro.core.cloning import (
     clone_function,
 )
 from repro.core.comparisons import CompareOutcome, compare_sets
-from repro.core.config import VRPConfig
+from repro.core.config import VRPConfig, default_verify_ir, set_default_verify_ir
 from repro.core.counters import Counters, active, use
 from repro.core.derivation import DerivationOutcome, derive_loop_phi
 from repro.core.interprocedural import (
@@ -51,6 +51,7 @@ from repro.core.rangeset import (
     merge_weighted,
 )
 from repro.core.refine import refine_set
+from repro.core.sanitize import LatticeSanitizer, SanitizerError
 
 __all__ = [
     "BOTTOM",
@@ -64,12 +65,14 @@ __all__ = [
     "DerivationOutcome",
     "FunctionPrediction",
     "InterproceduralVRP",
+    "LatticeSanitizer",
     "ModulePrediction",
     "NEG_INF",
     "POS_INF",
     "PropagationEngine",
     "RangeError",
     "RangeSet",
+    "SanitizerError",
     "StridedRange",
     "TOP",
     "VRPConfig",
@@ -83,11 +86,13 @@ __all__ = [
     "clone_for_contexts",
     "clone_function",
     "compare_sets",
+    "default_verify_ir",
     "derive_loop_phi",
     "evaluate_binop",
     "evaluate_unop",
     "merge_weighted",
     "predict_branch_probabilities",
     "refine_set",
+    "set_default_verify_ir",
     "use",
 ]

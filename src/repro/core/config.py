@@ -6,7 +6,23 @@ are the paper's choices.  The ablation benchmarks sweep these.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+
+# Process-wide default for :attr:`VRPConfig.verify_ir`.  Production runs
+# leave it off; the test suite turns it on (tests/conftest.py) so every
+# IR-mutating pass is verified at the point it ran.
+_DEFAULT_VERIFY_IR = False
+
+
+def set_default_verify_ir(enabled: bool) -> None:
+    """Set the process-wide default for :attr:`VRPConfig.verify_ir`."""
+    global _DEFAULT_VERIFY_IR
+    _DEFAULT_VERIFY_IR = bool(enabled)
+
+
+def default_verify_ir() -> bool:
+    """Current process-wide default for :attr:`VRPConfig.verify_ir`."""
+    return _DEFAULT_VERIFY_IR
 
 
 @dataclass
@@ -52,3 +68,16 @@ class VRPConfig:
     # analysis, sound for the toy language's function-local arrays.
     # Off by default (the paper's configuration).
     track_arrays: bool = False
+    # Debug-mode lattice sanitizer: validate engine invariants during
+    # propagation (transitions only descend the lattice, pi assertions
+    # only narrow, branch out-edge frequencies sum to the block
+    # frequency, no worklist item churns past stabilisation) and raise
+    # :class:`repro.core.sanitize.SanitizerError` instead of silently
+    # corrupting results.  Off by default: the enabled checks cost real
+    # time, and the disabled hook is a single ``is not None`` test.
+    sanitize: bool = False
+    # Re-verify IR well-formedness after lowering and after every
+    # IR-mutating optimisation pass, so corruption is caught at the
+    # pass that introduced it.  Defaults to the process-wide setting
+    # (off in production, on under the test suite).
+    verify_ir: bool = field(default_factory=default_verify_ir)

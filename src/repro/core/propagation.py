@@ -80,6 +80,9 @@ class FunctionPrediction:
         counters: counters_mod.Counters,
         return_set: RangeSet,
         aborted: bool = False,
+        *,
+        derived: Optional[Set[str]] = None,
+        widened: Optional[Set[str]] = None,
     ):
         self.function = function
         #: P(true out-edge) for every block ending in a conditional branch.
@@ -97,6 +100,12 @@ class FunctionPrediction:
         self.return_set = return_set
         #: True when the safety valve cut the fixed point short.
         self.aborted = aborted
+        #: SSA names solved by loop-derivation templates (diagnostics
+        #: cite these when reasoning about loop trip counts).
+        self.derived = derived if derived is not None else set()
+        #: SSA names the engine widened to force convergence (their
+        #: ranges are upper approximations, not proofs).
+        self.widened = widened if widened is not None else set()
 
     def probability_of_edge(self, src: str, dst: str) -> float:
         """P(control takes src->dst | control reaches src)."""
@@ -138,6 +147,16 @@ class PropagationEngine:
         # single `is not None` test.
         tracer = tracing.active()
         self._trace = tracer if tracer.enabled else None
+        # Lattice sanitizer (config.sanitize): same zero-overhead shape
+        # as tracing -- None unless enabled, one `is not None` per site.
+        if self.config.sanitize:
+            from repro.core.sanitize import LatticeSanitizer
+
+            self._sanitize: Optional[LatticeSanitizer] = LatticeSanitizer(
+                function.name, self.config
+            )
+        else:
+            self._sanitize = None
 
         self.values: Dict[str, RangeSet] = {}
         for param, ssa_name in ssa_info.param_names.items():
@@ -195,6 +214,8 @@ class PropagationEngine:
             with counters_mod.use(self.counters):
                 self._seed()
                 self._drain()
+        if self._sanitize is not None:
+            self._sanitize.check_final(self)
         return self._collect()
 
     # -- worklist machinery --------------------------------------------------------
@@ -227,6 +248,8 @@ class PropagationEngine:
             if use_flow:
                 edge = self.flow_list.popleft()
                 self.flow_pending.discard(edge)
+                if self._sanitize is not None:
+                    self._sanitize.note_item(("flow", edge))
                 if self._trace is not None:
                     self._trace.emit(
                         trace_events.WorklistPop(
@@ -237,6 +260,8 @@ class PropagationEngine:
             else:
                 instr = self.ssa_list.popleft()
                 self.ssa_pending.discard(id(instr))
+                if self._sanitize is not None:
+                    self._sanitize.note_item(("ssa", id(instr)))
                 if self._trace is not None:
                     self._trace.emit(
                         trace_events.WorklistPop(
@@ -339,6 +364,8 @@ class PropagationEngine:
         old_value = self.values.get(name, TOP)
         if new_value.approx_equal(old_value, self.config.tolerance):
             return
+        if self._sanitize is not None:
+            self._sanitize.check_transition(name, old_value, new_value)
         if self._trace is not None:
             self._trace.emit(
                 trace_events.LatticeTransition(
@@ -476,6 +503,8 @@ class PropagationEngine:
         if bound is None:
             return src
         refined = refine_set(src, instr.op, bound, max_ranges=self.config.max_ranges)
+        if self._sanitize is not None:
+            self._sanitize.check_pi(instr, src, refined)
         if self._trace is not None:
             self._trace.emit(
                 trace_events.PiRefinement(
@@ -828,6 +857,8 @@ class PropagationEngine:
             counters=self.counters,
             return_set=return_set,
             aborted=self.aborted,
+            derived=set(self.derived),
+            widened=set(self.widened),
         )
 
 

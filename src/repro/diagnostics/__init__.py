@@ -1,0 +1,76 @@
+"""Static diagnostics from value range propagation (``repro check``).
+
+The analysis computes, per SSA variable, a weighted strided range set --
+strong enough to *prove* facts, not just predict branches.  This package
+turns those proofs into structured findings:
+
+========================  ===================================================
+rule id                   fires when
+========================  ===================================================
+``dead-branch``           a branch probability is provably exactly 0 or 1
+``array-bounds``          an index range lies (partly) outside [0, size)
+``div-by-zero``           a divisor range contains zero
+``unreachable-block``     a surviving block has range-proven frequency 0
+``zero-trip-loop``        a loop's body provably never executes
+``non-terminating-loop``  a loop provably never exits
+``uninit-value``          an undefined (⊥) value is used on a live path
+========================  ===================================================
+
+Findings render as human text, JSON, and SARIF 2.1.0
+(:mod:`repro.diagnostics.render`, :mod:`repro.diagnostics.sarif`), and
+are emitted into the observability event stream as
+``diagnostic.finding`` events.  See ``docs/DIAGNOSTICS.md``.
+"""
+
+from repro.diagnostics.engine import (
+    CheckReport,
+    check_module,
+    check_prepared,
+    check_source,
+)
+from repro.diagnostics.findings import (
+    ERROR,
+    INFO,
+    RULES,
+    RULES_BY_ID,
+    SEVERITIES,
+    WARNING,
+    Finding,
+    Rule,
+    rangeset_payload,
+    severity_rank,
+)
+from repro.diagnostics.render import render_json, render_text
+from repro.diagnostics.rules import all_findings
+from repro.diagnostics.sarif import (
+    LEVEL_FOR_SEVERITY,
+    SARIF_VERSION,
+    render_sarif,
+    sarif_report,
+    validate_sarif,
+)
+
+__all__ = [
+    "CheckReport",
+    "ERROR",
+    "Finding",
+    "INFO",
+    "LEVEL_FOR_SEVERITY",
+    "RULES",
+    "RULES_BY_ID",
+    "Rule",
+    "SARIF_VERSION",
+    "SEVERITIES",
+    "WARNING",
+    "all_findings",
+    "check_module",
+    "check_prepared",
+    "check_source",
+    "rangeset_payload",
+    "render_json",
+    "render_sarif",
+    "render_text",
+    "sarif_report",
+    "severity_rank",
+    "validate_sarif",
+]

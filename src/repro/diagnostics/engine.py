@@ -1,0 +1,113 @@
+"""Driving the diagnostics rules over a module and collecting a report.
+
+The engine is a *consumer* of value range propagation: it runs the
+predictor once (or accepts an existing :class:`ModulePrediction`) and
+evaluates every rule against the converged results.  Findings flow into
+the active tracer's event stream (kind ``diagnostic.finding``) so
+``--trace`` sessions and ``--emit-metrics`` reports see them alongside
+the engine's own events.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.config import VRPConfig
+from repro.core.interprocedural import ModulePrediction, analyse_module
+from repro.diagnostics.findings import Finding, severity_rank
+from repro.diagnostics.rules import all_findings
+from repro.ir import prepare_module
+from repro.ir.function import Module
+from repro.observability import events as obs_events
+from repro.observability import tracer as tracing
+
+
+@dataclass
+class CheckReport:
+    """All findings for one program, sorted most-severe first."""
+
+    program: str
+    findings: List[Finding] = field(default_factory=list)
+
+    def by_severity(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for finding in self.findings:
+            counts[finding.severity] = counts.get(finding.severity, 0) + 1
+        return counts
+
+    def count(self, severity: str) -> int:
+        return sum(1 for f in self.findings if f.severity == severity)
+
+    def worst_severity(self) -> Optional[str]:
+        return self.findings[0].severity if self.findings else None
+
+    def fails(self, fail_on: str) -> bool:
+        """Whether this report should fail a ``--fail-on`` gate."""
+        if fail_on == "never":
+            return False
+        threshold = severity_rank(fail_on)
+        return any(
+            severity_rank(f.severity) <= threshold for f in self.findings
+        )
+
+
+def check_module(
+    module: Module,
+    prediction: ModulePrediction,
+    program: str = "module",
+) -> CheckReport:
+    """Evaluate every diagnostics rule against an existing prediction."""
+    tracer = tracing.active()
+    trace = tracer if tracer.enabled else None
+    findings: List[Finding] = []
+    for name, function in module.functions.items():
+        function_prediction = prediction.functions.get(name)
+        if function_prediction is None:
+            continue
+        findings.extend(all_findings(function, function_prediction))
+    findings.sort(key=Finding.sort_key)
+    if trace is not None:
+        for finding in findings:
+            trace.emit(
+                obs_events.DiagnosticFinding(
+                    function=finding.function,
+                    rule=finding.rule,
+                    severity=finding.severity,
+                    block=finding.block,
+                    line=finding.line,
+                    message=finding.message,
+                )
+            )
+    return CheckReport(program=program, findings=findings)
+
+
+def check_source(
+    source: str,
+    config: Optional[VRPConfig] = None,
+    program: str = "module",
+) -> CheckReport:
+    """Compile, analyse and check toy-language source in one call."""
+    from repro.lang import compile_source
+
+    module = compile_source(source, module_name=program)
+    return check_prepared(module, config=config, program=program)
+
+
+def check_prepared(
+    module: Module,
+    config: Optional[VRPConfig] = None,
+    program: str = "module",
+) -> CheckReport:
+    """Prepare (SSA) and analyse a lowered module, then run the rules."""
+    config = config or VRPConfig()
+    tracer = tracing.active()
+    trace = tracer if tracer.enabled else None
+    if trace is not None:
+        with trace.span("check"):
+            ssa_infos = prepare_module(module)
+            prediction = analyse_module(module, ssa_infos, config=config)
+            return check_module(module, prediction, program=program)
+    ssa_infos = prepare_module(module)
+    prediction = analyse_module(module, ssa_infos, config=config)
+    return check_module(module, prediction, program=program)

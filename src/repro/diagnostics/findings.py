@@ -1,0 +1,178 @@
+"""Finding model and rule catalogue for the static diagnostics engine.
+
+A :class:`Finding` is one fact the range analysis proved about the
+program: a branch that cannot be taken, an index that walks off an
+array, a divisor that includes zero.  Findings carry a machine-readable
+evidence payload (the weighted range sets involved, serialised by
+:func:`rangeset_payload`) so downstream tooling -- the SARIF export,
+the metrics report, tests -- can inspect *why* a rule fired without
+re-running the analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.core.rangeset import RangeSet
+
+# Severities, ordered from most to least severe.
+ERROR = "error"
+WARNING = "warning"
+INFO = "info"
+
+SEVERITIES = (ERROR, WARNING, INFO)
+
+_SEVERITY_RANK = {ERROR: 0, WARNING: 1, INFO: 2}
+
+
+def severity_rank(severity: str) -> int:
+    """Smaller is more severe; unknown severities sort last."""
+    return _SEVERITY_RANK.get(severity, len(SEVERITIES))
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One diagnostics rule: stable id, default severity, catalogue text."""
+
+    id: str
+    default_severity: str
+    summary: str
+    description: str
+
+
+#: The rule catalogue.  Ids are stable (they appear in SARIF output and
+#: suppression comments); descriptions are what ``docs/DIAGNOSTICS.md``
+#: renders.  Severity may be tightened or relaxed per finding (e.g. a
+#: *possible* division by zero is a warning, a definite one an error).
+RULES: Tuple[Rule, ...] = (
+    Rule(
+        id="dead-branch",
+        default_severity=WARNING,
+        summary="conditional branch always goes the same way",
+        description=(
+            "The controlling range proves this branch's probability is "
+            "exactly 0 or 1, so one side is dead code.  Heuristic "
+            "probabilities never trigger this rule -- only range proofs."
+        ),
+    ),
+    Rule(
+        id="array-bounds",
+        default_severity=ERROR,
+        summary="array index provably out of bounds",
+        description=(
+            "The index range lies (partly) outside [0, size).  When every "
+            "component of the range is outside, the access always traps "
+            "(error); when only part of the probability mass is outside, "
+            "the access traps on some executions (warning).  Widened "
+            "(infinite) ranges never contribute out-of-bounds mass."
+        ),
+    ),
+    Rule(
+        id="div-by-zero",
+        default_severity=ERROR,
+        summary="division or modulo by zero",
+        description=(
+            "The divisor's range contains zero.  A divisor that is "
+            "exactly the constant 0 is an error; a range that merely "
+            "includes 0 with positive probability is a warning."
+        ),
+    ),
+    Rule(
+        id="unreachable-block",
+        default_severity=WARNING,
+        summary="block survives in the CFG but can never execute",
+        description=(
+            "The block is reachable by CFG edges but every path to it "
+            "crosses an edge the ranges prove has frequency 0."
+        ),
+    ),
+    Rule(
+        id="zero-trip-loop",
+        default_severity=WARNING,
+        summary="loop body never executes",
+        description=(
+            "The loop's entry condition is provably false on first "
+            "evaluation: the edge from the header into the body has "
+            "frequency 0 while the header itself executes."
+        ),
+    ),
+    Rule(
+        id="non-terminating-loop",
+        default_severity=ERROR,
+        summary="loop provably never exits",
+        description=(
+            "Either the loop has no exit edge (and no return) at all, or "
+            "every exit edge has a range-proven frequency of 0 while the "
+            "header executes.  Evidence cites the loop-carried ranges "
+            "from induction-template derivation."
+        ),
+    ),
+    Rule(
+        id="uninit-value",
+        default_severity=ERROR,
+        summary="use of an uninitialised (undefined) value",
+        description=(
+            "A value read on some executed path has no definition there "
+            "(its range is ⊥ by fiat).  A direct use in an executed "
+            "block is an error; a phi that merely merges an undefined "
+            "value over an executable edge is a warning."
+        ),
+    ),
+)
+
+RULES_BY_ID: Dict[str, Rule] = {rule.id: rule for rule in RULES}
+
+
+def rangeset_payload(rangeset: RangeSet) -> dict:
+    """JSON-safe serialisation of a weighted strided range set."""
+    if rangeset.is_top:
+        return {"kind": "top", "ranges": []}
+    if rangeset.is_bottom:
+        return {"kind": "bottom", "ranges": []}
+    return {
+        "kind": "set",
+        "ranges": [
+            {
+                "probability": r.probability,
+                "lo": str(r.lo),
+                "hi": str(r.hi),
+                "stride": r.stride,
+            }
+            for r in rangeset.ranges
+        ],
+    }
+
+
+@dataclass
+class Finding:
+    """One diagnostic finding, ready for any of the three renderers."""
+
+    rule: str
+    severity: str
+    message: str
+    function: str
+    block: str
+    line: Optional[int] = None
+    evidence: Dict[str, object] = field(default_factory=dict)
+
+    def sort_key(self) -> tuple:
+        return (
+            severity_rank(self.severity),
+            self.rule,
+            self.function,
+            self.line if self.line is not None else 1 << 30,
+            self.block,
+            self.message,
+        )
+
+    def as_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "severity": self.severity,
+            "message": self.message,
+            "function": self.function,
+            "block": self.block,
+            "line": self.line,
+            "evidence": self.evidence,
+        }

@@ -1,0 +1,48 @@
+"""Text and JSON renderers for diagnostics reports.
+
+The text form is for humans at a terminal (one line per finding plus a
+summary); the JSON form is the full fidelity dump (findings with their
+evidence payloads) for tooling that does not speak SARIF.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.diagnostics.engine import CheckReport
+from repro.diagnostics.findings import SEVERITIES
+
+
+def render_text(report: CheckReport) -> str:
+    """Human-readable rendering, one line per finding."""
+    lines = []
+    for finding in report.findings:
+        location = f"{report.program}:{finding.line}" if finding.line else report.program
+        lines.append(
+            f"{location}: {finding.severity}: [{finding.rule}] "
+            f"{finding.message} (in {finding.function}/{finding.block})"
+        )
+    counts = report.by_severity()
+    if report.findings:
+        summary = ", ".join(
+            f"{counts[severity]} {severity}(s)"
+            for severity in SEVERITIES
+            if severity in counts
+        )
+        lines.append(f"{len(report.findings)} finding(s): {summary}")
+    else:
+        lines.append("no findings")
+    return "\n".join(lines)
+
+
+def render_json(report: CheckReport, indent: int = 1) -> str:
+    """Full-fidelity JSON rendering (findings with evidence payloads)."""
+    return json.dumps(
+        {
+            "program": report.program,
+            "findings": [finding.as_dict() for finding in report.findings],
+            "summary": report.by_severity(),
+        },
+        indent=indent,
+        sort_keys=True,
+    )

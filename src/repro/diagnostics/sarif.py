@@ -1,0 +1,156 @@
+"""SARIF 2.1.0 export for diagnostics reports.
+
+Produces a minimal-but-valid SARIF log: one run, one tool driver with
+the full rule catalogue, one result per finding.  Evidence payloads ride
+in each result's ``properties`` bag, so nothing is lost relative to the
+JSON renderer.  :func:`validate_sarif` is a structural self-check (the
+container has no jsonschema package; the checks mirror the schema's
+required properties for the subset we emit).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import List, Optional
+
+from repro.diagnostics.engine import CheckReport
+from repro.diagnostics.findings import ERROR, INFO, RULES, WARNING
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = "https://json.schemastore.org/sarif-2.1.0.json"
+
+TOOL_NAME = "repro-check"
+
+# SARIF result levels for our severities ("info" maps to "note").
+LEVEL_FOR_SEVERITY = {ERROR: "error", WARNING: "warning", INFO: "note"}
+
+
+def sarif_report(report: CheckReport, artifact_uri: Optional[str] = None) -> dict:
+    """Build the SARIF log object for one check run."""
+    rule_index = {rule.id: i for i, rule in enumerate(RULES)}
+    uri = artifact_uri or report.program
+    results = []
+    for finding in report.findings:
+        result = {
+            "ruleId": finding.rule,
+            "ruleIndex": rule_index.get(finding.rule, -1),
+            "level": LEVEL_FOR_SEVERITY.get(finding.severity, "warning"),
+            "message": {"text": finding.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {"uri": uri},
+                        **(
+                            {"region": {"startLine": finding.line}}
+                            if finding.line
+                            else {}
+                        ),
+                    },
+                    "logicalLocations": [
+                        {
+                            "name": finding.function,
+                            "fullyQualifiedName": (
+                                f"{finding.function}/{finding.block}"
+                            ),
+                            "kind": "function",
+                        }
+                    ],
+                }
+            ],
+            "properties": {"evidence": finding.evidence},
+        }
+        results.append(result)
+    return {
+        "version": SARIF_VERSION,
+        "$schema": SARIF_SCHEMA,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": TOOL_NAME,
+                        "informationUri": (
+                            "https://dl.acm.org/doi/10.1145/207110.207117"
+                        ),
+                        "rules": [
+                            {
+                                "id": rule.id,
+                                "shortDescription": {"text": rule.summary},
+                                "fullDescription": {"text": rule.description},
+                                "defaultConfiguration": {
+                                    "level": LEVEL_FOR_SEVERITY[
+                                        rule.default_severity
+                                    ]
+                                },
+                            }
+                            for rule in RULES
+                        ],
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+
+
+def render_sarif(report: CheckReport, artifact_uri: Optional[str] = None) -> str:
+    return json.dumps(sarif_report(report, artifact_uri), indent=1, sort_keys=True)
+
+
+def validate_sarif(log: dict) -> List[str]:
+    """Structural SARIF 2.1.0 validation; returns problems (empty = valid)."""
+    problems: List[str] = []
+    if log.get("version") != SARIF_VERSION:
+        problems.append(f"version must be {SARIF_VERSION!r}")
+    runs = log.get("runs")
+    if not isinstance(runs, list) or not runs:
+        problems.append("runs must be a non-empty array")
+        return problems
+    for run_index, run in enumerate(runs):
+        where = f"runs[{run_index}]"
+        driver = run.get("tool", {}).get("driver")
+        if not isinstance(driver, dict) or "name" not in driver:
+            problems.append(f"{where}.tool.driver.name is required")
+            continue
+        rules = driver.get("rules", [])
+        rule_ids = []
+        for rule in rules:
+            if "id" not in rule:
+                problems.append(f"{where}: every rule needs an id")
+            else:
+                rule_ids.append(rule["id"])
+        for result_index, result in enumerate(run.get("results", [])):
+            rwhere = f"{where}.results[{result_index}]"
+            message = result.get("message")
+            if not isinstance(message, dict) or "text" not in message:
+                problems.append(f"{rwhere}.message.text is required")
+            level = result.get("level")
+            if level not in ("none", "note", "warning", "error"):
+                problems.append(f"{rwhere}.level {level!r} is invalid")
+            rule_id = result.get("ruleId")
+            if rule_id is not None and rule_ids and rule_id not in rule_ids:
+                problems.append(f"{rwhere}.ruleId {rule_id!r} not in driver rules")
+            index = result.get("ruleIndex")
+            if index is not None and rule_ids:
+                if not (0 <= index < len(rule_ids)) or rule_ids[index] != rule_id:
+                    problems.append(
+                        f"{rwhere}.ruleIndex {index} does not match ruleId"
+                    )
+            for loc_index, location in enumerate(result.get("locations", [])):
+                physical = location.get("physicalLocation")
+                if physical is None:
+                    continue
+                artifact = physical.get("artifactLocation")
+                if not isinstance(artifact, dict) or "uri" not in artifact:
+                    problems.append(
+                        f"{rwhere}.locations[{loc_index}]"
+                        ".physicalLocation.artifactLocation.uri is required"
+                    )
+                region = physical.get("region")
+                if region is not None:
+                    start = region.get("startLine")
+                    if not isinstance(start, int) or start < 1:
+                        problems.append(
+                            f"{rwhere}.locations[{loc_index}]"
+                            ".physicalLocation.region.startLine must be >= 1"
+                        )
+    return problems

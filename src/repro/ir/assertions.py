@@ -60,7 +60,7 @@ def insert_assertions(function: Function) -> int:
                 # or a self loop) -- skip rather than assert unsoundly.
                 continue
             inserted += _insert_edge_assertions(
-                function, target, effective_op, lhs, rhs
+                function, target, effective_op, lhs, rhs, loc=term.loc
             )
     return inserted
 
@@ -88,7 +88,12 @@ def _find_condition(
 
 
 def _insert_edge_assertions(
-    function: Function, target_label: str, op: str, lhs: Value, rhs: Value
+    function: Function,
+    target_label: str,
+    op: str,
+    lhs: Value,
+    rhs: Value,
+    loc: Optional[int] = None,
 ) -> int:
     """Insert assertions for both comparison operands into ``target_label``."""
     target = function.block(target_label)
@@ -96,12 +101,14 @@ def _insert_edge_assertions(
     position = 0
     if isinstance(lhs, Temp) and lhs != rhs:
         pi = Pi(Temp(lhs.name), Temp(lhs.name), op, rhs, parent=lhs.name)
+        pi.loc = loc
         target.insert(position, pi)
         position += 1
         inserted += 1
     if isinstance(rhs, Temp) and lhs != rhs:
         swapped = CMP_SWAP[op]
         pi = Pi(Temp(rhs.name), Temp(rhs.name), swapped, lhs, parent=rhs.name)
+        pi.loc = loc
         target.insert(position, pi)
         inserted += 1
     return inserted

@@ -47,11 +47,14 @@ CMP_SWAP: Dict[str, str] = {
 class Instruction:
     """Base class for all IR instructions."""
 
-    __slots__ = ("block",)
+    __slots__ = ("block", "loc")
 
     def __init__(self) -> None:
         # Back-pointer to the owning block; set when appended to a block.
         self.block = None
+        # Source line this instruction was lowered from (None for
+        # synthesised instructions: phis, split-edge jumps, ...).
+        self.loc: Optional[int] = None
 
     @property
     def result(self) -> Optional[Temp]:

@@ -49,12 +49,20 @@ def verify_function(function: Function, ssa: bool = False,
         if block.instructions[-1] is not terminators[0]:
             problems.append(f"block {label} has instructions after terminator")
         phis_done = False
+        pis_done = False
         for instr in block.instructions:
             if isinstance(instr, Phi):
                 if phis_done:
                     problems.append(f"block {label}: phi {instr.dest} after non-phi")
+            elif isinstance(instr, Pi):
+                phis_done = True
+                if pis_done:
+                    problems.append(
+                        f"block {label}: pi {instr.dest} after body instruction"
+                    )
             else:
                 phis_done = True
+                pis_done = True
         for succ in terminators[0].successors():
             if succ not in function.blocks:
                 problems.append(f"block {label} targets unknown block {succ!r}")
@@ -75,11 +83,105 @@ def verify_function(function: Function, ssa: bool = False,
             if len(set(incoming_labels)) != len(incoming_labels):
                 problems.append(f"phi {phi.dest} in {label}: duplicate incoming labels")
 
+    problems.extend(_check_pis(function, cfg))
+
     if ssa:
         problems.extend(_check_ssa(function, cfg, param_names or set()))
 
     if problems:
         raise VerificationError(function.name, problems)
+
+
+def _root_of(name: str, defs: Dict[str, Instruction]):
+    """Resolve ``name`` through Copy/Pi definition chains.
+
+    Copy propagation rewrites comparison operands but leaves Pi nodes
+    alone, so a pi's source and the cmp operand it asserts about may
+    differ by a chain of copies.  Returns ``("name", root)`` or, when
+    the chain ends in a copy of a constant, ``("const", value)``.
+    """
+    from repro.ir.instructions import Copy
+    from repro.ir.values import Constant
+
+    seen = set()
+    while name not in seen:
+        seen.add(name)
+        instr = defs.get(name)
+        if isinstance(instr, Copy):
+            if isinstance(instr.src, Constant):
+                return ("const", instr.src.value)
+            if isinstance(instr.src, Temp):
+                name = instr.src.name
+                continue
+        if isinstance(instr, Pi) and isinstance(instr.src, Temp):
+            name = instr.src.name
+            continue
+        break
+    return ("name", name)
+
+
+def _check_pis(function: Function, cfg: CFG) -> List[str]:
+    """Check pi placement: assertion position, unique predecessor, and
+    that each pi names (a copy of) the controlling variable of the
+    predecessor's conditional branch."""
+    from repro.ir.instructions import Branch, Cmp, Jump
+    from repro.ir.values import Constant
+
+    problems: List[str] = []
+    reachable = cfg.reachable()
+    defs: Dict[str, Instruction] = {}
+    for block in function.blocks.values():
+        for instr in block.instructions:
+            result = instr.result
+            if result is not None:
+                defs[result.name] = instr
+
+    for label, block in function.blocks.items():
+        pis = block.pis()
+        if not pis:
+            continue
+        if label not in reachable:
+            continue
+        preds = cfg.predecessors[label]
+        if len(preds) != 1:
+            problems.append(
+                f"block {label}: pi nodes require a unique predecessor, "
+                f"has {len(preds)}"
+            )
+            continue
+        term = function.block(preds[0]).terminator
+        if isinstance(term, Jump):
+            # A folded branch (Branch -> Jump) legitimately leaves its
+            # assertions behind; they are still sound.
+            continue
+        if not isinstance(term, Branch):
+            problems.append(
+                f"block {label}: pi nodes but predecessor {preds[0]} does "
+                f"not end in a branch"
+            )
+            continue
+        allowed = set()
+        if isinstance(term.cond, Temp):
+            allowed.add(("name", term.cond.name))
+            cond_def = defs.get(term.cond.name)
+            if isinstance(cond_def, Cmp):
+                for operand in (cond_def.lhs, cond_def.rhs):
+                    if isinstance(operand, Temp):
+                        allowed.add(("name", operand.name))
+                        allowed.add(_root_of(operand.name, defs))
+                    elif isinstance(operand, Constant):
+                        allowed.add(("const", operand.value))
+        for pi in pis:
+            if not isinstance(pi.src, Temp):
+                problems.append(f"block {label}: pi {pi.dest} has non-temp source")
+                continue
+            candidates = {("name", pi.src.name), _root_of(pi.src.name, defs)}
+            if not (candidates & allowed):
+                problems.append(
+                    f"block {label}: pi {pi.dest} asserts {pi.src.name}, which "
+                    f"is not a controlling variable of the branch in {preds[0]}"
+                )
+    return problems
 
 
 def _check_ssa(function: Function, cfg: CFG, param_names: Set[str]) -> List[str]:

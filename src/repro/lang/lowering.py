@@ -83,14 +83,19 @@ class _FunctionLowerer:
         self.current: BasicBlock = self.function.new_block(hint="entry")
         # Stack of (continue_target, break_target) labels.
         self.loop_stack: List[Tuple[str, str]] = []
+        # Source line of the statement/expression being lowered; stamped
+        # onto every emitted instruction (``instr.loc``).
+        self._line: int = funcdef.line
 
     # -- plumbing -------------------------------------------------------------
 
     def _emit(self, instr):
+        instr.loc = self._line
         return self.current.append(instr)
 
     def _terminate(self, instr) -> None:
         """Terminate the current block and continue in a fresh (dead) one."""
+        instr.loc = self._line
         self.current.append(instr)
         self.current = self.function.new_block(hint="dead")
 
@@ -118,6 +123,7 @@ class _FunctionLowerer:
             self._lower_statement(stmt)
 
     def _lower_statement(self, stmt: ast.Stmt) -> None:
+        self._line = stmt.line
         if isinstance(stmt, ast.Assign):
             self._check_not_array(stmt.name, stmt.line)
             if stmt.name in self.constants:
@@ -252,6 +258,7 @@ class _FunctionLowerer:
 
     def _lower_condition(self, expr: ast.Expr, true_label: str, false_label: str) -> None:
         """Emit control flow that jumps to ``true_label`` iff expr != 0."""
+        self._line = expr.line
         if isinstance(expr, ast.LogicalExpr):
             mid = self.function.new_block(hint="cond")
             if expr.op == "&&":
@@ -418,6 +425,13 @@ def lower_program(program: ast.Program, module_name: str = "module") -> Module:
         module.add_function(
             _FunctionLowerer(funcdef, signatures, constants).lower()
         )
+    from repro.core.config import default_verify_ir
+
+    if default_verify_ir():
+        from repro.ir.verifier import verify_function
+
+        for function in module.functions.values():
+            verify_function(function)
     return module
 
 

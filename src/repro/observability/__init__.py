@@ -18,6 +18,7 @@ from repro.observability.events import (
     EVENT_KINDS,
     BranchResolution,
     DerivationAttempt,
+    DiagnosticFinding,
     HeuristicChain,
     LatticeTransition,
     PhiMerge,
@@ -70,6 +71,7 @@ __all__ = [
     "BranchExplanation",
     "BranchResolution",
     "DerivationAttempt",
+    "DiagnosticFinding",
     "HeuristicChain",
     "LatticeTransition",
     "MetricsReport",

@@ -20,6 +20,7 @@ kind                   meaning
 ``derive.attempt``     loop derivation was tried (template or failure)
 ``heuristic.chain``    the Ball-Larus heuristics fired on a branch
 ``branch.resolve``     a branch probability was (re)computed
+``diagnostic.finding`` a static-diagnostics rule fired (``repro check``)
 =====================  ====================================================
 """
 
@@ -150,6 +151,20 @@ class BranchResolution(TraceEvent):
     operands: Tuple[Tuple[str, str], ...]  # (operand name/repr, range str)
 
 
+@dataclass(frozen=True)
+class DiagnosticFinding(TraceEvent):
+    """A diagnostics rule fired on the analysed program."""
+
+    kind: ClassVar[str] = "diagnostic.finding"
+
+    function: str
+    rule: str
+    severity: str  # "error" | "warning" | "info"
+    block: str
+    line: Optional[int]
+    message: str
+
+
 EVENT_KINDS: Tuple[str, ...] = tuple(
     cls.kind
     for cls in (
@@ -161,5 +176,6 @@ EVENT_KINDS: Tuple[str, ...] = tuple(
         DerivationAttempt,
         HeuristicChain,
         BranchResolution,
+        DiagnosticFinding,
     )
 )

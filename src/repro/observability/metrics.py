@@ -9,11 +9,13 @@ instead of scraped from tables.
 
 Top-level schema keys (``SCHEMA_KEYS``):
 
-* ``schema_version`` -- integer, currently 1;
+* ``schema_version`` -- integer, currently 2;
 * ``program``        -- module/workload name;
 * ``phases``         -- {span name: {"count": int, "seconds": float}};
 * ``counters``       -- the :class:`repro.core.counters.Counters` dict;
 * ``branches``       -- list of per-branch provenance records;
+* ``diagnostics``    -- findings from ``repro check`` (since v2; absent
+  in v1 documents, which still validate);
 * ``meta``           -- rounds, function/event totals, drop counts.
 
 Each branch record has ``function``, ``label``, ``probability``,
@@ -30,9 +32,20 @@ from typing import Dict, List, Optional
 
 from repro.observability.events import BranchResolution, HeuristicChain
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
-SCHEMA_KEYS = ("schema_version", "program", "phases", "counters", "branches", "meta")
+SCHEMA_KEYS = (
+    "schema_version",
+    "program",
+    "phases",
+    "counters",
+    "branches",
+    "diagnostics",
+    "meta",
+)
+
+# Keys a report may omit (documents written by older schema versions).
+OPTIONAL_KEYS = ("diagnostics",)
 
 BRANCH_KEYS = ("function", "label", "probability", "source")
 
@@ -45,6 +58,7 @@ class MetricsReport:
     phases: Dict[str, Dict[str, float]] = field(default_factory=dict)
     counters: Dict[str, int] = field(default_factory=dict)
     branches: List[dict] = field(default_factory=list)
+    diagnostics: List[dict] = field(default_factory=list)
     meta: Dict[str, object] = field(default_factory=dict)
     schema_version: int = SCHEMA_VERSION
 
@@ -57,6 +71,7 @@ class MetricsReport:
             "phases": self.phases,
             "counters": self.counters,
             "branches": self.branches,
+            "diagnostics": self.diagnostics,
             "meta": self.meta,
         }
 
@@ -70,6 +85,7 @@ class MetricsReport:
             phases=data.get("phases", {}),
             counters=data.get("counters", {}),
             branches=data.get("branches", []),
+            diagnostics=data.get("diagnostics", []),
             meta=data.get("meta", {}),
             schema_version=data.get("schema_version", SCHEMA_VERSION),
         )
@@ -88,12 +104,16 @@ class MetricsReport:
             return cls.from_json(handle.read())
 
 
-def build_metrics_report(prediction, tracer=None, program: str = "module") -> "MetricsReport":
+def build_metrics_report(
+    prediction, tracer=None, program: str = "module", findings=None
+) -> "MetricsReport":
     """Assemble a report from a :class:`ModulePrediction` and a tracer.
 
     Works with a disabled (or absent) tracer: phase timings come out
     empty and branch provenance degrades to probability + source, both
-    reconstructable from the prediction alone.
+    reconstructable from the prediction alone.  ``findings`` (an
+    iterable of :class:`repro.diagnostics.Finding`) populates the
+    ``diagnostics`` key when ``repro check`` is the caller.
     """
     phases: Dict[str, Dict[str, float]] = {}
     meta: Dict[str, object] = {
@@ -145,6 +165,7 @@ def build_metrics_report(prediction, tracer=None, program: str = "module") -> "M
         phases=phases,
         counters=prediction.counters.as_dict(),
         branches=branches,
+        diagnostics=[f.as_dict() for f in findings] if findings else [],
         meta=meta,
     )
 
@@ -152,7 +173,7 @@ def build_metrics_report(prediction, tracer=None, program: str = "module") -> "M
 def validate_report_dict(data: dict) -> Optional[str]:
     """Schema check; returns an error message or None when valid."""
     for key in SCHEMA_KEYS:
-        if key not in data:
+        if key not in data and key not in OPTIONAL_KEYS:
             return f"missing top-level key {key!r}"
     if not isinstance(data["schema_version"], int):
         return "schema_version must be an integer"

@@ -21,12 +21,15 @@ from repro.opt.array_alias import (
     may_alias,
     provably_disjoint,
 )
+from repro.opt._verify import verify_after
 from repro.opt.boundscheck import (
     SAFE,
     UNKNOWN,
     UNSAFE,
+    AccessClassification,
     AccessReport,
     analyse_bounds_checks,
+    classify_access,
     classify_index,
     dynamic_checks_eliminated,
     eliminated_fraction,
@@ -62,6 +65,7 @@ from repro.opt.superblock import (
 from repro.opt.unreachable import dead_edges, unreachable_blocks
 
 __all__ = [
+    "AccessClassification",
     "AccessReport",
     "ArrayAccess",
     "DependencePair",
@@ -87,6 +91,7 @@ __all__ = [
     "UNSAFE",
     "analyse_bounds_checks",
     "chain_layout",
+    "classify_access",
     "classify_index",
     "collect_accesses",
     "constants_from_prediction",
@@ -103,4 +108,5 @@ __all__ = [
     "may_alias",
     "provably_disjoint",
     "unreachable_blocks",
+    "verify_after",
 ]

@@ -1,0 +1,33 @@
+"""Post-pass IR verification (``VRPConfig.verify_ir``).
+
+Every IR-mutating optimisation calls :func:`verify_after` before
+returning.  With verification off (the production default) the call is
+a single boolean test; with it on (the test suite turns it on
+process-wide via ``set_default_verify_ir``) corruption is reported at
+the pass that introduced it, with each problem prefixed by the pass
+name.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.config import default_verify_ir
+from repro.ir.function import Function
+from repro.ir.verifier import VerificationError, verify_function
+
+
+def verify_after(
+    function: Function, pass_name: str, enabled: Optional[bool] = None
+) -> None:
+    """Re-verify ``function`` (SSA form) after ``pass_name`` mutated it."""
+    if not (default_verify_ir() if enabled is None else enabled):
+        return
+    param_names = {f"{param}.0" for param in function.params}
+    try:
+        verify_function(function, ssa=True, param_names=param_names)
+    except VerificationError as exc:
+        raise VerificationError(
+            function.name,
+            [f"after {pass_name}: {problem}" for problem in exc.problems],
+        ) from exc

@@ -65,6 +65,86 @@ def classify_index(index_range: RangeSet, size: Optional[int]) -> str:
     return UNKNOWN
 
 
+@dataclass
+class AccessClassification:
+    """Component-wise verdict on one index range against ``[0, size)``.
+
+    Richer than :func:`classify_index`: instead of collapsing the set to
+    its hull, each weighted component range is tested separately, giving
+    the probability mass that is provably out of bounds.  Ranges with an
+    infinite hull side (the engine's widening artefacts) contribute *no*
+    out-of-bounds mass on partial overlap -- a widened ``[0:+inf]`` is
+    an over-approximation, not a proof that large indices occur.
+    """
+
+    classification: str  # SAFE / UNSAFE / UNKNOWN
+    definitely_oob: bool  # every component lies entirely outside
+    oob_mass: float  # probability mass provably out of bounds
+
+
+def _progression_inside(r, size: int) -> Optional[int]:
+    """Values of the finite numeric progression ``r`` inside [0, size)."""
+    lo = r.lo.offset
+    hi = r.hi.offset
+    if r.is_single():
+        return 1 if 0 <= lo <= size - 1 else 0
+    stride = r.stride if r.stride > 0 else 1
+    clamp_lo = max(int(lo), 0)
+    clamp_hi = min(int(hi), size - 1)
+    if clamp_hi < clamp_lo:
+        return 0
+    first = int(lo) + -(-(clamp_lo - int(lo)) // stride) * stride
+    if first > clamp_hi:
+        return 0
+    return (clamp_hi - first) // stride + 1
+
+
+def classify_access(index_range: RangeSet, size: Optional[int]) -> AccessClassification:
+    """Classify one access component-wise; see :class:`AccessClassification`."""
+    if size is None or not index_range.is_set or not index_range.ranges:
+        return AccessClassification(UNKNOWN, False, 0.0)
+    zero = Bound.number(0)
+    top = Bound.number(size - 1)
+    oob_mass = 0.0
+    any_entire_oob = False
+    all_entire_oob = True
+    all_inside = True
+    undecided = False
+    for r in index_range.ranges:
+        below = r.hi.compare(zero)  # entire range below 0?
+        above = r.lo.compare(top)  # entire range above size-1?
+        if (below is not None and below < 0) or (above is not None and above > 0):
+            oob_mass += r.probability
+            if r.probability > 0.0:
+                any_entire_oob = True
+            all_inside = False
+            continue
+        all_entire_oob = False
+        lo_in = r.lo.compare(zero)
+        hi_in = r.hi.compare(top)
+        if lo_in is not None and lo_in >= 0 and hi_in is not None and hi_in <= 0:
+            continue  # entirely inside
+        all_inside = False
+        # Partial overlap.  Only a finite numeric range yields provable
+        # out-of-bounds mass; symbolic or widened (infinite) ranges are
+        # over-approximations and stay silent.
+        if r.is_numeric() and r.is_finite():
+            total = r.count()
+            inside = _progression_inside(r, size)
+            if total and inside is not None and total > 0:
+                oob_mass += r.probability * (total - inside) / total
+        else:
+            undecided = True
+    if any_entire_oob:
+        classification = UNSAFE
+    elif all_inside:
+        classification = SAFE
+    else:
+        classification = UNKNOWN
+    definitely_oob = all_entire_oob and any_entire_oob and not undecided
+    return AccessClassification(classification, definitely_oob, min(1.0, oob_mass))
+
+
 def analyse_bounds_checks(
     function: Function, prediction: FunctionPrediction
 ) -> List[AccessReport]:

@@ -13,8 +13,9 @@ from typing import Dict
 
 from repro.core.propagation import FunctionPrediction
 from repro.ir.function import Function
-from repro.ir.instructions import Phi, Pi
+from repro.ir.instructions import Copy, Phi, Pi
 from repro.ir.values import Constant, Temp
+from repro.opt._verify import verify_after
 
 
 def constants_from_prediction(prediction: FunctionPrediction) -> Dict[str, int]:
@@ -53,7 +54,46 @@ def fold_constants(function: Function, prediction: FunctionPrediction) -> int:
                 if isinstance(operand, Temp) and operand.name in constants:
                     instr.replace_operand(operand, Constant(constants[operand.name]))
                     replaced += 1
+    replaced += _demote_constant_pis(function, constants)
+    if replaced:
+        verify_after(function, "fold_constants")
     return replaced
+
+
+def _demote_constant_pis(function: Function, constants: Dict[str, int]) -> int:
+    """Turn pis over proven-constant variables into plain copies.
+
+    Once a variable is a compile-time constant its assertions refine a
+    singleton range -- no information -- while the fold above may have
+    replaced the variable in the controlling comparison, leaving the pi
+    asserting a name the branch no longer mentions.  Demoted copies are
+    moved behind the surviving pis so the ``[phi*][pi*]`` block prefix
+    stays intact.
+    """
+    demoted_total = 0
+    for block in function.blocks.values():
+        instrs = block.instructions
+        k = 0
+        while k < len(instrs) and isinstance(instrs[k], Phi):
+            k += 1
+        start = k
+        while k < len(instrs) and isinstance(instrs[k], Pi):
+            k += 1
+        if start == k:
+            continue
+        kept, demoted = [], []
+        for pi in instrs[start:k]:
+            if isinstance(pi.src, Temp) and pi.src.name in constants:
+                copy = Copy(pi.dest, pi.src)
+                copy.block = block
+                copy.loc = pi.loc
+                demoted.append(copy)
+            else:
+                kept.append(pi)
+        if demoted:
+            instrs[start:k] = kept + demoted
+            demoted_total += len(demoted)
+    return demoted_total
 
 
 def fold_copies(function: Function, prediction: FunctionPrediction) -> int:
@@ -88,4 +128,6 @@ def fold_copies(function: Function, prediction: FunctionPrediction) -> int:
                     if root != operand.name:
                         instr.replace_operand(operand, Temp(root))
                         replaced += 1
+    if replaced:
+        verify_after(function, "fold_copies")
     return replaced

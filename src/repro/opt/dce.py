@@ -22,9 +22,11 @@ from repro.ir.instructions import (
     Jump,
     Load,
     Phi,
+    Pi,
     Store,
 )
 from repro.ir.values import Temp
+from repro.opt._verify import verify_after
 
 
 def eliminate_dead_code(function: Function) -> int:
@@ -67,6 +69,8 @@ def eliminate_dead_code(function: Function) -> int:
                 instr.block = None
                 removed += 1
         block.instructions = kept
+    if removed:
+        verify_after(function, "eliminate_dead_code")
     return removed
 
 
@@ -98,8 +102,10 @@ def fold_certain_branches(
             survivor, casualty = term.false_target, term.true_target
         else:
             continue
-        block.instructions[-1] = Jump(survivor)
-        block.instructions[-1].block = block
+        jump = Jump(survivor)
+        jump.block = block
+        jump.loc = term.loc
+        block.instructions[-1] = jump
         folded += 1
         if casualty != survivor:
             removed_edges.append((label, casualty))
@@ -114,14 +120,17 @@ def fold_certain_branches(
     if folded:
         remove_unreachable_blocks(function)
         _simplify_single_incoming_phis(function)
+        verify_after(function, "fold_certain_branches")
     return folded
 
 
 def _simplify_single_incoming_phis(function: Function) -> int:
     """Phis left with one incoming become plain copies.
 
-    The copies are placed after the surviving phis so the "phis first"
-    block invariant holds.
+    The copies are placed after the surviving phis *and* the assertion
+    (Pi) prefix, preserving the ``[Phi*] [Pi*] body`` block layout.  A
+    pi never reads a same-block phi (its source must dominate the
+    predecessor's branch), so hoisting the copies past the pis is safe.
     """
     from repro.ir.instructions import Copy
 
@@ -140,6 +149,10 @@ def _simplify_single_incoming_phis(function: Function) -> int:
             copy.block = block
             copies.append(copy)
             simplified += 1
-        insert_at = len(block.phis())
+        insert_at = 0
+        for instr in block.instructions:
+            if not isinstance(instr, (Phi, Pi)):
+                break
+            insert_at += 1
         block.instructions[insert_at:insert_at] = copies
     return simplified

@@ -40,6 +40,7 @@ from repro.ir.instructions import (
     UnOp,
 )
 from repro.ir.values import Constant, Temp, Undef, Value
+from repro.opt._verify import verify_after
 
 
 class InlineError(Exception):
@@ -101,6 +102,7 @@ def inline_call(caller: Function, call: Call, callee: Function, tag: str) -> Non
     for block in cloned_blocks:
         caller.blocks[block.label] = block
     caller.blocks[tail.label] = tail
+    verify_after(caller, "inline_call")
 
 
 class _Renamer:
@@ -151,6 +153,12 @@ def _clone_callee(
 
 
 def _clone(instr: Instruction, rename: _Renamer) -> Instruction:
+    clone = _clone_raw(instr, rename)
+    clone.loc = instr.loc
+    return clone
+
+
+def _clone_raw(instr: Instruction, rename: _Renamer) -> Instruction:
     value = rename.value
     if isinstance(instr, BinOp):
         return BinOp(value(instr.dest), instr.op, value(instr.lhs), value(instr.rhs))

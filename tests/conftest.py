@@ -1,0 +1,15 @@
+"""Test-suite-wide configuration.
+
+IR verification (``VRPConfig.verify_ir``) defaults to *on* for every
+test: lowering and each optimisation pass re-verify the function they
+touched, so structural regressions fail loudly at their source instead
+of corrupting downstream analysis.  Production (and the benchmarks,
+which must keep their work counts byte-identical to the seed) keep the
+library default of off.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import set_default_verify_ir
+
+set_default_verify_ir(True)

@@ -1,0 +1,17 @@
+"""Shared fixtures for the diagnostics tests."""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+FIXTURES = pathlib.Path(__file__).parent / "fixtures"
+
+
+@pytest.fixture
+def fixture_source():
+    def load(name: str) -> str:
+        return (FIXTURES / name).read_text()
+
+    return load

@@ -1,0 +1,35 @@
+"""Clean-suite snapshot: zero findings on every seed workload.
+
+The rules are deliberately conservative -- silent in dead code, silent
+on heuristic probabilities, silent on widened over-approximations -- so
+the 27 defect-free SPEC stand-ins must produce *no* findings.  Any
+regression here means a rule started treating an approximation as a
+proof.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.diagnostics import check_source
+from repro.workloads import all_workloads
+
+WORKLOADS = all_workloads()
+
+
+def test_seed_suite_size_is_stable():
+    # The snapshot below covers every registered workload; if the
+    # registry grows, the new programs are automatically swept in.
+    assert len(WORKLOADS) == 27
+
+
+@pytest.mark.parametrize(
+    "workload", WORKLOADS, ids=[w.name for w in WORKLOADS]
+)
+def test_workload_is_clean(workload):
+    report = check_source(workload.source, program=workload.name)
+    problems = [
+        f"{f.severity}: [{f.rule}] {f.message} ({f.function}/{f.block})"
+        for f in report.findings
+    ]
+    assert problems == [], f"{workload.name} is not clean"

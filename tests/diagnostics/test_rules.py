@@ -1,0 +1,127 @@
+"""Every diagnostics rule fires on its seeded-defect fixtures.
+
+Each fixture under ``fixtures/`` plants exactly one kind of defect; the
+parametrised test asserts that the intended rule fires at the intended
+severity.  Co-findings are allowed (a provably dead branch legitimately
+also makes its target unreachable) -- the assertion is membership, not
+exclusivity.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core import counters as counters_mod
+from repro.core.propagation import FunctionPrediction
+from repro.core.rangeset import RangeSet
+from repro.diagnostics import (
+    ERROR,
+    RULES,
+    RULES_BY_ID,
+    WARNING,
+    all_findings,
+    check_source,
+)
+from repro.lang import compile_source
+from repro.ir import prepare_module
+
+# fixture file -> (rule id, severity) that must be among the findings.
+EXPECTED = [
+    ("dead_branch_a.toy", "dead-branch", WARNING),
+    ("dead_branch_b.toy", "dead-branch", WARNING),
+    ("bounds_a.toy", "array-bounds", ERROR),
+    ("bounds_b.toy", "array-bounds", WARNING),
+    ("div_a.toy", "div-by-zero", ERROR),
+    ("div_b.toy", "div-by-zero", WARNING),
+    ("unreachable_a.toy", "unreachable-block", WARNING),
+    ("unreachable_b.toy", "unreachable-block", WARNING),
+    ("zero_trip_a.toy", "zero-trip-loop", WARNING),
+    ("zero_trip_b.toy", "zero-trip-loop", WARNING),
+    ("nonterm_a.toy", "non-terminating-loop", ERROR),
+    ("nonterm_b.toy", "non-terminating-loop", ERROR),
+    ("uninit_a.toy", "uninit-value", ERROR),
+    ("uninit_b.toy", "uninit-value", WARNING),
+]
+
+
+@pytest.mark.parametrize("name,rule,severity", EXPECTED)
+def test_fixture_fires_rule(fixture_source, name, rule, severity):
+    report = check_source(fixture_source(name), program=name)
+    fired = {(f.rule, f.severity) for f in report.findings}
+    assert (rule, severity) in fired, f"{name}: got {sorted(fired)}"
+
+
+@pytest.mark.parametrize("name,rule,severity", EXPECTED)
+def test_findings_are_well_formed(fixture_source, name, rule, severity):
+    report = check_source(fixture_source(name), program=name)
+    assert report.findings
+    for finding in report.findings:
+        assert finding.rule in RULES_BY_ID
+        assert finding.function == "main"
+        assert finding.block
+        assert finding.message
+        if finding.line is not None:
+            assert finding.line >= 1
+        # Evidence payloads must be machine-readable (JSON-serialisable).
+        json.dumps(finding.evidence)
+
+
+def test_every_rule_covered_by_fixtures():
+    covered = {rule for _, rule, _ in EXPECTED}
+    assert covered == {rule.id for rule in RULES}
+
+
+def test_findings_sorted_most_severe_first(fixture_source):
+    report = check_source(fixture_source("nonterm_b.toy"), program="nonterm_b")
+    severities = [f.severity for f in report.findings]
+    assert severities[0] == ERROR
+    assert severities == sorted(
+        severities, key=lambda s: 0 if s == ERROR else 1
+    )
+    assert report.worst_severity() == ERROR
+    assert report.fails("error")
+    assert not report.fails("never")
+
+
+def test_clean_source_has_no_findings():
+    source = """
+    func main(n) {
+      array a[16];
+      var total = 0;
+      for (i = 0; i < 16; i = i + 1) {
+        a[i] = input() % 100;
+      }
+      for (i = 0; i < 16; i = i + 1) {
+        total = total + a[i];
+      }
+      if (n > 0) {
+        total = total / n;
+      }
+      return total;
+    }
+    """
+    report = check_source(source, program="clean")
+    assert report.findings == []
+    assert report.worst_severity() is None
+    assert not report.fails("warning")
+
+
+def test_aborted_prediction_is_silent(fixture_source):
+    """No rule may fire on a best-effort (aborted) analysis."""
+    module = compile_source(fixture_source("div_a.toy"), module_name="div_a")
+    prepare_module(module)
+    function = module.functions["main"]
+    prediction = FunctionPrediction(
+        function=function,
+        branch_probability={},
+        edge_frequency={},
+        block_frequency={},
+        values={},
+        used_heuristic=set(),
+        counters=counters_mod.Counters(),
+        return_set=RangeSet.bottom(),
+        aborted=True,
+    )
+    assert all_findings(function, prediction) == []

@@ -1,0 +1,135 @@
+"""SARIF 2.1.0 export: structure, level mapping, and the validator."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.diagnostics import (
+    ERROR,
+    INFO,
+    LEVEL_FOR_SEVERITY,
+    RULES,
+    SARIF_VERSION,
+    WARNING,
+    check_source,
+    render_sarif,
+    sarif_report,
+    validate_sarif,
+)
+
+DEFECT_FIXTURES = [
+    "dead_branch_a.toy",
+    "bounds_a.toy",
+    "div_b.toy",
+    "nonterm_a.toy",
+    "uninit_b.toy",
+    "zero_trip_a.toy",
+]
+
+
+@pytest.mark.parametrize("name", DEFECT_FIXTURES)
+def test_real_reports_validate(fixture_source, name):
+    report = check_source(fixture_source(name), program=name)
+    assert report.findings
+    log = sarif_report(report)
+    assert validate_sarif(log) == []
+
+
+def test_log_shape(fixture_source):
+    report = check_source(fixture_source("div_a.toy"), program="div_a.toy")
+    log = sarif_report(report)
+    assert log["version"] == SARIF_VERSION == "2.1.0"
+    assert log["$schema"].endswith("sarif-2.1.0.json")
+    run = log["runs"][0]
+    driver = run["tool"]["driver"]
+    assert driver["name"] == "repro-check"
+    # The full rule catalogue ships with every log, findings or not.
+    assert [r["id"] for r in driver["rules"]] == [r.id for r in RULES]
+    for rule in driver["rules"]:
+        assert rule["shortDescription"]["text"]
+        assert rule["defaultConfiguration"]["level"] in ("error", "warning", "note")
+    result = run["results"][0]
+    assert result["ruleId"] == "div-by-zero"
+    assert result["level"] == "error"
+    assert driver["rules"][result["ruleIndex"]]["id"] == result["ruleId"]
+    location = result["locations"][0]
+    assert location["physicalLocation"]["artifactLocation"]["uri"] == "div_a.toy"
+    assert location["physicalLocation"]["region"]["startLine"] >= 1
+    assert location["logicalLocations"][0]["kind"] == "function"
+    assert "evidence" in result["properties"]
+
+
+def test_level_mapping_is_total():
+    assert LEVEL_FOR_SEVERITY == {
+        ERROR: "error",
+        WARNING: "warning",
+        INFO: "note",
+    }
+
+
+def test_artifact_uri_override(fixture_source):
+    report = check_source(fixture_source("div_a.toy"), program="div_a.toy")
+    log = sarif_report(report, artifact_uri="src/prog.toy")
+    uri = log["runs"][0]["results"][0]["locations"][0]["physicalLocation"][
+        "artifactLocation"
+    ]["uri"]
+    assert uri == "src/prog.toy"
+
+
+def test_render_is_json(fixture_source):
+    report = check_source(fixture_source("div_a.toy"), program="div_a.toy")
+    assert json.loads(render_sarif(report)) == sarif_report(report)
+
+
+def test_empty_report_validates():
+    report = check_source("func main() { return 0; }", program="empty")
+    assert report.findings == []
+    log = sarif_report(report)
+    assert validate_sarif(log) == []
+    assert log["runs"][0]["results"] == []
+
+
+class TestValidatorRejects:
+    def _valid(self, fixture_source) -> dict:
+        report = check_source(
+            fixture_source("bounds_a.toy"), program="bounds_a.toy"
+        )
+        return sarif_report(report)
+
+    def test_wrong_version(self, fixture_source):
+        log = self._valid(fixture_source)
+        log["version"] = "2.0.0"
+        assert any("version" in p for p in validate_sarif(log))
+
+    def test_missing_runs(self):
+        assert validate_sarif({"version": SARIF_VERSION, "runs": []})
+
+    def test_missing_driver_name(self, fixture_source):
+        log = self._valid(fixture_source)
+        del log["runs"][0]["tool"]["driver"]["name"]
+        assert any("driver.name" in p for p in validate_sarif(log))
+
+    def test_bad_level(self, fixture_source):
+        log = self._valid(fixture_source)
+        log["runs"][0]["results"][0]["level"] = "fatal"
+        assert any("level" in p for p in validate_sarif(log))
+
+    def test_unknown_rule_id(self, fixture_source):
+        log = self._valid(fixture_source)
+        log["runs"][0]["results"][0]["ruleId"] = "no-such-rule"
+        assert any("ruleId" in p for p in validate_sarif(log))
+
+    def test_mismatched_rule_index(self, fixture_source):
+        log = self._valid(fixture_source)
+        log["runs"][0]["results"][0]["ruleIndex"] = 0  # dead-branch slot
+        assert any("ruleIndex" in p for p in validate_sarif(log))
+
+    def test_bad_start_line(self, fixture_source):
+        log = self._valid(fixture_source)
+        region = log["runs"][0]["results"][0]["locations"][0][
+            "physicalLocation"
+        ]["region"]
+        region["startLine"] = 0
+        assert any("startLine" in p for p in validate_sarif(log))

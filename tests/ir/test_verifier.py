@@ -122,3 +122,123 @@ class TestSSAChecks:
         join.append(Return(Temp("x")))
         with pytest.raises(VerificationError, match="dominate"):
             verify_function(function, ssa=True, param_names={"n.0"})
+
+
+def _branchy() -> Function:
+    """entry: c = (n < 10); branch c ? then : other, both returning."""
+    from repro.ir.instructions import Pi
+
+    function = Function("g", ["n"])
+    entry = function.add_block(BasicBlock("entry"))
+    then = function.add_block(BasicBlock("then"))
+    other = function.add_block(BasicBlock("other"))
+    entry.append(Cmp(Temp("c"), "lt", Temp("n"), Constant(10)))
+    entry.append(Branch(Temp("c"), "then", "other"))
+    then.append(Return(Temp("n")))
+    other.append(Return(Constant(0)))
+    return function
+
+
+class TestPiPlacement:
+    def test_pi_on_branch_edge_accepted(self):
+        from repro.ir.instructions import Pi
+
+        function = _branchy()
+        then = function.block("then")
+        then.instructions.insert(
+            0, Pi(Temp("n1"), Temp("n"), "lt", Constant(10))
+        )
+        verify_function(function)
+
+    def test_pi_after_body_instruction_rejected(self):
+        from repro.ir.instructions import Pi
+
+        function = _branchy()
+        then = function.block("then")
+        then.instructions.insert(0, Copy(Temp("x"), Constant(1)))
+        then.instructions.insert(
+            1, Pi(Temp("n1"), Temp("n"), "lt", Constant(10))
+        )
+        with pytest.raises(VerificationError, match="after body instruction"):
+            verify_function(function)
+
+    def test_pi_needs_unique_predecessor(self):
+        from repro.ir.instructions import Pi
+
+        function = _branchy()
+        join = function.add_block(BasicBlock("join"))
+        join.instructions.insert(
+            0, Pi(Temp("n1"), Temp("n"), "lt", Constant(10))
+        )
+        join.append(Return(Constant(0)))
+        function.block("then").instructions[-1] = Jump("join")
+        function.block("other").instructions[-1] = Jump("join")
+        with pytest.raises(VerificationError, match="unique predecessor"):
+            verify_function(function)
+
+    def test_pi_in_entry_block_rejected(self):
+        from repro.ir.instructions import Pi
+
+        function = _branchy()
+        function.block("entry").instructions.insert(
+            0, Pi(Temp("n1"), Temp("n"), "lt", Constant(10))
+        )
+        with pytest.raises(VerificationError, match="unique predecessor"):
+            verify_function(function)
+
+    def test_pi_on_non_controlling_variable_rejected(self):
+        from repro.ir.instructions import Pi
+
+        function = _branchy()
+        function.block("then").instructions.insert(
+            0, Pi(Temp("m1"), Temp("m"), "lt", Constant(10))
+        )
+        with pytest.raises(
+            VerificationError, match="not a controlling variable"
+        ):
+            verify_function(function)
+
+    def test_pi_after_folded_branch_accepted(self):
+        # fold_certain_branches rewrites Branch -> Jump but leaves the
+        # target's assertions in place; they are still sound.
+        from repro.ir.instructions import Pi
+
+        function = _branchy()
+        function.block("entry").instructions[-1] = Jump("then")
+        del function.blocks["other"]
+        function.block("then").instructions.insert(
+            0, Pi(Temp("n1"), Temp("n"), "lt", Constant(10))
+        )
+        verify_function(function)
+
+    def test_pi_through_copy_chain_accepted(self):
+        # Copy propagation may leave the cmp reading a copy of the
+        # pi's source; the verifier resolves the chain.
+        from repro.ir.instructions import Pi
+
+        function = Function("g", ["n"])
+        entry = function.add_block(BasicBlock("entry"))
+        then = function.add_block(BasicBlock("then"))
+        other = function.add_block(BasicBlock("other"))
+        entry.append(Copy(Temp("m"), Temp("n")))
+        entry.append(Cmp(Temp("c"), "lt", Temp("m"), Constant(10)))
+        entry.append(Branch(Temp("c"), "then", "other"))
+        then.append(Return(Temp("n")))
+        other.append(Return(Constant(0)))
+        then.instructions.insert(
+            0, Pi(Temp("n1"), Temp("n"), "lt", Constant(10))
+        )
+        verify_function(function)
+
+    def test_pi_in_unreachable_block_skipped(self):
+        # Dead blocks keep their assertions until DCE removes them; the
+        # placement rules only apply to reachable code.
+        from repro.ir.instructions import Pi
+
+        function = _branchy()
+        dead = function.add_block(BasicBlock("dead"))
+        dead.instructions.insert(
+            0, Pi(Temp("n1"), Temp("n"), "lt", Constant(10))
+        )
+        dead.append(Return(Constant(0)))
+        verify_function(function)
