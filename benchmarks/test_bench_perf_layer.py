@@ -1,0 +1,180 @@
+"""Perf-layer benchmark: speed *and* behaviour-neutrality in one run.
+
+Times whole-suite analysis with the interning/memoization layer on and
+off, and asserts the layer's contract:
+
+* predictions are identical with the layer on and off;
+* Figure-5/6 work counts with the layer **on** stay byte-identical to
+  the pre-layer seed snapshot (``benchmarks/seed_work_counts.json``) --
+  memo hits replay their recorded sub-operation tally;
+* the 27-workload suite analyses at least 1.5x faster with the layer on.
+
+Emits ``BENCH_perf_layer.json`` with the wall times, aggregated cache
+hit rates, and worklist-pressure counters for both configurations.
+"""
+
+import json
+import pathlib
+import time
+
+from benchmarks.conftest import emit
+from repro.core import VRPConfig, VRPPredictor, perf
+from repro.evalharness import measure_scaling, measure_workloads, synthetic_program
+from repro.ir import prepare_module
+from repro.lang import compile_source
+from repro.workloads import suite
+
+SEED_PATH = pathlib.Path(__file__).parent / "seed_work_counts.json"
+
+TIMING_ROUNDS = 5
+SYNTHETIC_UNITS = [4, 8, 16, 32, 64]
+REQUIRED_SPEEDUP = 1.5
+
+WORKLIST_COUNTERS = (
+    "flow_pushes",
+    "ssa_pushes",
+    "flow_dedup_hits",
+    "ssa_dedup_hits",
+)
+
+
+def _prepare_suite():
+    prepared = []
+    for workload in suite("int") + suite("fp"):
+        module = compile_source(workload.source, module_name=workload.name)
+        prepared.append((workload.name, module, prepare_module(module)))
+    return prepared
+
+
+def _prepare_synthetic():
+    prepared = []
+    for units in SYNTHETIC_UNITS:
+        module = compile_source(synthetic_program(units))
+        prepared.append((f"units{units}", module, prepare_module(module)))
+    return prepared
+
+
+def _analyse(prepared, config, collect_caches=False):
+    """One full pass; returns (predictions, worklist totals, cache stats)."""
+    predictor = VRPPredictor(config=config)
+    predictions = {}
+    worklist = {name: 0 for name in WORKLIST_COUNTERS}
+    caches: dict = {}
+    for name, module, infos in prepared:
+        prediction = predictor.predict_module(module, infos)
+        predictions[name] = prediction.all_branches()
+        counter_dict = prediction.counters.as_dict()
+        for counter in WORKLIST_COUNTERS:
+            worklist[counter] += counter_dict[counter]
+        if collect_caches:
+            # Stats reset per predict_module: aggregate across workloads.
+            for cache_name, stats in perf.snapshot().items():
+                bucket = caches.setdefault(
+                    cache_name, {"hits": 0, "misses": 0, "evictions": 0}
+                )
+                for key in bucket:
+                    bucket[key] += stats[key]
+    for bucket in caches.values():
+        probes = bucket["hits"] + bucket["misses"]
+        bucket["hit_rate"] = round(bucket["hits"] / probes, 4) if probes else 0.0
+    return predictions, worklist, caches
+
+
+def _time_rounds(prepared, config, rounds=TIMING_ROUNDS):
+    """Per-round wall times; round 1 starts from empty perf caches."""
+    perf.reset()
+    predictor = VRPPredictor(config=config)
+    times = []
+    for _ in range(rounds):
+        start = time.perf_counter()
+        for _, module, infos in prepared:
+            predictor.predict_module(module, infos)
+        times.append(time.perf_counter() - start)
+    return times
+
+
+def test_perf_layer_speedup_and_neutrality(results_dir):
+    config_on = VRPConfig(perf=True)
+    config_off = VRPConfig(perf=False)
+    suite_programs = _prepare_suite()
+    synthetic_programs = _prepare_synthetic()
+
+    # -- neutrality: identical predictions, byte-identical work counts --
+    predictions_on, worklist_on, caches = _analyse(
+        suite_programs, config_on, collect_caches=True
+    )
+    predictions_off, worklist_off, _ = _analyse(suite_programs, config_off)
+    assert predictions_on == predictions_off
+    assert worklist_on == worklist_off
+
+    seed = json.loads(SEED_PATH.read_text())
+    measured = {
+        "scaling": measure_scaling(config=config_on),
+        "workloads": measure_workloads(config=config_on),
+    }
+    work_counts_match = json.loads(json.dumps(measured)) == seed
+    assert work_counts_match, "perf layer changed Figure-5/6 work counts"
+
+    # -- wall time -------------------------------------------------------
+    suite_off_rounds = _time_rounds(suite_programs, config_off)
+    suite_on_rounds = _time_rounds(suite_programs, config_on)
+    suite_off = min(suite_off_rounds)
+    suite_on = min(suite_on_rounds)
+    suite_speedup = suite_off / suite_on
+    synthetic_off = min(_time_rounds(synthetic_programs, config_off))
+    synthetic_on = min(_time_rounds(synthetic_programs, config_on))
+    synthetic_speedup = synthetic_off / synthetic_on
+
+    _, synthetic_worklist, _ = _analyse(synthetic_programs, config_on)
+
+    report = {
+        "suite": {
+            "workloads": len(suite_programs),
+            "seconds_off": round(suite_off, 4),
+            "seconds_on": round(suite_on, 4),
+            "seconds_on_cold": round(suite_on_rounds[0], 4),
+            "speedup": round(suite_speedup, 3),
+            "worklist": worklist_on,
+            "cache_stats": caches,
+        },
+        "synthetic": {
+            "units": SYNTHETIC_UNITS,
+            "seconds_off": round(synthetic_off, 4),
+            "seconds_on": round(synthetic_on, 4),
+            "speedup": round(synthetic_speedup, 3),
+            "worklist": synthetic_worklist,
+        },
+        "neutrality": {
+            "predictions_identical": True,
+            "work_counts_match_seed": work_counts_match,
+        },
+    }
+    (results_dir / "BENCH_perf_layer.json").write_text(
+        json.dumps(report, indent=1, sort_keys=True) + "\n"
+    )
+
+    lines = ["Perf layer: interning + memoization", ""]
+    lines.append(f"{'collection':<12s} {'off (s)':>9s} {'on (s)':>9s} {'speedup':>9s}")
+    lines.append(
+        f"{'suite':<12s} {suite_off:>9.3f} {suite_on:>9.3f} {suite_speedup:>8.2f}x"
+    )
+    lines.append(
+        f"{'synthetic':<12s} {synthetic_off:>9.3f} {synthetic_on:>9.3f} "
+        f"{synthetic_speedup:>8.2f}x"
+    )
+    lines.append("")
+    lines.append(f"{'cache':<18s} {'hits':>9s} {'misses':>9s} {'hit rate':>9s}")
+    for name in sorted(caches):
+        bucket = caches[name]
+        if bucket["hits"] + bucket["misses"] == 0:
+            continue
+        lines.append(
+            f"{name:<18s} {bucket['hits']:>9d} {bucket['misses']:>9d} "
+            f"{bucket['hit_rate']:>9.2f}"
+        )
+    emit(results_dir, "perf_layer.txt", "\n".join(lines))
+
+    assert suite_speedup >= REQUIRED_SPEEDUP, (
+        f"perf layer speedup {suite_speedup:.2f}x below the "
+        f"{REQUIRED_SPEEDUP}x bar (off {suite_off:.3f}s, on {suite_on:.3f}s)"
+    )

@@ -6,9 +6,11 @@ Commands:
 * ``ir FILE``        -- dump the canonicalised SSA IR;
 * ``run FILE``       -- interpret a program and print its profile;
 * ``ranges FILE``    -- final value ranges per SSA variable;
-* ``check FILE``     -- static diagnostics from the computed ranges
+* ``check FILE...``  -- static diagnostics from the computed ranges
   (dead branches, out-of-bounds accesses, division by zero, ...) as
-  text, JSON, or SARIF 2.1.0;
+  text, JSON, or SARIF 2.1.0; many files check in one invocation
+  (``--jobs N`` fans out over processes, ``--output-dir`` writes one
+  report per input);
 * ``trace FILE``     -- phase timings + propagation event stream;
 * ``explain FILE BRANCH`` -- why a branch got its probability;
 * ``workloads``      -- list the built-in benchmark suite;
@@ -16,6 +18,8 @@ Commands:
 
 ``predict`` and ``evaluate`` accept ``--emit-metrics PATH`` to write a
 machine-readable metrics JSON (schema in ``docs/OBSERVABILITY.md``).
+``evaluate`` and ``check`` accept ``--jobs N``; outputs are
+byte-identical for every worker count (see ``docs/PERFORMANCE.md``).
 """
 
 from __future__ import annotations
@@ -44,13 +48,17 @@ def _parse_ints(text: Optional[str]) -> List[int]:
 
 
 def _config_from_args(args: argparse.Namespace) -> VRPConfig:
-    return VRPConfig(
+    kwargs = dict(
         max_ranges=args.max_ranges,
         symbolic=not args.numeric,
         derive_loops=not args.no_derive,
         track_arrays=args.track_arrays,
         sanitize=getattr(args, "sanitize", False),
     )
+    # Only force the field when asked; the default tracks REPRO_PERF.
+    if getattr(args, "no_perf", False):
+        kwargs["perf"] = False
+    return VRPConfig(**kwargs)
 
 
 def _prepare(args: argparse.Namespace):
@@ -87,7 +95,14 @@ def cmd_predict(args: argparse.Namespace) -> int:
         marker = "heuristic" if (function, label) in heuristic else "ranges"
         print(f"{function:<14s} {label:<12s} {probability:>8.1%}  {marker}")
     if emit_metrics:
-        report = build_metrics_report(prediction, tracer, program=module.name)
+        from repro.core import perf
+
+        report = build_metrics_report(
+            prediction,
+            tracer,
+            program=module.name,
+            perf_stats=perf.snapshot() if predictor.config.perf else None,
+        )
         try:
             report.write(emit_metrics)
         except OSError as error:
@@ -96,53 +111,163 @@ def cmd_predict(args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_check(args: argparse.Namespace) -> int:
-    from repro.diagnostics import check_module, render_json, render_sarif, render_text
+_CHECK_EXTENSIONS = {"text": "txt", "json": "json", "sarif": "sarif"}
 
-    module, ssa_infos = _prepare(args)
-    config = _config_from_args(args)
-    predictor = VRPPredictor(config=config, interprocedural=not args.intra)
-    program = module.name if args.file == "-" else args.file
-    emit_metrics = getattr(args, "emit_metrics", None)
-    if emit_metrics:
+
+def _check_file(item):
+    """Compile, analyse, and render diagnostics for one file.
+
+    Module-level (picklable) so ``--jobs N`` can run it in a process
+    pool; the sequential path calls the same function, which keeps the
+    rendered reports byte-identical for every worker count.  Returns a
+    plain dict; compile errors come back under an ``error`` key instead
+    of raising, so one bad file fails the run cleanly from the parent.
+    """
+    path, config, intra, fmt, with_metrics, fail_on = item
+    from repro.diagnostics import check_module, render_json, render_sarif, render_text
+    from repro.lang import LexError, LoweringError, ParseError
+
+    try:
+        module = compile_source(_read_source(path))
+    except FileNotFoundError:
+        return {"path": path, "error": f"no such file: {path}"}
+    except (LexError, ParseError, LoweringError) as error:
+        return {"path": path, "error": str(error)}
+    ssa_infos = prepare_module(module)
+    predictor = VRPPredictor(config=config, interprocedural=not intra)
+    program = module.name if path == "-" else path
+    if with_metrics:
+        from repro.core import perf
         from repro.observability import Tracer, build_metrics_report, use
 
         tracer = Tracer()
         with use(tracer):
             prediction = predictor.predict_module(module, ssa_infos)
             report = check_module(module, prediction, program=program)
+        metrics = build_metrics_report(
+            prediction,
+            tracer,
+            program=program,
+            findings=report.findings,
+            perf_stats=perf.snapshot() if predictor.config.perf else None,
+        ).to_dict()
     else:
-        tracer = None
         prediction = predictor.predict_module(module, ssa_infos)
         report = check_module(module, prediction, program=program)
+        metrics = None
 
-    if args.format == "json":
+    if fmt == "json":
         rendered = render_json(report)
-    elif args.format == "sarif":
+    elif fmt == "sarif":
         rendered = render_sarif(report, artifact_uri=program)
     else:
         rendered = render_text(report)
-    if args.output:
-        try:
-            with open(args.output, "w", encoding="utf-8") as handle:
-                handle.write(rendered + "\n")
-        except OSError as error:
-            raise SystemExit(f"error: cannot write report: {error}")
-        print(f"{args.format} report written to {args.output}")
-    else:
-        print(rendered)
+    return {
+        "path": path,
+        "rendered": rendered,
+        "metrics": metrics,
+        "fails": report.fails(fail_on),
+    }
 
-    if emit_metrics:
-        metrics = build_metrics_report(
-            prediction, tracer, program=program, findings=report.findings
+
+def _stem_of(path: str) -> str:
+    import os
+
+    return os.path.splitext(os.path.basename(path))[0]
+
+
+def cmd_check(args: argparse.Namespace) -> int:
+    import json
+    import os
+
+    files = args.files
+    jobs = max(1, args.jobs)
+    output_dir = args.output_dir
+    emit_metrics = getattr(args, "emit_metrics", None)
+    multi = len(files) > 1 or output_dir is not None
+    if "-" in files and (multi or jobs > 1):
+        raise SystemExit("error: stdin ('-') requires a single file and --jobs 1")
+    if args.output and multi:
+        raise SystemExit(
+            "error: --output is single-file; use --output-dir for many files"
         )
-        try:
-            metrics.write(emit_metrics)
-        except OSError as error:
-            raise SystemExit(f"error: cannot write metrics: {error}")
-        print(f"metrics written to {emit_metrics}")
+    if multi and (output_dir or emit_metrics):
+        # Per-file outputs are named by stem: two inputs with the same
+        # basename would silently overwrite each other.
+        stems: dict = {}
+        for path in files:
+            stem = _stem_of(path)
+            if stem in stems:
+                raise SystemExit(
+                    f"error: duplicate output stem {stem!r} "
+                    f"({stems[stem]} and {path}); rename one input"
+                )
+            stems[stem] = path
 
-    return 1 if report.fails(args.fail_on) else 0
+    config = _config_from_args(args)
+    items = [
+        (path, config, args.intra, args.format, bool(emit_metrics), args.fail_on)
+        for path in files
+    ]
+    if jobs > 1 and len(items) > 1:
+        from concurrent.futures import ProcessPoolExecutor
+
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            # map() yields in submission order: deterministic output.
+            results = list(pool.map(_check_file, items))
+    else:
+        results = [_check_file(item) for item in items]
+    for result in results:
+        if "error" in result:
+            raise SystemExit(f"error: {result['error']}")
+
+    extension = _CHECK_EXTENSIONS[args.format]
+    if output_dir is not None:
+        os.makedirs(output_dir, exist_ok=True)
+    if emit_metrics and multi:
+        os.makedirs(emit_metrics, exist_ok=True)
+    failed = False
+    for result in results:
+        failed = failed or result["fails"]
+        if output_dir is not None:
+            target = os.path.join(
+                output_dir, f"{_stem_of(result['path'])}.{extension}"
+            )
+            try:
+                with open(target, "w", encoding="utf-8") as handle:
+                    handle.write(result["rendered"] + "\n")
+            except OSError as error:
+                raise SystemExit(f"error: cannot write report: {error}")
+            print(f"{args.format} report written to {target}")
+        elif args.output:
+            try:
+                with open(args.output, "w", encoding="utf-8") as handle:
+                    handle.write(result["rendered"] + "\n")
+            except OSError as error:
+                raise SystemExit(f"error: cannot write report: {error}")
+            print(f"{args.format} report written to {args.output}")
+        else:
+            if len(results) > 1:
+                print(f"== {result['path']} ==")
+            print(result["rendered"])
+    if emit_metrics:
+        for result in results:
+            if multi:
+                # With many files --emit-metrics names a directory.
+                target = os.path.join(
+                    emit_metrics, f"{_stem_of(result['path'])}.metrics.json"
+                )
+            else:
+                target = emit_metrics
+            try:
+                with open(target, "w", encoding="utf-8") as handle:
+                    json.dump(result["metrics"], handle, indent=1, sort_keys=True)
+                    handle.write("\n")
+            except OSError as error:
+                raise SystemExit(f"error: cannot write metrics: {error}")
+            print(f"metrics written to {target}")
+
+    return 1 if failed else 0
 
 
 def cmd_trace(args: argparse.Namespace) -> int:
@@ -281,11 +406,11 @@ def cmd_workloads(args: argparse.Namespace) -> int:
 
 def cmd_evaluate(args: argparse.Namespace) -> int:
     from repro.evalharness import (
-        evaluate_suite,
         evaluate_workload,
         format_cdf_table,
         format_suite_figure,
         prepare_workload,
+        run_suite,
     )
     from repro.evalharness.accuracy import error_cdf
     from repro.workloads import get_workload, suite
@@ -310,8 +435,17 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
             print(f"metrics written to {emit_metrics}")
         return 0
     suite_name = args.suite or "fp"
-    workloads = suite(suite_name)
-    evaluation = evaluate_suite(workloads, suite_name)
+    if suite_name == "all":
+        workloads = suite("int") + suite("fp")
+    else:
+        workloads = suite(suite_name)
+    # One pass prepares, scores, and (when asked) collects metrics.
+    evaluation, reports = run_suite(
+        workloads,
+        suite_name,
+        jobs=max(1, args.jobs),
+        with_metrics=bool(emit_metrics),
+    )
     print(
         format_suite_figure(
             evaluation,
@@ -322,12 +456,6 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
     if emit_metrics:
         import json
 
-        from repro.evalharness.runner import workload_metrics
-
-        reports = [
-            workload_metrics(prepare_workload(workload)).to_dict()
-            for workload in workloads
-        ]
         try:
             with open(emit_metrics, "w", encoding="utf-8") as handle:
                 json.dump(
@@ -347,8 +475,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    def add_analysis_flags(p: argparse.ArgumentParser) -> None:
-        p.add_argument("file", help="toy-language source file ('-' for stdin)")
+    def add_analysis_flags(
+        p: argparse.ArgumentParser, multi_file: bool = False
+    ) -> None:
+        if multi_file:
+            p.add_argument(
+                "files",
+                nargs="+",
+                help="toy-language source files ('-' for stdin, single file only)",
+            )
+        else:
+            p.add_argument("file", help="toy-language source file ('-' for stdin)")
         p.add_argument("--intra", action="store_true", help="disable interprocedural analysis")
         p.add_argument("--numeric", action="store_true", help="disable symbolic ranges")
         p.add_argument("--no-derive", action="store_true", help="disable loop derivation")
@@ -358,6 +495,11 @@ def build_parser() -> argparse.ArgumentParser:
             "--sanitize",
             action="store_true",
             help="validate engine lattice invariants while propagating",
+        )
+        p.add_argument(
+            "--no-perf",
+            action="store_true",
+            help="disable the interning/memoization performance layer",
         )
 
     predict = sub.add_parser("predict", help="predict every conditional branch")
@@ -376,7 +518,7 @@ def build_parser() -> argparse.ArgumentParser:
     check_cmd = sub.add_parser(
         "check", help="static diagnostics from the computed ranges"
     )
-    add_analysis_flags(check_cmd)
+    add_analysis_flags(check_cmd, multi_file=True)
     check_cmd.add_argument(
         "--format",
         choices=["text", "json", "sarif"],
@@ -390,12 +532,27 @@ def build_parser() -> argparse.ArgumentParser:
         help="exit non-zero when a finding at/above this severity exists",
     )
     check_cmd.add_argument(
-        "--output", metavar="PATH", help="write the report to a file"
+        "--output", metavar="PATH", help="write the report to a file (single input)"
+    )
+    check_cmd.add_argument(
+        "--output-dir",
+        metavar="DIR",
+        help="write one report per input file as DIR/<stem>.<format>",
     )
     check_cmd.add_argument(
         "--emit-metrics",
         metavar="PATH",
-        help="write a metrics JSON including the findings",
+        help=(
+            "write a metrics JSON including the findings "
+            "(a directory of <stem>.metrics.json files with many inputs)"
+        ),
+    )
+    check_cmd.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="check files over N worker processes (same output as N=1)",
     )
     check_cmd.set_defaults(handler=cmd_check)
 
@@ -440,8 +597,17 @@ def build_parser() -> argparse.ArgumentParser:
 
     evaluate_cmd = sub.add_parser("evaluate", help="score predictors (figures 7/8)")
     evaluate_cmd.add_argument("--workload", help="one workload by name")
-    evaluate_cmd.add_argument("--suite", choices=["int", "fp"], help="whole suite")
+    evaluate_cmd.add_argument(
+        "--suite", choices=["int", "fp", "all"], help="whole suite ('all' = int + fp)"
+    )
     evaluate_cmd.add_argument("--weighted", action="store_true")
+    evaluate_cmd.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="evaluate workloads over N worker processes (same output as N=1)",
+    )
     evaluate_cmd.add_argument(
         "--emit-metrics",
         metavar="PATH",

@@ -143,6 +143,8 @@ class Bound:
     # -- identity -----------------------------------------------------------------
 
     def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
         return (
             isinstance(other, Bound)
             and self.symbol == other.symbol

@@ -35,6 +35,10 @@ class Counters:
         "derivations_attempted",
         "derivations_succeeded",
         "heuristic_fallbacks",
+        "flow_pushes",
+        "ssa_pushes",
+        "flow_dedup_hits",
+        "ssa_dedup_hits",
     )
 
     def __init__(self) -> None:
@@ -46,6 +50,12 @@ class Counters:
         self.derivations_attempted = 0
         self.derivations_succeeded = 0
         self.heuristic_fallbacks = 0
+        # Worklist pressure: pushes actually enqueued versus requests
+        # swallowed because the item was already pending (deduplication).
+        self.flow_pushes = 0
+        self.ssa_pushes = 0
+        self.flow_dedup_hits = 0
+        self.ssa_dedup_hits = 0
 
     def merge(self, other: "Counters") -> None:
         for field in self.__slots__:

@@ -17,6 +17,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 from repro.core import counters as counters_mod
 from repro.core.callgraph import CallGraph
 from repro.core.config import VRPConfig
+from repro.core.perf import context as perf_context
 from repro.core.propagation import (
     FunctionPrediction,
     HeuristicFn,
@@ -101,6 +102,12 @@ class InterproceduralVRP:
     # -- driver ---------------------------------------------------------------
 
     def run(self) -> ModulePrediction:
+        # Activated here as well as per-engine so the cross-engine work
+        # (jump-function merges below) shares the caches.
+        with perf_context.activate(self.config.perf):
+            return self._run()
+
+    def _run(self) -> ModulePrediction:
         from repro.observability import tracer as tracing
 
         tracer = tracing.active()

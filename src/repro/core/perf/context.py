@@ -1,0 +1,63 @@
+"""Enable/disable state for the analysis performance layer.
+
+Two switches compose:
+
+* a **process-global** default (:func:`set_global_enabled`), seeded from
+  the ``REPRO_PERF`` environment variable so an entire test run can be
+  executed with the layer off (``REPRO_PERF=0``) to prove the layer has
+  no behavioural coupling;
+* a **per-run override** carried in a :class:`contextvars.ContextVar`
+  (:func:`activate`), set by the propagation engine from
+  :attr:`repro.core.config.VRPConfig.perf` so concurrent engines with
+  different configs do not fight over a global.
+
+This module is imported by the lattice-value modules themselves
+(``ranges``/``rangeset``) and therefore must not import anything from
+:mod:`repro.core` -- it is the dependency-free root of the perf layer.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import os
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+_GLOBAL_ENABLED = os.environ.get("REPRO_PERF", "1").lower() not in (
+    "0",
+    "false",
+    "off",
+)
+
+_ACTIVE: contextvars.ContextVar[Optional[bool]] = contextvars.ContextVar(
+    "repro-perf-active", default=None
+)
+
+
+def globally_enabled() -> bool:
+    """The process-wide default for the perf layer."""
+    return _GLOBAL_ENABLED
+
+
+def set_global_enabled(enabled: bool) -> None:
+    """Set the process-wide default (also the ``VRPConfig.perf`` default)."""
+    global _GLOBAL_ENABLED
+    _GLOBAL_ENABLED = bool(enabled)
+
+
+def is_active() -> bool:
+    """Whether perf caching applies right now (override, else global)."""
+    override = _ACTIVE.get()
+    if override is None:
+        return _GLOBAL_ENABLED
+    return override
+
+
+@contextmanager
+def activate(enabled: bool) -> Iterator[None]:
+    """Force the perf layer on/off for the duration of the block."""
+    token = _ACTIVE.set(bool(enabled))
+    try:
+        yield
+    finally:
+        _ACTIVE.reset(token)

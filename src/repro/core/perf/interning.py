@@ -1,0 +1,125 @@
+"""Hash-consing for the lattice value types.
+
+Structurally-equal :class:`~repro.core.bounds.Bound`,
+:class:`~repro.core.ranges.StridedRange` and
+:class:`~repro.core.rangeset.RangeSet` values are mapped to one
+canonical object, so
+
+* ``__eq__`` / ``approx_equal`` fast-path on identity,
+* the engine's "did this value change?" checks become pointer
+  comparisons, and
+* memoization caches can key on the values themselves with cheap
+  (cached) hashes.
+
+The tables are **bounded** (FIFO eviction past the cap): eviction never
+changes results -- two canonical objects for the same value merely lose
+the identity fast path, and every consumer falls back to structural
+equality.  ⊤ and ⊥ always intern to the module singletons
+:data:`repro.core.rangeset.TOP` / :data:`repro.core.rangeset.BOTTOM`.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import TypeVar
+
+from repro.core.perf.stats import stats
+
+T = TypeVar("T")
+
+DEFAULT_INTERN_SIZE = 65536
+
+
+class InternTable:
+    """A bounded value -> canonical-object map (first one wins)."""
+
+    __slots__ = ("name", "capacity", "_table", "_stats")
+
+    def __init__(self, name: str, capacity: int = DEFAULT_INTERN_SIZE):
+        self.name = name
+        self.capacity = capacity
+        self._table: "OrderedDict" = OrderedDict()
+        # The CacheStats objects live as long as the process (reset()
+        # zeroes them in place), so binding once avoids a lookup per hit.
+        self._stats = stats().caches[name]
+
+    def intern(self, value: T) -> T:
+        table = self._table
+        record = self._stats
+        canonical = table.get(value)
+        if canonical is not None:
+            record.hits += 1
+            table.move_to_end(value)
+            return canonical
+        record.misses += 1
+        table[value] = value
+        if len(table) > self.capacity:
+            table.popitem(last=False)
+            record.evictions += 1
+        return value
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    def clear(self) -> None:
+        self._table.clear()
+
+
+_BOUNDS = InternTable("intern_bound")
+_RANGES = InternTable("intern_range")
+_RANGESETS = InternTable("intern_rangeset")
+
+
+def intern_bound(bound):
+    """The canonical object for a :class:`Bound` (``is``-comparable)."""
+    return _BOUNDS.intern(bound)
+
+
+def intern_range(rng):
+    """The canonical object for a :class:`StridedRange`, bounds included."""
+    canonical = _RANGES.intern(rng)
+    if canonical is rng:
+        # First sighting: canonicalise the bounds in place (same values).
+        rng.lo = _BOUNDS.intern(rng.lo)
+        rng.hi = _BOUNDS.intern(rng.hi)
+    return canonical
+
+
+def intern_rangeset(rangeset):
+    """The canonical object for a :class:`RangeSet` (⊤/⊥ -> singletons).
+
+    Member ranges are deliberately *not* re-interned: identity of the
+    set itself is what the engine's change checks and the memo keys use,
+    and per-member table probes measurably outweigh the cross-set
+    sharing they would buy.
+    """
+    from repro.core.rangeset import BOTTOM, TOP
+
+    if rangeset.is_top:
+        return TOP
+    if rangeset.is_bottom:
+        return BOTTOM
+    return _RANGESETS.intern(rangeset)
+
+
+def configure(capacity: int) -> None:
+    """Resize all intern tables (shrinking evicts oldest entries)."""
+    for table in (_BOUNDS, _RANGES, _RANGESETS):
+        table.capacity = capacity
+        while len(table._table) > capacity:
+            table._table.popitem(last=False)
+
+
+def clear() -> None:
+    """Drop every interned value (identity guarantees start over)."""
+    _BOUNDS.clear()
+    _RANGES.clear()
+    _RANGESETS.clear()
+
+
+def table_sizes() -> dict:
+    return {
+        "bound": len(_BOUNDS),
+        "range": len(_RANGES),
+        "rangeset": len(_RANGESETS),
+    }

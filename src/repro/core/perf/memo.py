@@ -1,0 +1,278 @@
+"""Bounded-LRU memoization for the hot pure range-algebra functions.
+
+Importing this module installs the :func:`from_ranges`/:func:`merge_weighted`
+hooks into :mod:`repro.core.rangeset` (module-level ``_FROM_RANGES_MEMO`` /
+``_MERGE_WEIGHTED_MEMO`` variables), so *every* call site benefits; the
+engine-facing wrappers (:func:`evaluate_binop`, :func:`compare_sets`, ...)
+are called explicitly by :mod:`repro.core.propagation`.
+
+Two invariants keep the layer behaviour-neutral:
+
+* **Counter replay.**  ``evaluate_binop``/``evaluate_unop``/``compare_sets``
+  tally one ``sub_operations`` per range pair internally; each cache entry
+  stores the tally delta of its original evaluation and replays it on every
+  hit, so the Figure-5/6 work counts stay byte-identical to a run without
+  the layer (``benchmarks/seed_work_counts.json`` is asserted against both
+  ways).
+* **Gating.**  Every wrapper falls through to the original function when
+  :func:`repro.core.perf.context.is_active` says the layer is off, so
+  ``VRPConfig(perf=False)`` or ``REPRO_PERF=0`` bypasses caching entirely.
+
+``compare_sets`` is only memoized for calls without a ``symbol_range``
+callback (94% of them): with a callback the result depends on *live*
+engine state that a key over the operands cannot capture.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional
+
+from repro.core import counters
+from repro.core import comparisons as _comparisons
+from repro.core import range_arith as _range_arith
+from repro.core import rangeset as _rangeset
+from repro.core import refine as _refine
+from repro.core.perf import interning
+from repro.core.perf.context import is_active
+from repro.core.perf.stats import stats
+
+DEFAULT_MEMO_SIZE = 16384
+
+_MISSING = object()
+
+
+class LRUCache:
+    """A bounded key -> value map with LRU eviction and stats tallying."""
+
+    __slots__ = ("name", "capacity", "_table", "_stats")
+
+    def __init__(self, name: str, capacity: int = DEFAULT_MEMO_SIZE):
+        self.name = name
+        self.capacity = capacity
+        self._table: "OrderedDict" = OrderedDict()
+        # CacheStats objects are zeroed in place on reset, never
+        # replaced, so a one-time binding saves a lookup per hit.
+        self._stats = stats().caches[name]
+
+    def get(self, key):
+        """The cached value, or the module ``_MISSING`` sentinel."""
+        value = self._table.get(key, _MISSING)
+        if value is _MISSING:
+            self._stats.misses += 1
+            return _MISSING
+        self._stats.hits += 1
+        self._table.move_to_end(key)
+        return value
+
+    def put(self, key, value) -> None:
+        table = self._table
+        table[key] = value
+        if len(table) > self.capacity:
+            table.popitem(last=False)
+            self._stats.evictions += 1
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    def clear(self) -> None:
+        self._table.clear()
+
+
+_FROM_RANGES = LRUCache("from_ranges")
+_MERGE_WEIGHTED = LRUCache("merge_weighted")
+_BINOP = LRUCache("binop")
+_UNOP = LRUCache("unop")
+_COMPARE = LRUCache("compare")
+_REFINE = LRUCache("refine")
+_CONSTANT = LRUCache("constant")
+_BOOLEAN = LRUCache("boolean")
+
+_ALL_CACHES = (
+    _FROM_RANGES,
+    _MERGE_WEIGHTED,
+    _BINOP,
+    _UNOP,
+    _COMPARE,
+    _REFINE,
+    _CONSTANT,
+    _BOOLEAN,
+)
+
+
+# -- rangeset hooks (installed below; rangeset checks is_active itself) -----
+
+
+def from_ranges(ranges, max_ranges, renormalise):
+    """Memoized ``RangeSet.from_ranges`` (``ranges`` already a tuple)."""
+    key = (ranges, max_ranges, renormalise)
+    cached = _FROM_RANGES.get(key)
+    if cached is not _MISSING:
+        return cached
+    result = interning.intern_rangeset(
+        _rangeset._build_set(ranges, max_ranges, renormalise)
+    )
+    _FROM_RANGES.put(key, result)
+    return result
+
+
+def merge_weighted(contributions, max_ranges):
+    """Memoized φ-merge (``contributions`` already a tuple of pairs)."""
+    key = (contributions, max_ranges)
+    cached = _MERGE_WEIGHTED.get(key)
+    if cached is not _MISSING:
+        return cached
+    result = interning.intern_rangeset(
+        _rangeset._merge_weighted(contributions, max_ranges)
+    )
+    _MERGE_WEIGHTED.put(key, result)
+    return result
+
+
+# -- engine-facing wrappers -------------------------------------------------
+
+
+def evaluate_binop(op, a, b, max_ranges=_rangeset.DEFAULT_MAX_RANGES):
+    """``range_arith.evaluate_binop`` with caching + sub-operation replay."""
+    if not is_active():
+        return _range_arith.evaluate_binop(op, a, b, max_ranges)
+    key = (op, a, b, max_ranges)
+    cached = _BINOP.get(key)
+    if cached is not _MISSING:
+        result, sub_ops = cached
+        counters.active().sub_operations += sub_ops
+        return result
+    tally = counters.active()
+    before = tally.sub_operations
+    result = interning.intern_rangeset(
+        _range_arith.evaluate_binop(op, a, b, max_ranges)
+    )
+    _BINOP.put(key, (result, tally.sub_operations - before))
+    return result
+
+
+def evaluate_unop(op, a, max_ranges=_rangeset.DEFAULT_MAX_RANGES):
+    """``range_arith.evaluate_unop`` with caching + sub-operation replay."""
+    if not is_active():
+        return _range_arith.evaluate_unop(op, a, max_ranges)
+    key = (op, a, max_ranges)
+    cached = _UNOP.get(key)
+    if cached is not _MISSING:
+        result, sub_ops = cached
+        counters.active().sub_operations += sub_ops
+        return result
+    tally = counters.active()
+    before = tally.sub_operations
+    result = interning.intern_rangeset(
+        _range_arith.evaluate_unop(op, a, max_ranges)
+    )
+    _UNOP.put(key, (result, tally.sub_operations - before))
+    return result
+
+
+def compare_sets(
+    op,
+    a,
+    b,
+    a_name=None,
+    b_name=None,
+    exact_limit=_comparisons.DEFAULT_EXACT_LIMIT,
+    symbol_range=None,
+):
+    """``comparisons.compare_sets`` with caching + sub-operation replay.
+
+    Falls through uncached whenever ``symbol_range`` is given: that
+    callback reads live engine state the memo key cannot represent.
+    """
+    if symbol_range is not None or not is_active():
+        return _comparisons.compare_sets(
+            op,
+            a,
+            b,
+            a_name=a_name,
+            b_name=b_name,
+            exact_limit=exact_limit,
+            symbol_range=symbol_range,
+        )
+    key = (op, a, b, a_name, b_name, exact_limit)
+    cached = _COMPARE.get(key)
+    if cached is not _MISSING:
+        outcome, sub_ops = cached
+        counters.active().sub_operations += sub_ops
+        return outcome
+    tally = counters.active()
+    before = tally.sub_operations
+    outcome = _comparisons.compare_sets(
+        op, a, b, a_name=a_name, b_name=b_name, exact_limit=exact_limit
+    )
+    _COMPARE.put(key, (outcome, tally.sub_operations - before))
+    return outcome
+
+
+def refine_set(src, op, bound, max_ranges=_rangeset.DEFAULT_MAX_RANGES):
+    """``refine.refine_set`` with caching (pure: nothing to replay)."""
+    if not is_active():
+        return _refine.refine_set(src, op, bound, max_ranges)
+    key = (src, op, bound, max_ranges)
+    cached = _REFINE.get(key)
+    if cached is not _MISSING:
+        return cached
+    result = interning.intern_rangeset(
+        _refine.refine_set(src, op, bound, max_ranges)
+    )
+    _REFINE.put(key, result)
+    return result
+
+
+def constant_set(value):
+    """Cached ``RangeSet.constant``; int/float keys kept distinct."""
+    if not is_active():
+        return _rangeset.RangeSet.constant(value)
+    key = (value.__class__, value)
+    cached = _CONSTANT.get(key)
+    if cached is not _MISSING:
+        return cached
+    result = interning.intern_rangeset(_rangeset.RangeSet.constant(value))
+    _CONSTANT.put(key, result)
+    return result
+
+
+def boolean_set(probability_true):
+    """Cached ``RangeSet.boolean`` for the 0/1 comparison distributions."""
+    if not is_active():
+        return _rangeset.RangeSet.boolean(probability_true)
+    cached = _BOOLEAN.get(probability_true)
+    if cached is not _MISSING:
+        return cached
+    result = interning.intern_rangeset(
+        _rangeset.RangeSet.boolean(probability_true)
+    )
+    _BOOLEAN.put(probability_true, result)
+    return result
+
+
+# -- maintenance ------------------------------------------------------------
+
+
+def configure(capacity: int) -> None:
+    """Resize every memo cache (shrinking evicts oldest entries)."""
+    for cache in _ALL_CACHES:
+        cache.capacity = capacity
+        while len(cache._table) > capacity:
+            cache._table.popitem(last=False)
+
+
+def clear() -> None:
+    """Drop every memoized entry."""
+    for cache in _ALL_CACHES:
+        cache.clear()
+
+
+def cache_sizes() -> dict:
+    return {cache.name: len(cache) for cache in _ALL_CACHES}
+
+
+# Install the rangeset hooks at import time; the call sites themselves
+# check is_active() so the hooks are inert while the layer is off.
+_rangeset._FROM_RANGES_MEMO = from_ranges
+_rangeset._MERGE_WEIGHTED_MEMO = merge_weighted

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import Dict, Optional, Tuple
 
+from repro.core import perf
 from repro.core.config import VRPConfig
 from repro.core.interprocedural import ModulePrediction, analyse_module
 from repro.core.propagation import FunctionPrediction, analyse_function
@@ -61,6 +62,7 @@ class VRPPredictor(Predictor):
         """Analyse a whole prepared module."""
         from repro.observability import tracer as tracing
 
+        self._reset_perf()
         tracer = tracing.active()
         if tracer.enabled:
             with tracer.span("predict"):
@@ -102,12 +104,32 @@ class VRPPredictor(Predictor):
             total.merge(prediction.counters)
         return ModulePrediction(module, predictions, total, rounds=1)
 
+    def _reset_perf(self) -> None:
+        """Zero the perf-layer stats so they describe this run only.
+
+        Cache *contents* deliberately persist across runs: every memo is
+        keyed on the full arguments of a pure function (with recorded
+        work-counter deltas replayed on hits), so warm entries from
+        previously analysed modules change wall time but never results.
+        The exported hit/miss stats therefore depend on what the process
+        analysed before -- like wall time, and unlike the predictions
+        and work counters, which are byte-identical for any cache state
+        (the property ``--jobs N`` relies on).
+        """
+        if self.config.perf:
+            perf.stats.reset_stats()
+            perf.configure(
+                memo_size=self.config.perf_memo_size,
+                intern_size=self.config.perf_intern_size,
+            )
+
     # -- Predictor interface (single function, intraprocedural) ---------------------
 
     def predict_function(self, function: Function) -> Dict[str, float]:
         from repro.ir import SSAEdges  # noqa: F401  (documented dependency)
         from repro.ir.ssa import SSAInfo as _SSAInfo
 
+        self._reset_perf()
         info = _reconstruct_ssa_info(function)
         heuristic = self.fallback.as_fallback() if self.fallback else None
         prediction = analyse_function(

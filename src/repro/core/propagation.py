@@ -28,13 +28,24 @@ from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from repro.core import counters as counters_mod
 from repro.core.bounds import Bound, NEG_INF, POS_INF
-from repro.core.comparisons import compare_sets
 from repro.core.config import VRPConfig
 from repro.core.derivation import derive_loop_phi
-from repro.core.range_arith import evaluate_binop, evaluate_unop
+# The perf.memo wrappers gate on the active perf context and fall
+# through to the plain implementations, so they are the only call path
+# the engine needs; importing the module also installs the
+# from_ranges/merge_weighted hooks into repro.core.rangeset.
+from repro.core.perf import context as perf_context
+from repro.core.perf.memo import (
+    boolean_set,
+    compare_sets,
+    constant_set,
+    evaluate_binop,
+    evaluate_unop,
+    refine_set,
+)
+from repro.core.perf.stats import stats as perf_stats
 from repro.core.ranges import StridedRange
 from repro.core.rangeset import BOTTOM, RangeSet, TOP, merge_weighted
-from repro.core.refine import refine_set
 from repro.ir.cfg import CFG
 from repro.ir.function import Function
 from repro.ir.instructions import (
@@ -176,6 +187,23 @@ class PropagationEngine:
         self.aborted = False
         self.edge_update_count: Dict[Edge, int] = {}
 
+        # Perf layer: activated around run() via the context var so the
+        # rangeset-level hooks see it; _transfer_memo is the per-engine
+        # operand-identity skip for BinOp/UnOp (id(instr) -> operands,
+        # result, and the sub-operation tally to replay on a skip).
+        self._perf = bool(self.config.perf)
+        self._transfer_memo: Dict[int, Tuple] = {}
+        # Per-phi merge skip: id(phi) -> (contributions, result); valid
+        # only for merges that did not take the assertion-parent path
+        # (that one reads the parent's live value).
+        self._phi_memo: Dict[int, Tuple] = {}
+        # Per-branch skip: id(branch) -> (cond set, probability, tally).
+        self._branch_memo: Dict[int, Tuple] = {}
+        # Structural caches (CFG shape never changes during a run):
+        # back-edge predecessors per phi and the phi prefix per block.
+        self._phi_back_preds: Dict[int, Set[str]] = {}
+        self._block_phis: Dict[str, List[Phi]] = {}
+
         self.flow_list: deque = deque()
         self.flow_pending: Set[Edge] = set()
         self.ssa_list: deque = deque()
@@ -205,18 +233,19 @@ class PropagationEngine:
 
     def run(self) -> FunctionPrediction:
         """Propagate to a fixed point and collect the results."""
-        if self._trace is not None:
-            with self._trace.span("propagate"):
+        with perf_context.activate(self._perf):
+            if self._trace is not None:
+                with self._trace.span("propagate"):
+                    with counters_mod.use(self.counters):
+                        self._seed()
+                        self._drain()
+            else:
                 with counters_mod.use(self.counters):
                     self._seed()
                     self._drain()
-        else:
-            with counters_mod.use(self.counters):
-                self._seed()
-                self._drain()
-        if self._sanitize is not None:
-            self._sanitize.check_final(self)
-        return self._collect()
+            if self._sanitize is not None:
+                self._sanitize.check_final(self)
+            return self._collect()
 
     # -- worklist machinery --------------------------------------------------------
 
@@ -272,6 +301,7 @@ class PropagationEngine:
 
     def _push_flow(self, edge: Edge) -> None:
         if edge not in self.flow_pending:
+            self.counters.flow_pushes += 1
             self.flow_pending.add(edge)
             self.flow_list.append(edge)
             if self._trace is not None:
@@ -280,10 +310,13 @@ class PropagationEngine:
                         self.function.name, "flow", f"{edge[0]}->{edge[1]}"
                     )
                 )
+        else:
+            self.counters.flow_dedup_hits += 1
 
     def _push_uses(self, name: str) -> None:
         for use in self.edges.uses_of.get(name, ()):
             if id(use) not in self.ssa_pending:
+                self.counters.ssa_pushes += 1
                 self.ssa_pending.add(id(use))
                 self.ssa_list.append(use)
                 if self._trace is not None:
@@ -292,6 +325,8 @@ class PropagationEngine:
                             self.function.name, "ssa", _describe_ssa_item(use)
                         )
                     )
+            else:
+                self.counters.ssa_dedup_hits += 1
 
     # -- frequencies ----------------------------------------------------------------
 
@@ -327,7 +362,14 @@ class PropagationEngine:
             for instr in block.instructions:
                 self._evaluate(instr)
         else:
-            for phi in block.phis():
+            if self._perf:
+                phis = self._block_phis.get(target)
+                if phis is None:
+                    phis = block.phis()
+                    self._block_phis[target] = phis
+            else:
+                phis = block.phis()
+            for phi in phis:
                 self._evaluate(phi)
             self._evaluate(block.terminator)
 
@@ -357,7 +399,10 @@ class PropagationEngine:
             if result.name in self.derived:
                 return
             self.counters.expr_evaluations += 1
-            new_value = self._transfer(instr)
+            if self._perf and isinstance(instr, (BinOp, UnOp)):
+                new_value = self._transfer_arith_cached(instr)
+            else:
+                new_value = self._transfer(instr)
             self._update(result.name, new_value)
 
     def _update(self, name: str, new_value: RangeSet) -> None:
@@ -375,9 +420,47 @@ class PropagationEngine:
         self.values[name] = new_value
         self._push_uses(name)
 
+    def _transfer_arith_cached(self, instr: Instruction) -> RangeSet:
+        """Re-evaluation skip for BinOp/UnOp with identity-unchanged operands.
+
+        With hash-consing, an operand whose lattice value did not change
+        since the last evaluation of this instruction is the *same
+        object*; the cached result (and its sub-operation tally, for
+        byte-identical work counts) can be reused without touching the
+        range algebra.  Restricted to BinOp/UnOp: Cmp and Pi results
+        also depend on live symbol ranges outside their operands.
+        """
+        if isinstance(instr, BinOp):
+            a = self.value_of(instr.lhs)
+            b: Optional[RangeSet] = self.value_of(instr.rhs)
+        else:
+            a = self.value_of(instr.operand)
+            b = None
+        record = perf_stats().caches["engine_transfer"]
+        cached = self._transfer_memo.get(id(instr))
+        if cached is not None and cached[0] is a and cached[1] is b:
+            record.hits += 1
+            self.counters.sub_operations += cached[3]
+            return cached[2]
+        record.misses += 1
+        before = self.counters.sub_operations
+        if b is not None:
+            result = evaluate_binop(
+                instr.op, a, b, max_ranges=self.config.max_ranges
+            )
+        else:
+            result = evaluate_unop(instr.op, a, self.config.max_ranges)
+        self._transfer_memo[id(instr)] = (
+            a,
+            b,
+            result,
+            self.counters.sub_operations - before,
+        )
+        return result
+
     def value_of(self, operand: Value) -> RangeSet:
         if isinstance(operand, Constant):
-            return RangeSet.constant(operand.value)
+            return constant_set(operand.value)
         if isinstance(operand, Undef):
             return BOTTOM
         if isinstance(operand, Temp):
@@ -495,7 +578,7 @@ class PropagationEngine:
         )
         if outcome is None or outcome.unknown_mass > self.config.max_unknown_mass:
             return BOTTOM
-        return RangeSet.boolean(outcome.estimate())
+        return boolean_set(outcome.estimate())
 
     def _transfer_pi(self, instr: Pi) -> RangeSet:
         src = self.value_of(instr.src)
@@ -594,6 +677,7 @@ class PropagationEngine:
         self.array_sets[array] = merged
         for load in self._array_loads.get(array, ()):
             if id(load) not in self.ssa_pending:
+                self.counters.ssa_pushes += 1
                 self.ssa_pending.add(id(load))
                 self.ssa_list.append(load)
                 if self._trace is not None:
@@ -602,6 +686,8 @@ class PropagationEngine:
                             self.function.name, "ssa", _describe_ssa_item(load)
                         )
                     )
+            else:
+                self.counters.ssa_dedup_hits += 1
 
     # -- phi evaluation (steps 4 and 5) ----------------------------------------------------------------
 
@@ -612,11 +698,15 @@ class PropagationEngine:
         block = phi.block
         assert block is not None
         label = block.label
-        back_preds = {
-            pred
-            for pred, _ in phi.incomings
-            if self.cfg.is_back_edge(pred, label)
-        }
+        back_preds = self._phi_back_preds.get(id(phi)) if self._perf else None
+        if back_preds is None:
+            back_preds = {
+                pred
+                for pred, _ in phi.incomings
+                if self.cfg.is_back_edge(pred, label)
+            }
+            if self._perf:
+                self._phi_back_preds[id(phi)] = back_preds
         if (
             back_preds
             and self.config.derive_loops
@@ -716,10 +806,21 @@ class PropagationEngine:
             if weight > 0.0:
                 positive.append((pred, incoming))
             contributions.append((weight, self.value_of(incoming)))
+        if self._perf:
+            # Unchanged in-edge weights and operand identities: reuse the
+            # previous merge without re-checking the assertion-parent
+            # shape or touching the global memo.  (Tuple equality is
+            # cheap here -- interned sets compare by identity first.)
+            cached = self._phi_memo.get(id(phi))
+            if cached is not None and cached[0] == contributions:
+                return cached[1]
         parent = self._common_assertion_parent(positive)
         if parent is not None:
             return self.values.get(parent, TOP)
-        return merge_weighted(contributions, max_ranges=self.config.max_ranges)
+        merged = merge_weighted(contributions, max_ranges=self.config.max_ranges)
+        if self._perf:
+            self._phi_memo[id(phi)] = (contributions, merged)
+        return merged
 
     def _common_assertion_parent(
         self, incomings: List[Tuple[str, Value]]
@@ -804,11 +905,33 @@ class PropagationEngine:
         cond = self.value_of(instr.cond)
         if cond.is_top:
             return None
+        if not self._perf:
+            return self._branch_probability_of(instr, label, cond)
+        # Identity-unchanged condition: the probability (and the
+        # heuristic bookkeeping, which only mutates on a *changed*
+        # condition) is unchanged too; replay the comparison's
+        # sub-operation tally to keep work counts byte-identical.
+        cached = self._branch_memo.get(id(instr))
+        if cached is not None and cached[0] is cond:
+            self.counters.sub_operations += cached[2]
+            return cached[1]
+        before = self.counters.sub_operations
+        probability = self._branch_probability_of(instr, label, cond)
+        self._branch_memo[id(instr)] = (
+            cond,
+            probability,
+            self.counters.sub_operations - before,
+        )
+        return probability
+
+    def _branch_probability_of(
+        self, instr: Branch, label: str, cond: RangeSet
+    ) -> Optional[float]:
         if cond.is_set:
             outcome = compare_sets(
                 "ne",
                 cond,
-                RangeSet.constant(0),
+                constant_set(0),
                 exact_limit=self.config.exact_count_limit,
             )
             if outcome is not None and outcome.unknown_mass <= self.config.max_unknown_mass:

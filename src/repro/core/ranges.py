@@ -13,6 +13,7 @@ import math
 from typing import Optional
 
 from repro.core.bounds import Bound, NEG_INF, POS_INF, Number
+from repro.core.perf.context import is_active as _perf_active
 
 
 class RangeError(ValueError):
@@ -22,7 +23,7 @@ class RangeError(ValueError):
 class StridedRange:
     """Immutable weighted range ``probability[lo:hi:stride]``."""
 
-    __slots__ = ("probability", "lo", "hi", "stride")
+    __slots__ = ("probability", "lo", "hi", "stride", "_hash")
 
     def __init__(self, probability: float, lo: Bound, hi: Bound, stride: int):
         if probability < 0:
@@ -37,6 +38,23 @@ class StridedRange:
         self.lo = lo
         self.hi = hi
         self.stride = stride
+        self._hash = None
+
+    @classmethod
+    def _reweighted(
+        cls, probability: float, source: "StridedRange"
+    ) -> "StridedRange":
+        """Same extent as ``source`` with a new probability, skipping
+        validation and normalisation (both idempotent on an existing
+        range).  Perf-layer fast path for :meth:`scaled`/
+        :meth:`with_probability`."""
+        self = cls.__new__(cls)
+        self.probability = float(probability)
+        self.lo = source.lo
+        self.hi = source.hi
+        self.stride = source.stride
+        self._hash = None
+        return self
 
     # -- constructors ---------------------------------------------------------
 
@@ -96,9 +114,15 @@ class StridedRange:
 
     def scaled(self, factor: float) -> "StridedRange":
         """Same range with probability multiplied by ``factor``."""
+        if _perf_active():
+            return StridedRange._reweighted(self.probability * factor, self)
         return StridedRange(self.probability * factor, self.lo, self.hi, self.stride)
 
     def with_probability(self, probability: float) -> "StridedRange":
+        if _perf_active():
+            if probability == self.probability:
+                return self
+            return StridedRange._reweighted(probability, self)
         return StridedRange(probability, self.lo, self.hi, self.stride)
 
     # -- identity -----------------------------------------------------------------
@@ -111,6 +135,8 @@ class StridedRange:
         return self.same_extent(other) and abs(self.probability - other.probability) <= tolerance
 
     def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
         return (
             isinstance(other, StridedRange)
             and self.same_extent(other)
@@ -118,7 +144,9 @@ class StridedRange:
         )
 
     def __hash__(self) -> int:
-        return hash((self.probability, self.lo, self.hi, self.stride))
+        if self._hash is None:
+            self._hash = hash((self.probability, self.lo, self.hi, self.stride))
+        return self._hash
 
     def __repr__(self) -> str:
         return f"StridedRange({self.probability!r}, {self.lo!r}, {self.hi!r}, {self.stride})"

@@ -12,6 +12,7 @@ import math
 from typing import Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.bounds import Bound, bound_max, bound_min, Number
+from repro.core.perf.context import is_active as _perf_active
 from repro.core.ranges import StridedRange
 
 # Probabilities below this are treated as zero and dropped.
@@ -19,11 +20,16 @@ PROB_EPSILON = 1e-12
 
 DEFAULT_MAX_RANGES = 4
 
+# Memoization hooks, installed by repro.core.perf.memo when the perf
+# layer is loaded; None means "call the plain builders below".
+_FROM_RANGES_MEMO = None
+_MERGE_WEIGHTED_MEMO = None
+
 
 class RangeSet:
     """An immutable lattice value: ⊤, ⊥, or weighted ranges summing to 1."""
 
-    __slots__ = ("_kind", "_ranges")
+    __slots__ = ("_kind", "_ranges", "_hash", "_hull", "_symbols")
 
     _TOP_KIND = "top"
     _BOTTOM_KIND = "bottom"
@@ -32,6 +38,9 @@ class RangeSet:
     def __init__(self, kind: str, ranges: Tuple[StridedRange, ...] = ()):
         self._kind = kind
         self._ranges = ranges
+        self._hash = None
+        self._hull = False  # False = not computed (None is a valid hull)
+        self._symbols = None
 
     # -- constructors ---------------------------------------------------------
 
@@ -52,21 +61,9 @@ class RangeSet:
         """Build a set: drops zero-probability ranges, folds duplicates,
         optionally rescales probabilities to sum 1, and compacts to the cap.
         Returns ⊥ when nothing remains or compaction fails."""
-        kept = [r for r in ranges if r.probability > PROB_EPSILON]
-        if not kept:
-            return BOTTOM
-        total = sum(r.probability for r in kept)
-        if renormalise:
-            if total <= PROB_EPSILON:
-                return BOTTOM
-            kept = [r.scaled(1.0 / total) for r in kept]
-        elif abs(total - 1.0) > 1e-6:
-            raise ValueError(f"range probabilities sum to {total}, expected 1")
-        folded = _fold_duplicates(kept)
-        compacted = _compact(folded, max_ranges)
-        if compacted is None:
-            return BOTTOM
-        return RangeSet(RangeSet._SET_KIND, tuple(_canonical_sort(compacted)))
+        if _FROM_RANGES_MEMO is not None and _perf_active():
+            return _FROM_RANGES_MEMO(tuple(ranges), max_ranges, renormalise)
+        return _build_set(ranges, max_ranges, renormalise)
 
     @staticmethod
     def constant(value: Number) -> "RangeSet":
@@ -138,29 +135,37 @@ class RangeSet:
         return None
 
     def symbols(self) -> set:
-        out: set = set()
-        for r in self._ranges:
-            out |= r.symbols()
-        return out
+        if self._symbols is None:
+            out: set = set()
+            for r in self._ranges:
+                out |= r.symbols()
+            self._symbols = out
+        return self._symbols
 
     def is_numeric(self) -> bool:
         return self.is_set and all(r.is_numeric() for r in self._ranges)
 
     def hull(self) -> Optional[StridedRange]:
         """A single range covering the whole set (probability 1), or None."""
+        if self._hull is not False:
+            return self._hull
         if not self.is_set:
             return None
         merged = self._ranges[0].with_probability(1.0)
         for other in self._ranges[1:]:
             hulled = _hull_pair(merged, other.with_probability(1.0))
             if hulled is None:
+                self._hull = None
                 return None
             merged = hulled.with_probability(1.0)
+        self._hull = merged
         return merged
 
     # -- comparison ----------------------------------------------------------------
 
     def approx_equal(self, other: "RangeSet", tolerance: float = 1e-9) -> bool:
+        if self is other:
+            return True
         if self._kind != other._kind:
             return False
         if not self.is_set:
@@ -172,6 +177,8 @@ class RangeSet:
         )
 
     def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
         return (
             isinstance(other, RangeSet)
             and self._kind == other._kind
@@ -179,7 +186,9 @@ class RangeSet:
         )
 
     def __hash__(self) -> int:
-        return hash((self._kind, self._ranges))
+        if self._hash is None:
+            self._hash = hash((self._kind, self._ranges))
+        return self._hash
 
     def __repr__(self) -> str:
         if self.is_top:
@@ -210,6 +219,16 @@ def merge_weighted(
     with positive weight makes the result ⊥; weights are renormalised over
     the contributing edges.
     """
+    if _MERGE_WEIGHTED_MEMO is not None and _perf_active():
+        return _MERGE_WEIGHTED_MEMO(tuple(contributions), max_ranges)
+    return _merge_weighted(contributions, max_ranges)
+
+
+def _merge_weighted(
+    contributions: Sequence[Tuple[float, RangeSet]],
+    max_ranges: int = DEFAULT_MAX_RANGES,
+) -> RangeSet:
+    """The uncached φ-merge (see :func:`merge_weighted`)."""
     weighted: List[Tuple[float, RangeSet]] = []
     for weight, rset in contributions:
         if weight <= PROB_EPSILON or rset.is_top:
@@ -230,6 +249,33 @@ def merge_weighted(
 # ---------------------------------------------------------------------------
 # internals
 # ---------------------------------------------------------------------------
+
+
+def _build_set(
+    ranges: Iterable[StridedRange], max_ranges: int, renormalise: bool
+) -> RangeSet:
+    """The uncached set builder behind :meth:`RangeSet.from_ranges`."""
+    # One pass both filters near-zero ranges and accumulates the
+    # probability total used by both normalisation paths below.
+    kept: List[StridedRange] = []
+    total = 0.0
+    for r in ranges:
+        if r.probability > PROB_EPSILON:
+            kept.append(r)
+            total += r.probability
+    if not kept:
+        return BOTTOM
+    if renormalise:
+        if total <= PROB_EPSILON:
+            return BOTTOM
+        kept = [r.scaled(1.0 / total) for r in kept]
+    elif abs(total - 1.0) > 1e-6:
+        raise ValueError(f"range probabilities sum to {total}, expected 1")
+    folded = _fold_duplicates(kept)
+    compacted = _compact(folded, max_ranges)
+    if compacted is None:
+        return BOTTOM
+    return RangeSet(RangeSet._SET_KIND, tuple(_canonical_sort(compacted)))
 
 
 def _fold_duplicates(ranges: List[StridedRange]) -> List[StridedRange]:

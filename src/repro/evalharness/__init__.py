@@ -40,6 +40,7 @@ from repro.evalharness.runner import (
     perfect_predictions,
     prepare_workload,
     profile_predictions,
+    run_suite,
     standard_predictors,
     suite_metrics,
     vrp_predictions,
@@ -70,6 +71,7 @@ __all__ = [
     "prepare_workload",
     "profile_predictions",
     "ranking",
+    "run_suite",
     "standard_predictors",
     "suite_metrics",
     "synthetic_program",

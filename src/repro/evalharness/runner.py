@@ -12,6 +12,14 @@ The six predictors of Figures 7-8 are built by
 :func:`standard_predictors`: execution profiling, full VRP, VRP with
 numeric ranges only, Ball–Larus (Wu–Larus combined), the 90/50 rule,
 and random prediction.
+
+Suite evaluation can fan out over a process pool (``jobs > 1``).  Every
+step is deterministic per workload -- VRP resets its perf caches per
+run, the random reference line is seeded per branch -- so the results
+(and any rendered figure or metrics built from them) are byte-identical
+for every worker count; the pool only changes wall time.  The parallel
+path requires the picklable :func:`standard_predictors`; custom
+predictor callables (often closures) must use ``jobs=1``.
 """
 
 from __future__ import annotations
@@ -119,14 +127,19 @@ def workload_metrics(prepared: PreparedWorkload, config: Optional[VRPConfig] = N
     and per-branch provenance -- the machine-readable counterpart of
     the rendered figure tables.
     """
+    from repro.core import perf
     from repro.observability import Tracer, build_metrics_report, use
 
     tracer = Tracer()
     with use(tracer):
         predictor = VRPPredictor(config=config)
         prediction = predictor.predict_module(prepared.module, prepared.ssa_infos)
+    perf_stats = perf.snapshot() if predictor.config.perf else None
     return build_metrics_report(
-        prediction, tracer, program=prepared.workload.name
+        prediction,
+        tracer,
+        program=prepared.workload.name,
+        perf_stats=perf_stats,
     )
 
 
@@ -207,11 +220,64 @@ class SuiteEvaluation:
         return names
 
 
+def _suite_worker(item: Tuple[Workload, bool]):
+    """Evaluate one workload with the standard predictors.
+
+    Module-level (hence picklable) so a process pool can run it; the
+    sequential path calls the same function so ``jobs=1`` and
+    ``jobs=N`` perform the identical computation per workload.
+    """
+    workload, with_metrics = item
+    prepared = prepare_workload(workload)
+    evaluation = evaluate_workload(workload, prepared=prepared)
+    report = workload_metrics(prepared).to_dict() if with_metrics else None
+    return evaluation, report
+
+
+def run_suite(
+    workloads: List[Workload],
+    suite_name: str,
+    jobs: int = 1,
+    with_metrics: bool = False,
+) -> Tuple[SuiteEvaluation, Optional[List[dict]]]:
+    """Evaluate a suite with the standard predictors, optionally in parallel.
+
+    Results are ordered like ``workloads`` regardless of ``jobs``; with
+    ``with_metrics`` a per-workload metrics dict list is returned too.
+    """
+    items = [(workload, with_metrics) for workload in workloads]
+    if jobs <= 1 or len(items) <= 1:
+        results = [_suite_worker(item) for item in items]
+    else:
+        from concurrent.futures import ProcessPoolExecutor
+
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            # map() yields in submission order: deterministic output.
+            results = list(pool.map(_suite_worker, items))
+    evaluations = [evaluation for evaluation, _ in results]
+    reports = [report for _, report in results] if with_metrics else None
+    suite_evaluation = SuiteEvaluation(
+        suite_name=suite_name, evaluations=evaluations
+    )
+    return suite_evaluation, reports
+
+
 def evaluate_suite(
     workloads: List[Workload],
     suite_name: str,
     predictors: Optional[Dict[str, PredictionFn]] = None,
+    jobs: int = 1,
 ) -> SuiteEvaluation:
     """Score all predictors over a suite of workloads."""
-    evaluations = [evaluate_workload(w, predictors=predictors) for w in workloads]
-    return SuiteEvaluation(suite_name=suite_name, evaluations=evaluations)
+    if predictors is not None:
+        if jobs > 1:
+            raise ValueError(
+                "custom predictors cannot cross process boundaries; "
+                "use jobs=1 or the standard predictors"
+            )
+        evaluations = [
+            evaluate_workload(w, predictors=predictors) for w in workloads
+        ]
+        return SuiteEvaluation(suite_name=suite_name, evaluations=evaluations)
+    suite_evaluation, _ = run_suite(workloads, suite_name, jobs=jobs)
+    return suite_evaluation

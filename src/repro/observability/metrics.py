@@ -9,13 +9,16 @@ instead of scraped from tables.
 
 Top-level schema keys (``SCHEMA_KEYS``):
 
-* ``schema_version`` -- integer, currently 2;
+* ``schema_version`` -- integer, currently 3;
 * ``program``        -- module/workload name;
 * ``phases``         -- {span name: {"count": int, "seconds": float}};
 * ``counters``       -- the :class:`repro.core.counters.Counters` dict;
 * ``branches``       -- list of per-branch provenance records;
 * ``diagnostics``    -- findings from ``repro check`` (since v2; absent
   in v1 documents, which still validate);
+* ``perf``           -- cache hit/miss statistics from the perf layer
+  (since v3; absent when the layer is disabled, older documents still
+  validate);
 * ``meta``           -- rounds, function/event totals, drop counts.
 
 Each branch record has ``function``, ``label``, ``probability``,
@@ -32,7 +35,7 @@ from typing import Dict, List, Optional
 
 from repro.observability.events import BranchResolution, HeuristicChain
 
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 
 SCHEMA_KEYS = (
     "schema_version",
@@ -41,11 +44,13 @@ SCHEMA_KEYS = (
     "counters",
     "branches",
     "diagnostics",
+    "perf",
     "meta",
 )
 
-# Keys a report may omit (documents written by older schema versions).
-OPTIONAL_KEYS = ("diagnostics",)
+# Keys a report may omit (documents written by older schema versions,
+# or runs with the perf layer disabled).
+OPTIONAL_KEYS = ("diagnostics", "perf")
 
 BRANCH_KEYS = ("function", "label", "probability", "source")
 
@@ -59,6 +64,7 @@ class MetricsReport:
     counters: Dict[str, int] = field(default_factory=dict)
     branches: List[dict] = field(default_factory=list)
     diagnostics: List[dict] = field(default_factory=list)
+    perf: Dict[str, dict] = field(default_factory=dict)
     meta: Dict[str, object] = field(default_factory=dict)
     schema_version: int = SCHEMA_VERSION
 
@@ -72,6 +78,7 @@ class MetricsReport:
             "counters": self.counters,
             "branches": self.branches,
             "diagnostics": self.diagnostics,
+            "perf": self.perf,
             "meta": self.meta,
         }
 
@@ -86,6 +93,7 @@ class MetricsReport:
             counters=data.get("counters", {}),
             branches=data.get("branches", []),
             diagnostics=data.get("diagnostics", []),
+            perf=data.get("perf", {}),
             meta=data.get("meta", {}),
             schema_version=data.get("schema_version", SCHEMA_VERSION),
         )
@@ -105,7 +113,11 @@ class MetricsReport:
 
 
 def build_metrics_report(
-    prediction, tracer=None, program: str = "module", findings=None
+    prediction,
+    tracer=None,
+    program: str = "module",
+    findings=None,
+    perf_stats=None,
 ) -> "MetricsReport":
     """Assemble a report from a :class:`ModulePrediction` and a tracer.
 
@@ -113,7 +125,9 @@ def build_metrics_report(
     empty and branch provenance degrades to probability + source, both
     reconstructable from the prediction alone.  ``findings`` (an
     iterable of :class:`repro.diagnostics.Finding`) populates the
-    ``diagnostics`` key when ``repro check`` is the caller.
+    ``diagnostics`` key when ``repro check`` is the caller;
+    ``perf_stats`` (a ``repro.core.perf.snapshot()`` dict) populates
+    the ``perf`` key when the perf layer was on for the run.
     """
     phases: Dict[str, Dict[str, float]] = {}
     meta: Dict[str, object] = {
@@ -166,6 +180,7 @@ def build_metrics_report(
         counters=prediction.counters.as_dict(),
         branches=branches,
         diagnostics=[f.as_dict() for f in findings] if findings else [],
+        perf=perf_stats or {},
         meta=meta,
     )
 

@@ -1,0 +1,177 @@
+"""Interning (hash-consing) invariants of the perf layer.
+
+The contract under test: ``intern(x) is intern(y)`` exactly when
+``x == y`` -- including the ⊤/⊥ singletons and symbolic bounds -- and
+bounded tables may evict at any time without changing any result.
+"""
+
+import math
+
+import pytest
+
+from repro.core import perf
+from repro.core.bounds import Bound
+from repro.core.config import VRPConfig
+from repro.core.perf import interning
+from repro.core.perf.interning import DEFAULT_INTERN_SIZE
+from repro.core.perf.memo import DEFAULT_MEMO_SIZE
+from repro.core.predictor import VRPPredictor
+from repro.core.ranges import StridedRange
+from repro.core.rangeset import BOTTOM, RangeSet, TOP
+from repro.ir import prepare_module
+from repro.lang import compile_source
+
+
+@pytest.fixture(autouse=True)
+def fresh_tables():
+    perf.reset()
+    perf.configure(memo_size=DEFAULT_MEMO_SIZE, intern_size=DEFAULT_INTERN_SIZE)
+    yield
+    perf.reset()
+    perf.configure(memo_size=DEFAULT_MEMO_SIZE, intern_size=DEFAULT_INTERN_SIZE)
+
+
+def make_bounds():
+    """Fresh Bound objects covering numeric, infinite, and symbolic cases."""
+    return [
+        Bound(-3),
+        Bound(0),
+        Bound(1),
+        Bound(1.0),  # == Bound(1): must share its canonical object
+        Bound(2.5),
+        Bound(math.inf),
+        Bound(-math.inf),
+        Bound.symbolic("n"),
+        Bound.symbolic("n", 4),
+        Bound.symbolic("m", 4),
+    ]
+
+
+def make_ranges():
+    return [
+        StridedRange.single(1.0, 0),
+        StridedRange.single(1.0, 7),
+        StridedRange.single(0.5, 7),
+        StridedRange(1.0, Bound(0), Bound(10), 1),
+        StridedRange(1.0, Bound(0), Bound(10), 2),
+        StridedRange(1.0, Bound(0), Bound.symbolic("n"), 1),
+        StridedRange(1.0, Bound.symbolic("n"), Bound.symbolic("n", 8), 1),
+    ]
+
+
+def make_rangesets():
+    return [
+        RangeSet.top(),
+        RangeSet.bottom(),
+        RangeSet.constant(3),
+        RangeSet.constant(3.0),
+        RangeSet.boolean(0.25),
+        RangeSet.from_ranges([StridedRange(1.0, Bound(0), Bound(9), 1)]),
+        RangeSet.from_ranges(
+            [StridedRange(1.0, Bound(0), Bound.symbolic("k"), 1)]
+        ),
+        RangeSet.from_ranges(
+            [
+                StridedRange(0.5, Bound(0), Bound(4), 1),
+                StridedRange(0.5, Bound(10), Bound(14), 1),
+            ]
+        ),
+    ]
+
+
+class TestIdentityIffEquality:
+    """intern(x) is intern(y)  <=>  x == y, for every value kind."""
+
+    def test_bounds(self):
+        for a in make_bounds():
+            for b in make_bounds():  # fresh, structurally distinct objects
+                identical = interning.intern_bound(a) is interning.intern_bound(b)
+                assert identical == (a == b), (a, b)
+
+    def test_ranges(self):
+        for a in make_ranges():
+            for b in make_ranges():
+                identical = interning.intern_range(a) is interning.intern_range(b)
+                assert identical == (a == b), (a, b)
+
+    def test_rangesets(self):
+        for a in make_rangesets():
+            for b in make_rangesets():
+                identical = interning.intern_rangeset(a) is interning.intern_rangeset(b)
+                assert identical == (a == b), (a, b)
+
+    def test_top_bottom_intern_to_module_singletons(self):
+        assert interning.intern_rangeset(RangeSet.top()) is TOP
+        assert interning.intern_rangeset(RangeSet.bottom()) is BOTTOM
+
+    def test_interned_range_bounds_are_canonical(self):
+        first = interning.intern_range(
+            StridedRange(1.0, Bound.symbolic("n"), Bound.symbolic("n", 8), 1)
+        )
+        lo = interning.intern_bound(Bound.symbolic("n"))
+        assert first.lo is lo
+
+
+class TestEviction:
+    """Bounded tables: eviction loses identity, never correctness."""
+
+    def test_tables_respect_capacity(self):
+        perf.configure(intern_size=4)
+        for value in range(100):
+            interning.intern_bound(Bound(value))
+        assert len(interning._BOUNDS) <= 4
+
+    def test_evicted_values_still_compare_equal(self):
+        perf.configure(intern_size=2)
+        originals = [interning.intern_bound(Bound(v)) for v in range(50)]
+        # Bound(0) has long been evicted: a re-intern returns a *new*
+        # canonical object that is still structurally equal.
+        again = interning.intern_bound(Bound(0))
+        assert again == originals[0]
+
+    def test_tiny_tables_do_not_change_predictions(self):
+        source = """
+        func main(n) {
+          var acc = 0;
+          for (i = 0; i < 40; i = i + 1) {
+            if (i % 3 == 0) { acc = acc + 2; }
+            else { acc = acc + 1; }
+          }
+          if (acc > 10) { return acc; }
+          return 0;
+        }
+        """
+        module = compile_source(source)
+        infos = prepare_module(module)
+        reference = VRPPredictor(config=VRPConfig(perf=False)).predict_module(
+            module, infos
+        )
+        tiny = VRPPredictor(
+            config=VRPConfig(perf=True, perf_memo_size=2, perf_intern_size=2)
+        ).predict_module(module, infos)
+        assert tiny.all_branches() == reference.all_branches()
+        assert tiny.counters.as_dict() == reference.counters.as_dict()
+
+
+class TestSanitizerRoundTrip:
+    """Interned (canonical) lattice values pass the engine sanitizer."""
+
+    def test_sanitized_run_with_perf_layer(self):
+        source = """
+        func main(n) {
+          var total = 0;
+          for (i = 0; i < 25; i = i + 1) {
+            if (i < n) { total = total + i; }
+          }
+          return total;
+        }
+        """
+        module = compile_source(source)
+        infos = prepare_module(module)
+        checked = VRPPredictor(
+            config=VRPConfig(perf=True, sanitize=True)
+        ).predict_module(module, infos)
+        plain = VRPPredictor(config=VRPConfig(perf=False)).predict_module(
+            module, infos
+        )
+        assert checked.all_branches() == plain.all_branches()

@@ -174,3 +174,38 @@ class TestMergeWeighted:
     def test_zero_weight_bottom_ignored(self):
         merged = merge_weighted([(0.0, BOTTOM), (1.0, RangeSet.constant(3))])
         assert merged.constant_value() == 3
+
+
+class TestProbabilityEpsilonBoundary:
+    """from_ranges filters with a strict ``> PROB_EPSILON`` comparison."""
+
+    def test_mass_exactly_at_epsilon_is_dropped(self):
+        from repro.core.rangeset import PROB_EPSILON
+
+        rs = RangeSet.from_ranges(
+            [StridedRange.single(PROB_EPSILON, 1)], renormalise=True
+        )
+        assert rs.is_bottom
+
+    def test_mass_just_above_epsilon_is_kept(self):
+        from repro.core.rangeset import PROB_EPSILON
+
+        rs = RangeSet.from_ranges(
+            [StridedRange.single(2 * PROB_EPSILON, 1)], renormalise=True
+        )
+        assert rs.constant_value() == 1
+        assert rs.ranges[0].probability == pytest.approx(1.0)
+
+    def test_epsilon_member_dropped_from_mixture(self):
+        from repro.core.rangeset import PROB_EPSILON
+
+        rs = RangeSet.from_ranges(
+            [
+                StridedRange.single(1.0, 5),
+                StridedRange.single(PROB_EPSILON, 6),
+            ]
+        )
+        assert [r.lo.offset for r in rs.ranges] == [5]
+        # The surviving total is accumulated in the same single pass
+        # that filters, so the kept mass is exactly the original 1.0.
+        assert rs.ranges[0].probability == 1.0

@@ -1,0 +1,137 @@
+"""``--jobs N`` determinism: a process pool must not change any output.
+
+Both the harness-level ``run_suite`` fan-out and the ``repro check``
+CLI fan-out are compared against their sequential runs: evaluation
+records, rendered reports (byte-for-byte), and the aggregated tracer
+event counters all have to match exactly.
+"""
+
+import json
+from collections import Counter
+
+import pytest
+
+from repro.cli import main
+from repro.evalharness import evaluate_suite, run_suite
+from repro.workloads import get_workload
+
+SMALL_SUITE = ["histogram", "minmax", "rle"]
+
+
+@pytest.fixture(scope="module")
+def small_workloads():
+    return [get_workload(name) for name in SMALL_SUITE]
+
+
+class TestRunSuiteParallel:
+    def test_jobs_do_not_change_records(self, small_workloads):
+        sequential, _ = run_suite(small_workloads, "small", jobs=1)
+        parallel, _ = run_suite(small_workloads, "small", jobs=2)
+        assert [e.workload.name for e in sequential.evaluations] == [
+            e.workload.name for e in parallel.evaluations
+        ]
+        for seq, par in zip(sequential.evaluations, parallel.evaluations):
+            assert seq.records == par.records
+
+    def test_jobs_do_not_change_metrics_payload(self, small_workloads):
+        _, sequential = run_suite(
+            small_workloads, "small", jobs=1, with_metrics=True
+        )
+        _, parallel = run_suite(
+            small_workloads, "small", jobs=2, with_metrics=True
+        )
+
+        def stable(report):
+            # Wall-clock phase timings and cache hit rates legitimately
+            # vary run to run; everything else must match exactly.
+            out = dict(report)
+            out.pop("phases", None)
+            out.pop("perf", None)
+            out["meta"] = {
+                key: value
+                for key, value in report["meta"].items()
+                if key != "dropped_events"
+            }
+            return out
+
+        assert [stable(r) for r in sequential] == [stable(r) for r in parallel]
+
+    def test_custom_predictors_require_sequential(self, small_workloads):
+        predictors = {"zero": lambda prepared: {}}
+        with pytest.raises(ValueError):
+            evaluate_suite(small_workloads, "small", predictors=predictors, jobs=2)
+        # jobs=1 accepts the same callables.
+        evaluation = evaluate_suite(
+            small_workloads[:1], "small", predictors=predictors, jobs=1
+        )
+        assert "zero" in evaluation.evaluations[0].records
+
+
+class TestCheckCliParallel:
+    @pytest.fixture()
+    def toy_files(self, tmp_path):
+        paths = []
+        for name in SMALL_SUITE:
+            path = tmp_path / f"{name}.toy"
+            path.write_text(get_workload(name).source)
+            paths.append(str(path))
+        return paths
+
+    @pytest.mark.parametrize("fmt", ["json", "sarif"])
+    def test_reports_byte_identical_across_job_counts(
+        self, toy_files, tmp_path, fmt, capsys
+    ):
+        outputs = {}
+        events = {}
+        for jobs in (1, 2, 4):
+            out_dir = tmp_path / f"out-jobs{jobs}"
+            metrics_dir = tmp_path / f"metrics-jobs{jobs}"
+            code = main(
+                [
+                    "check",
+                    *toy_files,
+                    "--format",
+                    fmt,
+                    "--output-dir",
+                    str(out_dir),
+                    "--emit-metrics",
+                    str(metrics_dir),
+                    "--jobs",
+                    str(jobs),
+                    "--fail-on",
+                    "never",
+                ]
+            )
+            capsys.readouterr()
+            assert code == 0
+            outputs[jobs] = {
+                path.name: path.read_bytes()
+                for path in sorted(out_dir.iterdir())
+            }
+            aggregated: Counter = Counter()
+            for path in sorted(metrics_dir.glob("*.metrics.json")):
+                meta = json.loads(path.read_text())["meta"]
+                aggregated.update(meta.get("event_counts", {}))
+            events[jobs] = aggregated
+        assert outputs[1].keys() == {f"{name}.{fmt}" for name in SMALL_SUITE}
+        assert outputs[1] == outputs[2] == outputs[4]
+        assert events[1] == events[2] == events[4]
+
+    def test_duplicate_stems_are_rejected(self, tmp_path, capsys):
+        a = tmp_path / "a"
+        b = tmp_path / "b"
+        a.mkdir()
+        b.mkdir()
+        source = get_workload("minmax").source
+        (a / "same.toy").write_text(source)
+        (b / "same.toy").write_text(source)
+        with pytest.raises(SystemExit, match="duplicate output stem"):
+            main(
+                [
+                    "check",
+                    str(a / "same.toy"),
+                    str(b / "same.toy"),
+                    "--output-dir",
+                    str(tmp_path / "out"),
+                ]
+            )
