@@ -11,13 +11,17 @@ Commands:
   text, JSON, or SARIF 2.1.0; many files check in one invocation
   (``--jobs N`` fans out over processes, ``--output-dir`` writes one
   report per input);
+* ``opt FILE``       -- run a pass pipeline (``--pipeline predict|
+  optimize|diagnose`` or an explicit ``--passes a,b,c`` list) through
+  the pass manager, with per-pass timing/cache statistics;
 * ``trace FILE``     -- phase timings + propagation event stream;
 * ``explain FILE BRANCH`` -- why a branch got its probability;
 * ``workloads``      -- list the built-in benchmark suite;
 * ``evaluate``       -- score all predictors on a workload or a suite.
 
-``predict`` and ``evaluate`` accept ``--emit-metrics PATH`` to write a
-machine-readable metrics JSON (schema in ``docs/OBSERVABILITY.md``).
+``predict``, ``opt`` and ``evaluate`` accept ``--emit-metrics PATH`` to
+write a machine-readable metrics JSON (schema in
+``docs/OBSERVABILITY.md``; ``opt`` adds the schema-v4 ``passes`` key).
 ``evaluate`` and ``check`` accept ``--jobs N``; outputs are
 byte-identical for every worker count (see ``docs/PERFORMANCE.md``).
 """
@@ -102,6 +106,86 @@ def cmd_predict(args: argparse.Namespace) -> int:
             tracer,
             program=module.name,
             perf_stats=perf.snapshot() if predictor.config.perf else None,
+        )
+        try:
+            report.write(emit_metrics)
+        except OSError as error:
+            raise SystemExit(f"error: cannot write metrics: {error}")
+        print(f"metrics written to {emit_metrics}")
+    return 0
+
+
+def cmd_opt(args: argparse.Namespace) -> int:
+    from repro.passes import (
+        PIPELINES,
+        PassPipeline,
+        available_passes,
+        create_pass,
+        parse_passes,
+    )
+
+    if args.list_passes:
+        print("passes:")
+        for name in available_passes():
+            print(f"  {name:<16s} {create_pass(name).describe()}")
+        print()
+        print("pipelines:")
+        for name in sorted(PIPELINES):
+            print(f"  {name:<16s} {' -> '.join(PIPELINES[name])}")
+        return 0
+    if not args.file:
+        raise SystemExit("error: FILE is required unless --list-passes is given")
+
+    config = _config_from_args(args)
+    if args.verify_ir:
+        config.verify_ir = True
+    try:
+        if args.passes:
+            pipeline = PassPipeline(parse_passes(args.passes), config=config)
+        else:
+            pipeline = PassPipeline.named(args.pipeline, config=config)
+    except (KeyError, ValueError) as error:
+        raise SystemExit(f"error: {error.args[0]}")
+
+    module, ssa_infos = _prepare(args)
+    emit_metrics = getattr(args, "emit_metrics", None)
+    from repro.ir import VerificationError
+
+    try:
+        if emit_metrics:
+            from repro.observability import Tracer, build_metrics_report, use
+
+            tracer = Tracer()
+            with use(tracer):
+                result = pipeline.run(module, ssa_infos)
+                prediction = result.cache.prediction()
+        else:
+            tracer = None
+            result = pipeline.run(module, ssa_infos)
+    except VerificationError as error:
+        raise SystemExit(f"error: {error}")
+
+    print(f"{'pass':<16s} {'changed':>7s} {'seconds':>10s} {'hits':>5s} {'miss':>5s} {'inval':>6s}")
+    for run in result.runs:
+        print(
+            f"{run.name:<16s} {run.changed:>7d} {run.seconds:>10.6f} "
+            f"{run.cache_hits:>5d} {run.cache_misses:>5d} {run.invalidated:>6d}"
+        )
+    print(f"total rewrites: {result.changed}")
+    if config.verify_ir:
+        print("IR verified after each mutating pass")
+    if args.print_ir:
+        print()
+        print(format_module(module))
+    if emit_metrics:
+        from repro.core import perf
+
+        report = build_metrics_report(
+            prediction,
+            tracer,
+            program=module.name,
+            perf_stats=perf.snapshot() if config.perf else None,
+            passes=result.passes_metrics(),
         )
         try:
             report.write(emit_metrics)
@@ -476,13 +560,21 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     def add_analysis_flags(
-        p: argparse.ArgumentParser, multi_file: bool = False
+        p: argparse.ArgumentParser,
+        multi_file: bool = False,
+        optional_file: bool = False,
     ) -> None:
         if multi_file:
             p.add_argument(
                 "files",
                 nargs="+",
                 help="toy-language source files ('-' for stdin, single file only)",
+            )
+        elif optional_file:
+            p.add_argument(
+                "file",
+                nargs="?",
+                help="toy-language source file ('-' for stdin)",
             )
         else:
             p.add_argument("file", help="toy-language source file ('-' for stdin)")
@@ -510,6 +602,44 @@ def build_parser() -> argparse.ArgumentParser:
         help="write a metrics JSON (timings, counters, branch provenance)",
     )
     predict.set_defaults(handler=cmd_predict)
+
+    opt_cmd = sub.add_parser(
+        "opt", help="run a pass pipeline through the pass manager"
+    )
+    add_analysis_flags(opt_cmd, optional_file=True)
+    opt_group = opt_cmd.add_mutually_exclusive_group()
+    opt_group.add_argument(
+        "--pipeline",
+        default="optimize",
+        metavar="NAME",
+        help="named pipeline: predict, optimize, or diagnose (default optimize)",
+    )
+    opt_group.add_argument(
+        "--passes",
+        metavar="A,B,C",
+        help="explicit comma-separated pass list (overrides --pipeline)",
+    )
+    opt_cmd.add_argument(
+        "--list-passes",
+        action="store_true",
+        help="list registered passes and named pipelines, then exit",
+    )
+    opt_cmd.add_argument(
+        "--verify-ir",
+        action="store_true",
+        help="verify the IR after every mutating pass",
+    )
+    opt_cmd.add_argument(
+        "--print-ir",
+        action="store_true",
+        help="dump the IR after the pipeline ran",
+    )
+    opt_cmd.add_argument(
+        "--emit-metrics",
+        metavar="PATH",
+        help="write a metrics JSON including per-pass telemetry (schema v4)",
+    )
+    opt_cmd.set_defaults(handler=cmd_opt)
 
     ranges_cmd = sub.add_parser("ranges", help="print final value ranges")
     add_analysis_flags(ranges_cmd)

@@ -58,8 +58,15 @@ class VRPPredictor(Predictor):
         ssa_infos: Dict[str, SSAInfo],
         entry: str = "main",
         entry_param_ranges: Optional[Dict[str, RangeSet]] = None,
+        analysis_cache=None,
     ) -> ModulePrediction:
-        """Analyse a whole prepared module."""
+        """Analyse a whole prepared module.
+
+        ``analysis_cache`` (a :class:`repro.passes.AnalysisCache`) lets
+        the heuristic fallback consume the cache's structural analyses
+        instead of privately rebuilding them; predictions are identical
+        either way.
+        """
         from repro.observability import tracer as tracing
 
         self._reset_perf()
@@ -67,9 +74,11 @@ class VRPPredictor(Predictor):
         if tracer.enabled:
             with tracer.span("predict"):
                 return self._predict_module(
-                    module, ssa_infos, entry, entry_param_ranges
+                    module, ssa_infos, entry, entry_param_ranges, analysis_cache
                 )
-        return self._predict_module(module, ssa_infos, entry, entry_param_ranges)
+        return self._predict_module(
+            module, ssa_infos, entry, entry_param_ranges, analysis_cache
+        )
 
     def _predict_module(
         self,
@@ -77,8 +86,13 @@ class VRPPredictor(Predictor):
         ssa_infos: Dict[str, SSAInfo],
         entry: str,
         entry_param_ranges: Optional[Dict[str, RangeSet]],
+        analysis_cache=None,
     ) -> ModulePrediction:
-        heuristic = self.fallback.as_fallback() if self.fallback else None
+        heuristic = (
+            self.fallback.as_fallback(analyses=analysis_cache)
+            if self.fallback
+            else None
+        )
         if self.interprocedural:
             return analyse_module(
                 module,
@@ -125,7 +139,9 @@ class VRPPredictor(Predictor):
 
     # -- Predictor interface (single function, intraprocedural) ---------------------
 
-    def predict_function(self, function: Function) -> Dict[str, float]:
+    def predict_function(self, function: Function, context=None) -> Dict[str, float]:
+        # ``context`` (the heuristics' FunctionContext) is accepted for
+        # interface compatibility; VRP derives everything from the IR.
         from repro.ir import SSAEdges  # noqa: F401  (documented dependency)
         from repro.ir.ssa import SSAInfo as _SSAInfo
 

@@ -19,13 +19,29 @@ from repro.ir.values import Temp, Value
 
 
 class FunctionContext:
-    """Cached structural analyses over one function."""
+    """Cached structural analyses over one function.
 
-    def __init__(self, function: Function):
+    Prebuilt analyses (from a :class:`repro.passes.AnalysisCache`) can
+    be injected; anything omitted is built through the cache module's
+    single construction site, so the trees are constructed in exactly
+    one place repo-wide either way.
+    """
+
+    def __init__(
+        self,
+        function: Function,
+        cfg: Optional[CFG] = None,
+        loops: Optional[LoopInfo] = None,
+        postdom: Optional[PostDominatorTree] = None,
+    ):
+        from repro.passes.cache import loop_info, postdominator_tree
+
         self.function = function
-        self.cfg = CFG(function)
-        self.loops = LoopInfo(self.cfg)
-        self.postdom = PostDominatorTree(self.cfg)
+        self.cfg = cfg if cfg is not None else CFG(function)
+        self.loops = loops if loops is not None else loop_info(self.cfg)
+        self.postdom = (
+            postdom if postdom is not None else postdominator_tree(self.cfg)
+        )
         self._effective: Dict[str, str] = {}
 
     def branches(self) -> Iterator[Tuple[str, Branch]]:
@@ -83,9 +99,12 @@ class Predictor:
 
     name = "predictor"
 
-    def predict_function(self, function: Function) -> Dict[str, float]:
+    def predict_function(
+        self, function: Function, context: Optional[FunctionContext] = None
+    ) -> Dict[str, float]:
         """Map each branch block label to P(taking the true edge)."""
-        context = FunctionContext(function)
+        if context is None:
+            context = FunctionContext(function)
         return {
             label: self.predict_branch(context, label, branch)
             for label, branch in context.branches()
@@ -96,14 +115,22 @@ class Predictor:
     ) -> float:
         raise NotImplementedError
 
-    def as_fallback(self):
-        """Adapt to the propagation engine's ``(function, label) -> p`` hook."""
+    def as_fallback(self, analyses=None):
+        """Adapt to the propagation engine's ``(function, label) -> p`` hook.
+
+        ``analyses`` (a :class:`repro.passes.AnalysisCache`) supplies
+        the :class:`FunctionContext` from its cache when given; the
+        context is built privately otherwise.
+        """
         cache: Dict[int, Dict[str, float]] = {}
 
         def fallback(function: Function, label: str) -> float:
             key = id(function)
             if key not in cache:
-                cache[key] = self.predict_function(function)
+                context = (
+                    analyses.context(function) if analyses is not None else None
+                )
+                cache[key] = self.predict_function(function, context=context)
             return cache[key].get(label, 0.5)
 
         return fallback

@@ -15,7 +15,6 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.ir.cfg import CFG
-from repro.ir.dominance import DominatorTree
 from repro.ir.function import Function
 from repro.ir.instructions import Instruction, Phi, Pi
 from repro.ir.values import Temp, UNDEF, Value
@@ -42,8 +41,12 @@ def construct_ssa(function: Function) -> SSAInfo:
     :func:`repro.ir.cfg.remove_unreachable_blocks` first) and critical
     edges should already be split if assertions were inserted.
     """
+    # The dominator tree comes from the pass layer's single construction
+    # site (imported lazily: repro.passes sits above repro.ir).
+    from repro.passes.cache import dominator_tree
+
     cfg = CFG(function)
-    dom = DominatorTree(cfg)
+    dom = dominator_tree(cfg)
     info = SSAInfo()
 
     def_blocks, global_names = _collect_names(function)

@@ -11,7 +11,6 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Set
 
 from repro.ir.cfg import CFG
-from repro.ir.dominance import DominatorTree
 from repro.ir.function import Function, Module
 from repro.ir.instructions import Instruction, Phi, Pi
 from repro.ir.values import Temp
@@ -203,7 +202,9 @@ def _check_ssa(function: Function, cfg: CFG, param_names: Set[str]) -> List[str]
     if problems:
         return problems
 
-    dom = DominatorTree(cfg)
+    from repro.passes.cache import dominator_tree
+
+    dom = dominator_tree(cfg)
     reachable = cfg.reachable()
     for label, block in function.blocks.items():
         if label not in reachable:

@@ -21,6 +21,8 @@ from repro.observability.events import (
     DiagnosticFinding,
     HeuristicChain,
     LatticeTransition,
+    PassBegin,
+    PassEnd,
     PhiMerge,
     PiRefinement,
     TraceEvent,
@@ -76,6 +78,8 @@ __all__ = [
     "LatticeTransition",
     "MetricsReport",
     "NullTracer",
+    "PassBegin",
+    "PassEnd",
     "PhaseTiming",
     "PhiMerge",
     "PiRefinement",

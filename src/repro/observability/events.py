@@ -21,6 +21,8 @@ kind                   meaning
 ``heuristic.chain``    the Ball-Larus heuristics fired on a branch
 ``branch.resolve``     a branch probability was (re)computed
 ``diagnostic.finding`` a static-diagnostics rule fired (``repro check``)
+``pass.begin``         the pass manager started running a pass
+``pass.end``           a pass finished (effect, timing, cache traffic)
 =====================  ====================================================
 """
 
@@ -165,6 +167,30 @@ class DiagnosticFinding(TraceEvent):
     message: str
 
 
+@dataclass(frozen=True)
+class PassBegin(TraceEvent):
+    """The pass manager is about to run a pass."""
+
+    kind: ClassVar[str] = "pass.begin"
+
+    pass_name: str
+    mutates: bool
+
+
+@dataclass(frozen=True)
+class PassEnd(TraceEvent):
+    """A pass finished: what it changed and what it cost."""
+
+    kind: ClassVar[str] = "pass.end"
+
+    pass_name: str
+    changed: int
+    seconds: float
+    cache_hits: int
+    cache_misses: int
+    invalidated: int
+
+
 EVENT_KINDS: Tuple[str, ...] = tuple(
     cls.kind
     for cls in (
@@ -177,5 +203,7 @@ EVENT_KINDS: Tuple[str, ...] = tuple(
         HeuristicChain,
         BranchResolution,
         DiagnosticFinding,
+        PassBegin,
+        PassEnd,
     )
 )

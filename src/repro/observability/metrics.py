@@ -9,7 +9,7 @@ instead of scraped from tables.
 
 Top-level schema keys (``SCHEMA_KEYS``):
 
-* ``schema_version`` -- integer, currently 3;
+* ``schema_version`` -- integer, currently 4;
 * ``program``        -- module/workload name;
 * ``phases``         -- {span name: {"count": int, "seconds": float}};
 * ``counters``       -- the :class:`repro.core.counters.Counters` dict;
@@ -19,6 +19,11 @@ Top-level schema keys (``SCHEMA_KEYS``):
 * ``perf``           -- cache hit/miss statistics from the perf layer
   (since v3; absent when the layer is disabled, older documents still
   validate);
+* ``passes``         -- pass-manager telemetry from ``repro opt``
+  (since v4; ``pipeline`` order, per-pass wall time / rewrite counts /
+  cache traffic under ``runs``, per-analysis hit/miss/invalidation
+  totals under ``analyses``; absent outside pipeline runs, v1-v3
+  documents still validate);
 * ``meta``           -- rounds, function/event totals, drop counts.
 
 Each branch record has ``function``, ``label``, ``probability``,
@@ -35,7 +40,7 @@ from typing import Dict, List, Optional
 
 from repro.observability.events import BranchResolution, HeuristicChain
 
-SCHEMA_VERSION = 3
+SCHEMA_VERSION = 4
 
 SCHEMA_KEYS = (
     "schema_version",
@@ -45,12 +50,13 @@ SCHEMA_KEYS = (
     "branches",
     "diagnostics",
     "perf",
+    "passes",
     "meta",
 )
 
 # Keys a report may omit (documents written by older schema versions,
-# or runs with the perf layer disabled).
-OPTIONAL_KEYS = ("diagnostics", "perf")
+# runs with the perf layer disabled, or non-pipeline runs).
+OPTIONAL_KEYS = ("diagnostics", "perf", "passes")
 
 BRANCH_KEYS = ("function", "label", "probability", "source")
 
@@ -65,6 +71,7 @@ class MetricsReport:
     branches: List[dict] = field(default_factory=list)
     diagnostics: List[dict] = field(default_factory=list)
     perf: Dict[str, dict] = field(default_factory=dict)
+    passes: Dict[str, object] = field(default_factory=dict)
     meta: Dict[str, object] = field(default_factory=dict)
     schema_version: int = SCHEMA_VERSION
 
@@ -79,6 +86,7 @@ class MetricsReport:
             "branches": self.branches,
             "diagnostics": self.diagnostics,
             "perf": self.perf,
+            "passes": self.passes,
             "meta": self.meta,
         }
 
@@ -94,6 +102,7 @@ class MetricsReport:
             branches=data.get("branches", []),
             diagnostics=data.get("diagnostics", []),
             perf=data.get("perf", {}),
+            passes=data.get("passes", {}),
             meta=data.get("meta", {}),
             schema_version=data.get("schema_version", SCHEMA_VERSION),
         )
@@ -118,6 +127,7 @@ def build_metrics_report(
     program: str = "module",
     findings=None,
     perf_stats=None,
+    passes=None,
 ) -> "MetricsReport":
     """Assemble a report from a :class:`ModulePrediction` and a tracer.
 
@@ -127,7 +137,10 @@ def build_metrics_report(
     iterable of :class:`repro.diagnostics.Finding`) populates the
     ``diagnostics`` key when ``repro check`` is the caller;
     ``perf_stats`` (a ``repro.core.perf.snapshot()`` dict) populates
-    the ``perf`` key when the perf layer was on for the run.
+    the ``perf`` key when the perf layer was on for the run;
+    ``passes`` (a :meth:`repro.passes.PipelineResult.passes_metrics`
+    dict) populates the ``passes`` key when a pass pipeline drove the
+    analysis.
     """
     phases: Dict[str, Dict[str, float]] = {}
     meta: Dict[str, object] = {
@@ -181,6 +194,7 @@ def build_metrics_report(
         branches=branches,
         diagnostics=[f.as_dict() for f in findings] if findings else [],
         perf=perf_stats or {},
+        passes=passes or {},
         meta=meta,
     )
 
