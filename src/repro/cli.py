@@ -17,13 +17,21 @@ Commands:
 * ``trace FILE``     -- phase timings + propagation event stream;
 * ``explain FILE BRANCH`` -- why a branch got its probability;
 * ``workloads``      -- list the built-in benchmark suite;
-* ``evaluate``       -- score all predictors on a workload or a suite.
+* ``evaluate``       -- score all predictors on a workload or a suite;
+* ``serve``          -- long-running prediction daemon (HTTP JSON API,
+  content-addressed result cache, bounded worker pool, graceful
+  degradation -- see ``docs/SERVING.md``);
+* ``submit FILE...`` -- send programs to a running daemon; output is
+  byte-identical to the corresponding one-shot command.
 
-``predict``, ``opt`` and ``evaluate`` accept ``--emit-metrics PATH`` to
-write a machine-readable metrics JSON (schema in
-``docs/OBSERVABILITY.md``; ``opt`` adds the schema-v4 ``passes`` key).
-``evaluate`` and ``check`` accept ``--jobs N``; outputs are
-byte-identical for every worker count (see ``docs/PERFORMANCE.md``).
+``predict``, ``ir``, ``ranges``, ``submit`` and (single-file) ``check``
+read from stdin when FILE is ``-``.  ``predict``, ``opt``, ``check``,
+``evaluate`` and ``submit`` accept ``--emit-metrics PATH`` to write a
+machine-readable metrics JSON (schema in ``docs/OBSERVABILITY.md``;
+``opt`` adds the ``passes`` key, ``submit`` fetches the daemon's
+``server`` key).  ``evaluate`` and ``check`` accept ``--jobs N``;
+outputs are byte-identical for every worker count (see
+``docs/PERFORMANCE.md``).
 """
 
 from __future__ import annotations
@@ -43,6 +51,32 @@ def _read_source(path: str) -> str:
         return sys.stdin.read()
     with open(path, "r", encoding="utf-8") as handle:
         return handle.read()
+
+
+def _write_text_output(path: str, text: str, label: str = "report") -> None:
+    """Write ``text`` to ``path`` with the CLI's uniform error contract.
+
+    Every command that writes an artifact funnels through here: one
+    error message shape (``error: cannot write <label>: ...``), one
+    confirmation line (``<label> written to <path>``).
+    """
+    try:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(text)
+    except OSError as error:
+        raise SystemExit(f"error: cannot write {label}: {error}")
+    print(f"{label} written to {path}")
+
+
+def _emit_metrics(data, path: str) -> None:
+    """Serialise a metrics document (MetricsReport or plain dict) to disk."""
+    import json
+
+    if hasattr(data, "to_json"):
+        text = data.to_json() + "\n"
+    else:
+        text = json.dumps(data, indent=1, sort_keys=True) + "\n"
+    _write_text_output(path, text, label="metrics")
 
 
 def _parse_ints(text: Optional[str]) -> List[int]:
@@ -93,11 +127,13 @@ def cmd_predict(args: argparse.Namespace) -> int:
     else:
         tracer = None
         prediction = predictor.predict_module(module, ssa_infos)
-    heuristic = prediction.heuristic_branches()
-    print(f"{'function':<14s} {'branch':<12s} {'P(taken)':>9s}  source")
-    for (function, label), probability in sorted(prediction.all_branches().items()):
-        marker = "heuristic" if (function, label) in heuristic else "ranges"
-        print(f"{function:<14s} {label:<12s} {probability:>8.1%}  {marker}")
+    from repro import rendering
+
+    sys.stdout.write(
+        rendering.branch_table(
+            prediction.all_branches(), prediction.heuristic_branches()
+        )
+    )
     if emit_metrics:
         from repro.core import perf
 
@@ -107,11 +143,7 @@ def cmd_predict(args: argparse.Namespace) -> int:
             program=module.name,
             perf_stats=perf.snapshot() if predictor.config.perf else None,
         )
-        try:
-            report.write(emit_metrics)
-        except OSError as error:
-            raise SystemExit(f"error: cannot write metrics: {error}")
-        print(f"metrics written to {emit_metrics}")
+        _emit_metrics(report, emit_metrics)
     return 0
 
 
@@ -187,11 +219,7 @@ def cmd_opt(args: argparse.Namespace) -> int:
             perf_stats=perf.snapshot() if config.perf else None,
             passes=result.passes_metrics(),
         )
-        try:
-            report.write(emit_metrics)
-        except OSError as error:
-            raise SystemExit(f"error: cannot write metrics: {error}")
-        print(f"metrics written to {emit_metrics}")
+        _emit_metrics(report, emit_metrics)
     return 0
 
 
@@ -261,7 +289,6 @@ def _stem_of(path: str) -> str:
 
 
 def cmd_check(args: argparse.Namespace) -> int:
-    import json
     import os
 
     files = args.files
@@ -317,19 +344,13 @@ def cmd_check(args: argparse.Namespace) -> int:
             target = os.path.join(
                 output_dir, f"{_stem_of(result['path'])}.{extension}"
             )
-            try:
-                with open(target, "w", encoding="utf-8") as handle:
-                    handle.write(result["rendered"] + "\n")
-            except OSError as error:
-                raise SystemExit(f"error: cannot write report: {error}")
-            print(f"{args.format} report written to {target}")
+            _write_text_output(
+                target, result["rendered"] + "\n", label=f"{args.format} report"
+            )
         elif args.output:
-            try:
-                with open(args.output, "w", encoding="utf-8") as handle:
-                    handle.write(result["rendered"] + "\n")
-            except OSError as error:
-                raise SystemExit(f"error: cannot write report: {error}")
-            print(f"{args.format} report written to {args.output}")
+            _write_text_output(
+                args.output, result["rendered"] + "\n", label=f"{args.format} report"
+            )
         else:
             if len(results) > 1:
                 print(f"== {result['path']} ==")
@@ -343,13 +364,7 @@ def cmd_check(args: argparse.Namespace) -> int:
                 )
             else:
                 target = emit_metrics
-            try:
-                with open(target, "w", encoding="utf-8") as handle:
-                    json.dump(result["metrics"], handle, indent=1, sort_keys=True)
-                    handle.write("\n")
-            except OSError as error:
-                raise SystemExit(f"error: cannot write metrics: {error}")
-            print(f"metrics written to {target}")
+            _emit_metrics(result["metrics"], target)
 
     return 1 if failed else 0
 
@@ -438,25 +453,28 @@ def cmd_explain(args: argparse.Namespace) -> int:
 
 
 def cmd_ir(args: argparse.Namespace) -> int:
+    from repro import rendering
+
     module, _ = _prepare(args)
-    print(format_module(module, show_preds=True))
+    sys.stdout.write(rendering.ir_dump(module))
     return 0
 
 
 def cmd_ranges(args: argparse.Namespace) -> int:
+    from repro import rendering
+
     module, ssa_infos = _prepare(args)
     predictor = VRPPredictor(
         config=_config_from_args(args), interprocedural=not args.intra
     )
     prediction = predictor.predict_module(module, ssa_infos)
-    for name, function_prediction in sorted(prediction.functions.items()):
-        print(f"func {name}:")
-        for ssa_name in sorted(function_prediction.values):
-            print(f"  {ssa_name:12s} {function_prediction.values[ssa_name]}")
+    sys.stdout.write(rendering.ranges_listing(prediction))
     return 0
 
 
 def cmd_run(args: argparse.Namespace) -> int:
+    from repro import rendering
+
     module, _ = _prepare(args)
     result = run_module(
         module,
@@ -464,18 +482,7 @@ def cmd_run(args: argparse.Namespace) -> int:
         input_values=_parse_ints(args.inputs),
         max_steps=args.max_steps,
     )
-    print(f"return value: {result.return_value}")
-    print(f"steps:        {result.steps}")
-    if args.profile:
-        print()
-        print(f"{'function':<14s} {'branch':<12s} {'taken':>8s} {'not':>8s} {'P':>7s}")
-        for (function, label), counts in sorted(result.branch_counts.items()):
-            total = counts[0] + counts[1]
-            probability = counts[0] / total if total else 0.0
-            print(
-                f"{function:<14s} {label:<12s} {counts[0]:>8d} {counts[1]:>8d} "
-                f"{probability:>6.1%}"
-            )
+    sys.stdout.write(rendering.run_report(result, profile=args.profile))
     return 0
 
 
@@ -512,11 +519,7 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
         if emit_metrics:
             from repro.evalharness.runner import workload_metrics
 
-            try:
-                workload_metrics(prepared).write(emit_metrics)
-            except OSError as error:
-                raise SystemExit(f"error: cannot write metrics: {error}")
-            print(f"metrics written to {emit_metrics}")
+            _emit_metrics(workload_metrics(prepared), emit_metrics)
         return 0
     suite_name = args.suite or "fp"
     if suite_name == "all":
@@ -538,18 +541,114 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
         )
     )
     if emit_metrics:
-        import json
-
-        try:
-            with open(emit_metrics, "w", encoding="utf-8") as handle:
-                json.dump(
-                    {"suite": suite_name, "workloads": reports}, handle, indent=1
-                )
-                handle.write("\n")
-        except OSError as error:
-            raise SystemExit(f"error: cannot write metrics: {error}")
-        print(f"metrics written to {emit_metrics}")
+        _emit_metrics({"suite": suite_name, "workloads": reports}, emit_metrics)
     return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.server import serve_daemon
+
+    base_options = {}
+    if args.intra:
+        base_options["intra"] = True
+    if args.numeric:
+        base_options["numeric"] = True
+    if args.no_derive:
+        base_options["no_derive"] = True
+    if args.track_arrays:
+        base_options["track_arrays"] = True
+    if args.max_ranges != 4:
+        base_options["max_ranges"] = args.max_ranges
+    return serve_daemon(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        queue_size=args.queue_size,
+        cache_dir=args.cache_dir,
+        memory_cache_entries=args.memory_cache,
+        timeout_s=args.timeout,
+        max_request_bytes=args.max_request_bytes,
+        drain_timeout_s=args.drain_timeout,
+        base_options=base_options or None,
+        verbose=args.verbose,
+    )
+
+
+def cmd_submit(args: argparse.Namespace) -> int:
+    from repro.server.client import ServeClient, ServerError
+
+    files = args.files
+    if "-" in files and len(files) > 1:
+        raise SystemExit("error: stdin ('-') must be the only input")
+    command = args.command
+    options: dict = {}
+    if args.intra:
+        options["intra"] = True
+    if args.numeric:
+        options["numeric"] = True
+    if args.no_derive:
+        options["no_derive"] = True
+    if args.track_arrays:
+        options["track_arrays"] = True
+    if args.max_ranges != 4:
+        options["max_ranges"] = args.max_ranges
+    if command == "check":
+        options["format"] = args.format
+        options["fail_on"] = args.fail_on
+    if command == "run":
+        if args.args:
+            options["args"] = _parse_ints(args.args)
+        if args.inputs:
+            options["inputs"] = _parse_ints(args.inputs)
+        options["max_steps"] = args.max_steps
+        if args.profile:
+            options["profile"] = True
+
+    items = []
+    for path in files:
+        try:
+            source = _read_source(path)
+        except FileNotFoundError:
+            raise SystemExit(f"error: no such file: {path}")
+        items.append(
+            {"command": command, "source": source, "name": path, "options": options}
+        )
+    client = ServeClient(args.host, args.port, timeout=args.http_timeout)
+    try:
+        if len(items) == 1:
+            responses = [
+                client.analyze(
+                    command, items[0]["source"], name=items[0]["name"],
+                    options=options,
+                )
+            ]
+        else:
+            responses = client.batch(items)
+    except ServerError as error:
+        suffix = f" (HTTP {error.status})" if error.status else ""
+        raise SystemExit(f"error: {error}{suffix}")
+
+    exit_code = 0
+    for path, response in zip(files, responses):
+        if len(responses) > 1:
+            print(f"== {path} ==")
+        if response.get("status") == "error":
+            print(f"error: {response.get('error')}", file=sys.stderr)
+        sys.stdout.write(response.get("output") or "")
+        if args.verbose:
+            print(
+                f"# key={response.get('key')} cached={response.get('cached')} "
+                f"degraded={response.get('degraded')} "
+                f"elapsed_ms={response.get('elapsed_ms')}",
+                file=sys.stderr,
+            )
+        exit_code = max(exit_code, int(response.get("exit_code", 0)))
+    if args.emit_metrics:
+        try:
+            _emit_metrics(client.metricsz(), args.emit_metrics)
+        except ServerError as error:
+            raise SystemExit(f"error: {error}")
+    return exit_code
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -711,11 +810,11 @@ def build_parser() -> argparse.ArgumentParser:
     explain_cmd.set_defaults(handler=cmd_explain)
 
     ir_cmd = sub.add_parser("ir", help="dump canonicalised SSA IR")
-    ir_cmd.add_argument("file")
+    ir_cmd.add_argument("file", help="toy-language source file ('-' for stdin)")
     ir_cmd.set_defaults(handler=cmd_ir)
 
     run_cmd = sub.add_parser("run", help="interpret a program")
-    run_cmd.add_argument("file")
+    run_cmd.add_argument("file", help="toy-language source file ('-' for stdin)")
     run_cmd.add_argument("--args", default="", help="main() arguments, comma separated")
     run_cmd.add_argument("--inputs", default="", help="input() stream, comma separated")
     run_cmd.add_argument("--max-steps", type=int, default=5_000_000)
@@ -744,6 +843,104 @@ def build_parser() -> argparse.ArgumentParser:
         help="write VRP metrics JSON for the evaluated workload(s)",
     )
     evaluate_cmd.set_defaults(handler=cmd_evaluate)
+
+    serve_cmd = sub.add_parser(
+        "serve", help="long-running prediction daemon (HTTP JSON API)"
+    )
+    serve_cmd.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve_cmd.add_argument(
+        "--port", type=int, default=8077, help="TCP port (0 = kernel-assigned)"
+    )
+    serve_cmd.add_argument(
+        "--workers", type=int, default=4, metavar="K",
+        help="analysis worker threads (default 4)",
+    )
+    serve_cmd.add_argument(
+        "--queue-size", type=int, default=64, metavar="N",
+        help="waiting-request capacity before 503 backpressure (default 64)",
+    )
+    serve_cmd.add_argument(
+        "--cache-dir", metavar="DIR",
+        help="on-disk result cache (warm results survive restarts)",
+    )
+    serve_cmd.add_argument(
+        "--memory-cache", type=int, default=1024, metavar="N",
+        help="in-memory result cache entries (default 1024)",
+    )
+    serve_cmd.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="per-request analysis deadline; past it the response "
+        "degrades to heuristics-only prediction (default: none)",
+    )
+    serve_cmd.add_argument(
+        "--max-request-bytes", type=int, default=1 << 20, metavar="N",
+        help="largest accepted request body (default 1 MiB)",
+    )
+    serve_cmd.add_argument(
+        "--drain-timeout", type=float, default=30.0, metavar="SECONDS",
+        help="grace period for in-flight requests on SIGTERM (default 30)",
+    )
+    serve_cmd.add_argument(
+        "--verbose", action="store_true", help="log every HTTP request"
+    )
+    serve_cmd.add_argument("--intra", action="store_true", help=argparse.SUPPRESS)
+    serve_cmd.add_argument("--numeric", action="store_true", help=argparse.SUPPRESS)
+    serve_cmd.add_argument("--no-derive", action="store_true", help=argparse.SUPPRESS)
+    serve_cmd.add_argument(
+        "--track-arrays", action="store_true", help=argparse.SUPPRESS
+    )
+    serve_cmd.add_argument(
+        "--max-ranges", type=int, default=4, help=argparse.SUPPRESS
+    )
+    serve_cmd.set_defaults(handler=cmd_serve)
+
+    submit_cmd = sub.add_parser(
+        "submit", help="send programs to a running repro serve daemon"
+    )
+    add_analysis_flags(submit_cmd, multi_file=True)
+    submit_cmd.add_argument(
+        "--command",
+        choices=["predict", "check", "ranges", "ir", "run"],
+        default="predict",
+        help="what to ask the daemon for (default predict)",
+    )
+    submit_cmd.add_argument("--host", default="127.0.0.1", help="daemon address")
+    submit_cmd.add_argument(
+        "--port", type=int, default=8077, help="daemon port (default 8077)"
+    )
+    submit_cmd.add_argument(
+        "--http-timeout", type=float, default=60.0, metavar="SECONDS",
+        help="client-side HTTP timeout (default 60)",
+    )
+    submit_cmd.add_argument(
+        "--format",
+        choices=["text", "json", "sarif"],
+        default="text",
+        help="check output format (default text)",
+    )
+    submit_cmd.add_argument(
+        "--fail-on",
+        choices=["error", "warning", "never"],
+        default="error",
+        help="check exit-code gate (default error)",
+    )
+    submit_cmd.add_argument("--args", default="", help="run: main() arguments")
+    submit_cmd.add_argument("--inputs", default="", help="run: input() stream")
+    submit_cmd.add_argument("--max-steps", type=int, default=5_000_000)
+    submit_cmd.add_argument(
+        "--profile", action="store_true", help="run: include the branch profile"
+    )
+    submit_cmd.add_argument(
+        "--verbose",
+        action="store_true",
+        help="print cache tier / degradation / latency per response (stderr)",
+    )
+    submit_cmd.add_argument(
+        "--emit-metrics",
+        metavar="PATH",
+        help="fetch the daemon's /metricsz document (schema v5) into PATH",
+    )
+    submit_cmd.set_defaults(handler=cmd_submit)
 
     return parser
 

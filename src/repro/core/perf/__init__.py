@@ -33,9 +33,10 @@ __all__ = [
     "memo",
     "stats",
     "context",
+    "fingerprint",
 ]
 
-_SUBMODULES = ("interning", "memo", "stats", "context")
+_SUBMODULES = ("interning", "memo", "stats", "context", "fingerprint")
 
 
 def __getattr__(name: str):

@@ -25,6 +25,8 @@ from repro.observability.events import (
     PassEnd,
     PhiMerge,
     PiRefinement,
+    ServerRequestBegin,
+    ServerRequestEnd,
     TraceEvent,
     WorklistPop,
     WorklistPush,
@@ -83,6 +85,8 @@ __all__ = [
     "PhaseTiming",
     "PhiMerge",
     "PiRefinement",
+    "ServerRequestBegin",
+    "ServerRequestEnd",
     "SpanRecord",
     "TraceEvent",
     "TraceSession",

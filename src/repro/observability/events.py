@@ -23,6 +23,8 @@ kind                   meaning
 ``diagnostic.finding`` a static-diagnostics rule fired (``repro check``)
 ``pass.begin``         the pass manager started running a pass
 ``pass.end``           a pass finished (effect, timing, cache traffic)
+``server.request.begin`` the serving daemon accepted a request
+``server.request.end``   a request finished (status, latency, cache tier)
 =====================  ====================================================
 """
 
@@ -191,6 +193,30 @@ class PassEnd(TraceEvent):
     invalidated: int
 
 
+@dataclass(frozen=True)
+class ServerRequestBegin(TraceEvent):
+    """The serving daemon accepted a request for processing."""
+
+    kind: ClassVar[str] = "server.request.begin"
+
+    endpoint: str
+    command: Optional[str]
+
+
+@dataclass(frozen=True)
+class ServerRequestEnd(TraceEvent):
+    """A served request finished (however it went)."""
+
+    kind: ClassVar[str] = "server.request.end"
+
+    endpoint: str
+    command: Optional[str]
+    status: int  # HTTP status code of the response
+    elapsed_ms: float
+    cached: Optional[str]  # None | "memory" | "disk"
+    degraded: bool
+
+
 EVENT_KINDS: Tuple[str, ...] = tuple(
     cls.kind
     for cls in (
@@ -205,5 +231,7 @@ EVENT_KINDS: Tuple[str, ...] = tuple(
         DiagnosticFinding,
         PassBegin,
         PassEnd,
+        ServerRequestBegin,
+        ServerRequestEnd,
     )
 )

@@ -9,7 +9,7 @@ instead of scraped from tables.
 
 Top-level schema keys (``SCHEMA_KEYS``):
 
-* ``schema_version`` -- integer, currently 4;
+* ``schema_version`` -- integer, currently 5;
 * ``program``        -- module/workload name;
 * ``phases``         -- {span name: {"count": int, "seconds": float}};
 * ``counters``       -- the :class:`repro.core.counters.Counters` dict;
@@ -24,6 +24,10 @@ Top-level schema keys (``SCHEMA_KEYS``):
   cache traffic under ``runs``, per-analysis hit/miss/invalidation
   totals under ``analyses``; absent outside pipeline runs, v1-v3
   documents still validate);
+* ``server``         -- serving-daemon telemetry from ``repro serve``
+  (since v5; per-endpoint request/latency histograms, result-cache
+  hit/miss per tier, degraded/rejected counts; absent outside the
+  daemon, v1-v4 documents still validate);
 * ``meta``           -- rounds, function/event totals, drop counts.
 
 Each branch record has ``function``, ``label``, ``probability``,
@@ -40,7 +44,7 @@ from typing import Dict, List, Optional
 
 from repro.observability.events import BranchResolution, HeuristicChain
 
-SCHEMA_VERSION = 4
+SCHEMA_VERSION = 5
 
 SCHEMA_KEYS = (
     "schema_version",
@@ -51,12 +55,13 @@ SCHEMA_KEYS = (
     "diagnostics",
     "perf",
     "passes",
+    "server",
     "meta",
 )
 
 # Keys a report may omit (documents written by older schema versions,
-# runs with the perf layer disabled, or non-pipeline runs).
-OPTIONAL_KEYS = ("diagnostics", "perf", "passes")
+# runs with the perf layer disabled, non-pipeline or non-daemon runs).
+OPTIONAL_KEYS = ("diagnostics", "perf", "passes", "server")
 
 BRANCH_KEYS = ("function", "label", "probability", "source")
 
@@ -72,6 +77,7 @@ class MetricsReport:
     diagnostics: List[dict] = field(default_factory=list)
     perf: Dict[str, dict] = field(default_factory=dict)
     passes: Dict[str, object] = field(default_factory=dict)
+    server: Dict[str, object] = field(default_factory=dict)
     meta: Dict[str, object] = field(default_factory=dict)
     schema_version: int = SCHEMA_VERSION
 
@@ -87,6 +93,7 @@ class MetricsReport:
             "diagnostics": self.diagnostics,
             "perf": self.perf,
             "passes": self.passes,
+            "server": self.server,
             "meta": self.meta,
         }
 
@@ -103,6 +110,7 @@ class MetricsReport:
             diagnostics=data.get("diagnostics", []),
             perf=data.get("perf", {}),
             passes=data.get("passes", {}),
+            server=data.get("server", {}),
             meta=data.get("meta", {}),
             schema_version=data.get("schema_version", SCHEMA_VERSION),
         )
@@ -128,6 +136,7 @@ def build_metrics_report(
     findings=None,
     perf_stats=None,
     passes=None,
+    server_stats=None,
 ) -> "MetricsReport":
     """Assemble a report from a :class:`ModulePrediction` and a tracer.
 
@@ -140,7 +149,9 @@ def build_metrics_report(
     the ``perf`` key when the perf layer was on for the run;
     ``passes`` (a :meth:`repro.passes.PipelineResult.passes_metrics`
     dict) populates the ``passes`` key when a pass pipeline drove the
-    analysis.
+    analysis; ``server_stats`` (a ``repro.server.ServerStats.snapshot()``
+    dict) populates the ``server`` key when the serving daemon is the
+    caller.
     """
     phases: Dict[str, Dict[str, float]] = {}
     meta: Dict[str, object] = {
@@ -195,6 +206,7 @@ def build_metrics_report(
         diagnostics=[f.as_dict() for f in findings] if findings else [],
         perf=perf_stats or {},
         passes=passes or {},
+        server=server_stats or {},
         meta=meta,
     )
 

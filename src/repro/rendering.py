@@ -1,0 +1,71 @@
+"""Shared plain-text renderers for analysis results.
+
+Both front ends -- the one-shot CLI (``repro predict`` and friends) and
+the serving layer (``repro serve`` / ``repro submit``) -- promise
+*byte-identical* output for the same program and configuration.  The
+only robust way to keep that promise is to render in exactly one place;
+this module is that place.  Every function returns the complete text
+**including the trailing newline**, so callers write it verbatim
+(``sys.stdout.write`` on the CLI, the ``output`` field of a server
+response) instead of re-assembling lines.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Set, Tuple
+
+BranchKey = Tuple[str, str]
+
+
+def branch_table(
+    branches: Dict[BranchKey, float], heuristic: Set[BranchKey]
+) -> str:
+    """The ``repro predict`` table: one row per conditional branch.
+
+    ``branches`` maps ``(function, label)`` to P(taken); ``heuristic``
+    names the subset whose probability came from the fallback predictor
+    rather than from value ranges.
+    """
+    lines = [f"{'function':<14s} {'branch':<12s} {'P(taken)':>9s}  source"]
+    for (function, label), probability in sorted(branches.items()):
+        marker = "heuristic" if (function, label) in heuristic else "ranges"
+        lines.append(f"{function:<14s} {label:<12s} {probability:>8.1%}  {marker}")
+    return "\n".join(lines) + "\n"
+
+
+def ranges_listing(prediction) -> str:
+    """The ``repro ranges`` listing: final range set per SSA variable."""
+    lines = []
+    for name, function_prediction in sorted(prediction.functions.items()):
+        lines.append(f"func {name}:")
+        for ssa_name in sorted(function_prediction.values):
+            lines.append(f"  {ssa_name:12s} {function_prediction.values[ssa_name]}")
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def ir_dump(module) -> str:
+    """The ``repro ir`` dump: canonicalised SSA IR with predecessors."""
+    from repro.ir import format_module
+
+    return format_module(module, show_preds=True) + "\n"
+
+
+def run_report(result, profile: bool = False) -> str:
+    """The ``repro run`` report: return value, steps, optional profile."""
+    lines = [
+        f"return value: {result.return_value}",
+        f"steps:        {result.steps}",
+    ]
+    if profile:
+        lines.append("")
+        lines.append(
+            f"{'function':<14s} {'branch':<12s} {'taken':>8s} {'not':>8s} {'P':>7s}"
+        )
+        for (function, label), counts in sorted(result.branch_counts.items()):
+            total = counts[0] + counts[1]
+            probability = counts[0] / total if total else 0.0
+            lines.append(
+                f"{function:<14s} {label:<12s} {counts[0]:>8d} {counts[1]:>8d} "
+                f"{probability:>6.1%}"
+            )
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,59 @@
+"""Prediction-as-a-service: the long-running ``repro serve`` daemon.
+
+Every other entry point in the package is one-shot: it pays full
+startup plus analysis cost for a single program and exits, so the perf
+layer's caches (PR 3) and the pass manager's analysis cache (PR 4) only
+amortize *within* one process.  This package is the resident shape of
+the paper's claim that VRP is cheap enough to run routinely: a threaded
+HTTP daemon that accepts program text and answers with predictions,
+diagnostics, IR, or execution profiles -- byte-identical to the
+corresponding one-shot CLI output (see ``docs/SERVING.md``).
+
+Layers, bottom up:
+
+* :mod:`.cache`    -- content-addressed result cache (SHA-256 of source
+  + config fingerprint), memory tier over an on-disk tier that survives
+  restarts;
+* :mod:`.workers`  -- bounded worker pool with request queueing; a full
+  queue is backpressure (HTTP 503), not an unbounded backlog;
+* :mod:`.service`  -- command execution with per-request analysis
+  timeouts and graceful degradation to heuristics-only prediction;
+* :mod:`.stats`    -- per-endpoint request counts and latency
+  histograms, cache tiers, degraded/rejected counters;
+* :mod:`.httpd`    -- the HTTP front end (``/v1/*``, ``/healthz``,
+  ``/metricsz``) plus SIGTERM drain;
+* :mod:`.client`   -- the stdlib client behind ``repro submit``.
+
+Everything is standard library only.
+"""
+
+from __future__ import annotations
+
+from repro.server.cache import ResultCache, request_key
+from repro.server.client import ServeClient, ServerError
+from repro.server.httpd import ReproServer, serve_daemon
+from repro.server.protocol import (
+    COMMANDS,
+    ProtocolError,
+    validate_request,
+)
+from repro.server.service import AnalysisService, AnalysisTimeout
+from repro.server.stats import ServerStats
+from repro.server.workers import QueueFullError, WorkerPool
+
+__all__ = [
+    "COMMANDS",
+    "AnalysisService",
+    "AnalysisTimeout",
+    "ProtocolError",
+    "QueueFullError",
+    "ReproServer",
+    "ResultCache",
+    "ServeClient",
+    "ServerError",
+    "ServerStats",
+    "WorkerPool",
+    "request_key",
+    "serve_daemon",
+    "validate_request",
+]

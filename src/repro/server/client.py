@@ -1,0 +1,128 @@
+"""Stdlib client for the serving daemon (the guts of ``repro submit``).
+
+One :class:`ServeClient` talks to one daemon.  Each call opens its own
+``http.client.HTTPConnection`` -- the daemon speaks one-request
+HTTP/1.0, and per-call connections keep the client trivially
+thread-safe.  Transport-level trouble (connection refused, daemon gone
+mid-response) raises :class:`ServerError` with ``status=None``;
+protocol rejections (400/413/503...) raise it with the HTTP status and
+the daemon's error message, so callers can distinguish "retry later"
+(503) from "fix the request" (400).
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+from typing import Dict, List, Optional, Tuple
+
+
+class ServerError(Exception):
+    """The daemon rejected the request or could not be reached."""
+
+    def __init__(self, message: str, status: Optional[int] = None):
+        super().__init__(message)
+        self.status = status
+
+
+class ServeClient:
+    """Typed requests against one ``repro serve`` daemon."""
+
+    def __init__(
+        self, host: str = "127.0.0.1", port: int = 8077, timeout: float = 60.0
+    ):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # -- transport -----------------------------------------------------------
+
+    def request_json(
+        self, method: str, path: str, body: Optional[dict] = None
+    ) -> Tuple[int, dict]:
+        """One HTTP exchange; returns ``(status, decoded JSON body)``."""
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            payload = None
+            headers = {}
+            if body is not None:
+                payload = json.dumps(body).encode("utf-8")
+                headers["Content-Type"] = "application/json"
+            connection.request(method, path, body=payload, headers=headers)
+            response = connection.getresponse()
+            raw = response.read()
+            try:
+                document = json.loads(raw.decode("utf-8")) if raw else {}
+            except (UnicodeDecodeError, ValueError):
+                raise ServerError(
+                    f"daemon sent a non-JSON response (HTTP {response.status})",
+                    status=response.status,
+                )
+            return response.status, document
+        except (ConnectionError, socket.timeout, socket.gaierror, OSError) as error:
+            raise ServerError(
+                f"cannot reach {self.host}:{self.port}: {error}"
+            ) from error
+        finally:
+            connection.close()
+
+    def _post(self, path: str, body: dict) -> dict:
+        status, document = self.request_json("POST", path, body)
+        if status != 200:
+            raise ServerError(
+                document.get("error", f"HTTP {status}"), status=status
+            )
+        return document
+
+    # -- endpoints -----------------------------------------------------------
+
+    def healthz(self) -> dict:
+        status, document = self.request_json("GET", "/healthz")
+        if status != 200:
+            raise ServerError(f"healthz answered HTTP {status}", status=status)
+        return document
+
+    def metricsz(self) -> dict:
+        status, document = self.request_json("GET", "/metricsz")
+        if status != 200:
+            raise ServerError(f"metricsz answered HTTP {status}", status=status)
+        return document
+
+    def analyze(
+        self,
+        command: str,
+        source: str,
+        name: str = "-",
+        options: Optional[Dict[str, object]] = None,
+    ) -> dict:
+        """Submit one program; returns the full response document."""
+        return self._post(
+            f"/v1/{command}",
+            {"source": source, "name": name, "options": options or {}},
+        )
+
+    def batch(self, items: List[dict]) -> List[dict]:
+        """Submit a micro-batch; results come back in submission order."""
+        document = self._post("/v1/batch", {"items": items})
+        results = document.get("results")
+        if not isinstance(results, list):
+            raise ServerError("batch response is missing 'results'")
+        return results
+
+    def wait_ready(self, attempts: int = 50, delay: float = 0.1) -> dict:
+        """Poll ``/healthz`` until the daemon answers (for scripts/CI)."""
+        import time
+
+        last: Optional[ServerError] = None
+        for _ in range(attempts):
+            try:
+                return self.healthz()
+            except ServerError as error:
+                last = error
+                time.sleep(delay)
+        raise ServerError(
+            f"daemon at {self.host}:{self.port} never became ready: {last}"
+        )

@@ -1,0 +1,442 @@
+"""The HTTP face of the serving daemon.
+
+Endpoints::
+
+    GET  /healthz      liveness + queue depth (cheap, never queued)
+    GET  /metricsz     full metrics schema v5 document (``server`` key)
+    POST /v1/predict   one program  -> prediction table
+    POST /v1/check     one program  -> diagnostics report
+    POST /v1/ranges    one program  -> final range listing
+    POST /v1/ir        one program  -> canonical SSA dump
+    POST /v1/run       one program  -> interpret + profile
+    POST /v1/analyze   one program  -> command named in the body
+    POST /v1/batch     {"items": [...]} -> {"results": [...]}, micro-batched
+
+Connection threads never analyse: they submit to the bounded
+:class:`~repro.server.workers.WorkerPool` and wait, so ``--workers K``
+bounds CPU concurrency no matter how many clients connect.  A full
+queue answers ``503`` with ``Retry-After`` (backpressure), an oversized
+body answers ``413``, malformed JSON or protocol violations answer
+``400``; analysis-level failures (parse errors, timeouts) are ``200``
+with ``status: "error"`` or ``degraded: true`` -- the request was
+served, the *program* was the problem.
+
+Every request emits ``server.request.begin``/``server.request.end``
+events into the daemon's tracer and records a span, so ``/metricsz``
+can surface span counts and per-endpoint latency histograms next to
+the result-cache statistics.
+
+Shutdown is a drain, not a kill: SIGTERM (or SIGINT) stops the accept
+loop, lets queued and in-flight requests finish, flushes their
+responses, then exits (connections are one-request HTTP/1.0, so no
+idle keep-alive can hold the drain hostage).
+"""
+
+from __future__ import annotations
+
+import json
+import signal
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, Optional
+
+from repro.observability.events import ServerRequestBegin, ServerRequestEnd
+from repro.observability.tracer import SpanRecord, Tracer
+from repro.server.cache import ResultCache
+from repro.server.protocol import ProtocolError, validate_batch
+from repro.server.service import AnalysisService
+from repro.server.stats import ServerStats
+from repro.server.workers import PoolClosedError, QueueFullError, WorkerPool
+
+#: POST route -> command pinned by the URL (None = body decides).
+POST_ROUTES: Dict[str, Optional[str]] = {
+    "/v1/predict": "predict",
+    "/v1/check": "check",
+    "/v1/ranges": "ranges",
+    "/v1/ir": "ir",
+    "/v1/run": "run",
+    "/v1/analyze": None,
+}
+
+#: Spans kept for /metricsz aggregation; past this the daemon keeps
+#: counting events but stops retaining span records.
+MAX_RETAINED_SPANS = 100_000
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server_version = "repro-serve"
+    # One request per connection: a drain never waits on an idle
+    # keep-alive socket, and every response carries Content-Length.
+    protocol_version = "HTTP/1.0"
+    timeout = 30  # socket-level guard against wedged peers
+
+    # The ReproServer that owns this handler's HTTP server.
+    @property
+    def ctx(self) -> "ReproServer":
+        return self.server.repro  # type: ignore[attr-defined]
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        if self.ctx.verbose:
+            BaseHTTPRequestHandler.log_message(self, format, *args)
+
+    # -- plumbing ------------------------------------------------------------
+
+    def _send_json(self, status: int, document: dict) -> None:
+        body = (json.dumps(document, sort_keys=True) + "\n").encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        if status == 503:
+            self.send_header("Retry-After", "1")
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _finish(
+        self,
+        endpoint: str,
+        command: Optional[str],
+        status: int,
+        document: dict,
+        started: float,
+        cached: Optional[str] = None,
+        degraded: bool = False,
+    ) -> None:
+        self._send_json(status, document)
+        elapsed_ms = (time.perf_counter() - started) * 1000
+        ctx = self.ctx
+        ctx.stats.record_request(
+            endpoint, status, elapsed_ms, cached=cached, degraded=degraded
+        )
+        ctx.emit_event(
+            ServerRequestEnd(
+                endpoint=endpoint,
+                command=command,
+                status=status,
+                elapsed_ms=round(elapsed_ms, 3),
+                cached=cached,
+                degraded=degraded,
+            )
+        )
+        ctx.record_span(endpoint, started, time.perf_counter())
+
+    # -- GET -----------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802
+        started = time.perf_counter()
+        ctx = self.ctx
+        if self.path == "/healthz":
+            ctx.emit_event(ServerRequestBegin(endpoint="/healthz", command=None))
+            self._finish(
+                "/healthz",
+                None,
+                200,
+                {
+                    "status": "draining" if ctx.draining else "ok",
+                    "inflight": ctx.pool.depth(),
+                    "uptime_s": round(time.monotonic() - ctx.started_monotonic, 3),
+                },
+                started,
+            )
+            return
+        if self.path == "/metricsz":
+            ctx.emit_event(ServerRequestBegin(endpoint="/metricsz", command=None))
+            self._finish("/metricsz", None, 200, ctx.metrics_document(), started)
+            return
+        self._finish(
+            self.path, None, 404, {"status": "error", "error": "not found"}, started
+        )
+
+    # -- POST ----------------------------------------------------------------
+
+    def do_POST(self) -> None:  # noqa: N802
+        started = time.perf_counter()
+        ctx = self.ctx
+        endpoint = self.path
+        is_batch = endpoint == "/v1/batch"
+        if not is_batch and endpoint not in POST_ROUTES:
+            self._finish(
+                endpoint, None, 404, {"status": "error", "error": "not found"}, started
+            )
+            return
+        command = POST_ROUTES.get(endpoint)
+        ctx.emit_event(ServerRequestBegin(endpoint=endpoint, command=command))
+
+        length = self.headers.get("Content-Length")
+        if length is None or not length.isdigit():
+            self._finish(
+                endpoint,
+                command,
+                411,
+                {"status": "error", "error": "Content-Length required"},
+                started,
+            )
+            return
+        length = int(length)
+        if length > ctx.max_request_bytes:
+            ctx.stats.record_rejected("too_large")
+            self._finish(
+                endpoint,
+                command,
+                413,
+                {
+                    "status": "error",
+                    "error": (
+                        f"request of {length} bytes exceeds the "
+                        f"{ctx.max_request_bytes} byte limit"
+                    ),
+                },
+                started,
+            )
+            return
+        try:
+            body = json.loads(self.rfile.read(length).decode("utf-8"))
+        except (UnicodeDecodeError, ValueError):
+            self._finish(
+                endpoint,
+                command,
+                400,
+                {"status": "error", "error": "body is not valid JSON"},
+                started,
+            )
+            return
+
+        try:
+            if is_batch:
+                items = validate_batch(body)
+                results = ctx.service.execute_batch(items, pool=ctx.pool)
+                degraded = any(r.get("degraded") for r in results)
+                self._finish(
+                    endpoint,
+                    None,
+                    200,
+                    {"status": "ok", "results": results},
+                    started,
+                    degraded=degraded,
+                )
+                return
+            future = ctx.pool.submit(ctx.service.execute, body, command)
+            response = future.result()
+            self._finish(
+                endpoint,
+                response.get("command", command),
+                200,
+                response,
+                started,
+                cached=response.get("cached"),
+                degraded=bool(response.get("degraded")),
+            )
+        except QueueFullError as error:
+            ctx.stats.record_rejected("queue_full")
+            self._finish(
+                endpoint, command, 503,
+                {"status": "error", "error": str(error)}, started,
+            )
+        except PoolClosedError:
+            ctx.stats.record_rejected("draining")
+            self._finish(
+                endpoint, command, 503,
+                {"status": "error", "error": "server is draining"}, started,
+            )
+        except ProtocolError as error:
+            self._finish(
+                endpoint, command, 400,
+                {"status": "error", "error": str(error)}, started,
+            )
+        except Exception as error:  # noqa: BLE001 -- the daemon must not die
+            self._finish(
+                endpoint, command, 500,
+                {"status": "error", "error": f"internal error: {error}"}, started,
+            )
+
+
+class _HTTPServer(ThreadingHTTPServer):
+    # Join handler threads on server_close(): a drain must not abandon
+    # a response half-written.
+    daemon_threads = False
+    block_on_close = True
+    allow_reuse_address = True
+
+
+class ReproServer:
+    """The assembled daemon: pool + service + cache + stats + HTTP."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        workers: int = 4,
+        queue_size: int = 64,
+        cache_dir: Optional[str] = None,
+        memory_cache_entries: int = 1024,
+        timeout_s: Optional[float] = None,
+        max_request_bytes: int = 1 << 20,
+        base_options: Optional[dict] = None,
+        verbose: bool = False,
+    ):
+        self.cache = ResultCache(
+            memory_entries=memory_cache_entries, disk_dir=cache_dir
+        )
+        self.pool = WorkerPool(workers=workers, queue_size=queue_size)
+        self.service = AnalysisService(
+            cache=self.cache, timeout_s=timeout_s, base_options=base_options
+        )
+        self.stats = ServerStats()
+        self.tracer = Tracer(record_events=False)
+        self.max_request_bytes = max_request_bytes
+        self.verbose = verbose
+        self.draining = False
+        self.started_monotonic = time.monotonic()
+        self._tracer_lock = threading.Lock()
+        self._serving = threading.Event()
+        self.httpd = _HTTPServer((host, port), _Handler)
+        self.httpd.repro = self  # type: ignore[attr-defined]
+
+    # -- addresses -----------------------------------------------------------
+
+    @property
+    def host(self) -> str:
+        return self.httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self.httpd.server_address[1]
+
+    # -- observability plumbing (thread-safe wrappers) -----------------------
+
+    def emit_event(self, event) -> None:
+        with self._tracer_lock:
+            self.tracer.emit(event)
+
+    def record_span(self, name: str, start: float, end: float) -> None:
+        with self._tracer_lock:
+            if len(self.tracer.spans) >= MAX_RETAINED_SPANS:
+                return
+            record = SpanRecord(
+                name, start, depth=0, index=len(self.tracer.spans), parent=None
+            )
+            record.end = end
+            self.tracer.spans.append(record)
+
+    def metrics_document(self) -> dict:
+        """A full metrics schema v5 document for ``/metricsz``."""
+        from repro.observability.metrics import MetricsReport
+
+        with self._tracer_lock:
+            phases = {
+                name: {"count": timing.count, "seconds": timing.seconds}
+                for name, timing in self.tracer.phase_timings().items()
+            }
+        server = self.stats.snapshot(
+            cache_stats=self.cache.stats(),
+            queue_depth=self.pool.depth(),
+            queue_high_water=self.pool.high_water(),
+            tracer=self.tracer,
+        )
+        report = MetricsReport(
+            program="repro-serve",
+            phases=phases,
+            server=server,
+            meta={
+                "uptime_s": round(time.monotonic() - self.started_monotonic, 3),
+                "workers": self.pool.workers,
+                "queue_size": self.pool.queue_size,
+                "draining": self.draining,
+            },
+        )
+        return report.to_dict()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def serve_forever(self) -> None:
+        self._serving.set()
+        self.httpd.serve_forever(poll_interval=0.05)
+
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """Stop accepting, finish in-flight work, close all sockets.
+
+        Order matters: the accept loop stops first (no new
+        connections), then the pool drains (queued + running jobs
+        finish and their handler threads write responses), then
+        ``server_close`` joins the handler threads and closes the
+        listening socket.  Returns True when everything finished inside
+        ``timeout``.
+        """
+        self.draining = True
+        if self._serving.is_set():
+            # shutdown() blocks forever unless serve_forever ran.
+            self.httpd.shutdown()
+        finished = self.pool.shutdown(timeout=timeout)
+        self.httpd.server_close()
+        return finished
+
+
+def serve_daemon(
+    host: str = "127.0.0.1",
+    port: int = 8077,
+    workers: int = 4,
+    queue_size: int = 64,
+    cache_dir: Optional[str] = None,
+    memory_cache_entries: int = 1024,
+    timeout_s: Optional[float] = None,
+    max_request_bytes: int = 1 << 20,
+    drain_timeout_s: float = 30.0,
+    base_options: Optional[dict] = None,
+    verbose: bool = False,
+) -> int:
+    """Run the daemon until SIGTERM/SIGINT, then drain and exit.
+
+    This is the body of ``repro serve``.  The readiness line
+    (``listening on HOST:PORT``) is printed only after the socket is
+    bound, so supervisors and CI scripts can wait for it; with
+    ``--port 0`` the kernel-assigned port is the one printed.
+    """
+    server = ReproServer(
+        host=host,
+        port=port,
+        workers=workers,
+        queue_size=queue_size,
+        cache_dir=cache_dir,
+        memory_cache_entries=memory_cache_entries,
+        timeout_s=timeout_s,
+        max_request_bytes=max_request_bytes,
+        base_options=base_options,
+        verbose=verbose,
+    )
+    print(
+        f"repro serve: listening on {server.host}:{server.port} "
+        f"(workers={workers}, queue={queue_size}, "
+        f"cache={'disk+memory' if cache_dir else 'memory'}, "
+        f"timeout={'none' if timeout_s is None else f'{timeout_s}s'})",
+        flush=True,
+    )
+
+    stop = threading.Event()
+
+    def _signal_handler(signum, frame) -> None:  # noqa: ARG001
+        stop.set()
+
+    previous = {}
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        previous[signum] = signal.signal(signum, _signal_handler)
+    loop = threading.Thread(
+        target=server.serve_forever, name="repro-serve-accept", daemon=True
+    )
+    loop.start()
+    try:
+        stop.wait()
+    finally:
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)
+    inflight = server.pool.depth()
+    print(f"repro serve: draining ({inflight} in flight)...", flush=True)
+    finished = server.drain(timeout=drain_timeout_s)
+    loop.join(timeout=5.0)
+    snapshot = server.stats.snapshot()
+    print(
+        f"repro serve: drained; served "
+        f"{sum(snapshot['responses'].values())} responses "
+        f"({snapshot['degraded']} degraded)",
+        flush=True,
+    )
+    return 0 if finished else 1

@@ -1,0 +1,191 @@
+"""Request/response shapes of the serving protocol.
+
+One request analyses one program.  The JSON body is::
+
+    {
+      "command": "predict",          # predict|check|ranges|ir|run
+      "source":  "func main() ...",  # program text, required
+      "name":    "examples/foo.toy", # display name (check reports,
+                                     # metrics); "-" when omitted
+      "options": { ... }             # per-command knobs, all optional
+    }
+
+``options`` accepts the one-shot CLI's analysis flags (``intra``,
+``numeric``, ``no_derive``, ``track_arrays``, ``max_ranges``) plus
+``format``/``fail_on`` for ``check`` and ``args``/``inputs``/
+``max_steps`` for ``run``.  Unknown options are rejected: a typo that
+silently falls back to a default would poison the content-addressed
+cache with results the caller did not ask for.
+
+The response's *deterministic core* -- ``status``, ``command``,
+``output``, ``exit_code``, ``degraded``, ``error`` -- is exactly what
+the result cache stores; per-request fields (``cached``, ``elapsed_ms``,
+``key``) are attached afterwards so a cache hit is byte-identical to
+the fresh computation.  ``output`` is the one-shot CLI's stdout,
+trailing newline included.
+
+A batch request (``/v1/batch``) is ``{"items": [request, ...]}`` and
+answers ``{"results": [response, ...]}`` in submission order.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+#: Commands the service executes, mirroring the one-shot CLI.
+COMMANDS = ("predict", "check", "ranges", "ir", "run")
+
+#: Options shared by every command (the CLI's analysis flags).
+_ANALYSIS_OPTIONS = {
+    "intra": bool,
+    "numeric": bool,
+    "no_derive": bool,
+    "track_arrays": bool,
+    "max_ranges": int,
+}
+
+#: Extra options per command.
+_COMMAND_OPTIONS = {
+    "predict": {},
+    "ranges": {},
+    "ir": {},
+    "check": {"format": str, "fail_on": str},
+    "run": {"args": list, "inputs": list, "max_steps": int, "profile": bool},
+}
+
+_CHECK_FORMATS = ("text", "json", "sarif")
+_CHECK_FAIL_ON = ("error", "warning", "never")
+
+#: Ceiling on one batch submission; a bigger fleet should be split into
+#: several requests so backpressure stays per-request-sized.
+MAX_BATCH_ITEMS = 64
+
+
+class ProtocolError(ValueError):
+    """The request body does not follow the protocol (HTTP 400)."""
+
+
+def validate_request(
+    body: dict, command: Optional[str] = None
+) -> Tuple[str, str, str, Dict[str, object]]:
+    """Check one request body; returns (command, source, name, options).
+
+    ``command`` (from the URL route) overrides the body's ``command``
+    key when given; a body that names a *different* command is rejected
+    rather than silently rerouted.
+    """
+    if not isinstance(body, dict):
+        raise ProtocolError("request body must be a JSON object")
+    declared = body.get("command")
+    if declared is not None and not isinstance(declared, str):
+        raise ProtocolError("'command' must be a string")
+    if command is None:
+        command = declared
+    elif declared is not None and declared != command:
+        raise ProtocolError(
+            f"body names command {declared!r} but was posted to the "
+            f"{command!r} endpoint"
+        )
+    if command is None:
+        raise ProtocolError("missing 'command'")
+    if command not in COMMANDS:
+        raise ProtocolError(
+            f"unknown command {command!r}; expected one of {', '.join(COMMANDS)}"
+        )
+
+    source = body.get("source")
+    if not isinstance(source, str) or not source.strip():
+        raise ProtocolError("missing or empty 'source'")
+
+    name = body.get("name", "-")
+    if not isinstance(name, str) or not name:
+        raise ProtocolError("'name' must be a non-empty string")
+
+    options = body.get("options", {})
+    if not isinstance(options, dict):
+        raise ProtocolError("'options' must be an object")
+    allowed = dict(_ANALYSIS_OPTIONS)
+    allowed.update(_COMMAND_OPTIONS[command])
+    clean: Dict[str, object] = {}
+    for key, value in options.items():
+        expected = allowed.get(key)
+        if expected is None:
+            raise ProtocolError(
+                f"unknown option {key!r} for command {command!r}"
+            )
+        # bool is an int subclass: check bool-typed options strictly and
+        # keep True out of int-typed ones.
+        if expected is bool:
+            if not isinstance(value, bool):
+                raise ProtocolError(f"option {key!r} must be a boolean")
+        elif expected is int:
+            if isinstance(value, bool) or not isinstance(value, int):
+                raise ProtocolError(f"option {key!r} must be an integer")
+        elif not isinstance(value, expected):
+            raise ProtocolError(
+                f"option {key!r} must be a {expected.__name__}"
+            )
+        clean[key] = value
+    if command == "check":
+        if clean.get("format", "text") not in _CHECK_FORMATS:
+            raise ProtocolError(
+                f"option 'format' must be one of {', '.join(_CHECK_FORMATS)}"
+            )
+        if clean.get("fail_on", "error") not in _CHECK_FAIL_ON:
+            raise ProtocolError(
+                f"option 'fail_on' must be one of {', '.join(_CHECK_FAIL_ON)}"
+            )
+    for key in ("args", "inputs"):
+        if key in clean and not all(
+            isinstance(v, int) and not isinstance(v, bool) for v in clean[key]
+        ):
+            raise ProtocolError(f"option {key!r} must be a list of integers")
+    if "max_ranges" in clean and clean["max_ranges"] < 1:
+        raise ProtocolError("option 'max_ranges' must be >= 1")
+    return command, source, name, clean
+
+
+def validate_batch(body: dict) -> List[dict]:
+    """Check a batch envelope; returns the raw item list."""
+    if not isinstance(body, dict):
+        raise ProtocolError("batch body must be a JSON object")
+    items = body.get("items")
+    if not isinstance(items, list) or not items:
+        raise ProtocolError("batch body needs a non-empty 'items' list")
+    if len(items) > MAX_BATCH_ITEMS:
+        raise ProtocolError(
+            f"batch of {len(items)} items exceeds the cap of {MAX_BATCH_ITEMS}"
+        )
+    return items
+
+
+def canonical_options(command: str, options: Dict[str, object]) -> Dict[str, object]:
+    """The options as cache-key material: defaults applied, noise dropped.
+
+    Engine knobs (``numeric``, ``max_ranges``...) are *excluded* -- the
+    config fingerprint already covers them -- so a request that spells
+    out a default hits the same key as one that omits it.  Only options
+    that change results and live outside :class:`VRPConfig` remain.
+    """
+    canonical: Dict[str, object] = {"intra": bool(options.get("intra", False))}
+    if command == "check":
+        canonical["format"] = str(options.get("format", "text"))
+        canonical["fail_on"] = str(options.get("fail_on", "error"))
+    elif command == "run":
+        canonical["args"] = [int(v) for v in options.get("args", [])]
+        canonical["inputs"] = [int(v) for v in options.get("inputs", [])]
+        canonical["max_steps"] = int(options.get("max_steps", 5_000_000))
+        canonical["profile"] = bool(options.get("profile", False))
+    return canonical
+
+
+def error_response(command: Optional[str], message: str) -> dict:
+    """The deterministic core of a failed request."""
+    return {
+        "status": "error",
+        "command": command,
+        "output": "",
+        "exit_code": 1,
+        "degraded": False,
+        "error": message,
+    }

@@ -1,0 +1,335 @@
+"""Command execution for the serving daemon.
+
+The service turns one validated request into the *deterministic
+response core*: the one-shot CLI's stdout (``output``), an exit code,
+and error/degradation flags.  Rendering goes through
+:mod:`repro.rendering` -- the same functions the CLI uses -- so
+byte-identity between ``repro submit`` and the one-shot commands holds
+by construction rather than by test luck.
+
+Robustness semantics:
+
+* **Per-request timeout.**  Analysis runs under a deadline
+  (``timeout_s``).  A run that exceeds it is abandoned (the thread is a
+  daemon; the toy analyses finish in milliseconds, the deadline exists
+  for adversarial inputs) and the request *degrades* instead of
+  failing:
+
+  - ``predict`` falls back to heuristics-only prediction -- the
+    Ball-Larus chain needs no fixed point, so it always terminates
+    promptly; every row is marked ``heuristic`` and the response is
+    marked ``degraded: true``;
+  - ``check`` degrades to an empty report (its rules are
+    proofs-from-ranges only; without converged ranges there is nothing
+    it can soundly claim), again with ``degraded: true``;
+  - ``ranges``/``ir``/``run`` have no heuristic stand-in and answer
+    with a timeout error.
+
+* **Degraded results are never cached.**  Degradation reflects the
+  moment (load, deadline), not the content address; caching one would
+  serve a wrong-but-fast answer forever.
+
+* **Deterministic errors are cached.**  A parse error is as
+  content-addressed as a prediction.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict, List, Optional, Sequence
+
+from repro import rendering
+from repro.core import VRPConfig, VRPPredictor
+from repro.server import protocol
+from repro.server.cache import ResultCache, request_key
+from repro.server.protocol import ProtocolError, validate_request
+from repro.server.workers import WorkerPool
+
+
+class AnalysisTimeout(Exception):
+    """The analysis ran past the per-request deadline."""
+
+
+def build_config(options: Dict[str, object]) -> VRPConfig:
+    """The engine configuration a request's options describe.
+
+    Mirrors the CLI's ``_config_from_args``: same option names, same
+    defaults, so equal inputs produce equal configs -- and therefore
+    equal cache keys -- through either front end.
+    """
+    return VRPConfig(
+        max_ranges=int(options.get("max_ranges", 4)),
+        symbolic=not options.get("numeric", False),
+        derive_loops=not options.get("no_derive", False),
+        track_arrays=bool(options.get("track_arrays", False)),
+    )
+
+
+def _compile(source: str):
+    from repro.ir import prepare_module
+    from repro.lang import compile_source
+
+    module = compile_source(source)
+    ssa_infos = prepare_module(module)
+    return module, ssa_infos
+
+
+def _predict(source: str, options: Dict[str, object], config: VRPConfig):
+    module, ssa_infos = _compile(source)
+    predictor = VRPPredictor(
+        config=config, interprocedural=not options.get("intra", False)
+    )
+    prediction = predictor.predict_module(module, ssa_infos)
+    return module, prediction
+
+
+def _ok(command: str, output: str, exit_code: int = 0, degraded: bool = False) -> dict:
+    return {
+        "status": "ok",
+        "command": command,
+        "output": output,
+        "exit_code": exit_code,
+        "degraded": degraded,
+        "error": None,
+    }
+
+
+def analyze_payload(
+    command: str,
+    source: str,
+    name: str,
+    options: Dict[str, object],
+    config: Optional[VRPConfig] = None,
+) -> dict:
+    """Execute one command fully; returns the deterministic core.
+
+    Compile and runtime errors come back as ``status: "error"``
+    payloads (they are deterministic and cacheable); only unexpected
+    exceptions propagate.
+    """
+    from repro.lang import LexError, LoweringError, ParseError
+    from repro.profiling import run_module
+    from repro.profiling.interpreter import InterpreterError
+
+    config = config if config is not None else build_config(options)
+    try:
+        if command == "predict":
+            _, prediction = _predict(source, options, config)
+            return _ok(
+                command,
+                rendering.branch_table(
+                    prediction.all_branches(), prediction.heuristic_branches()
+                ),
+            )
+        if command == "ranges":
+            _, prediction = _predict(source, options, config)
+            return _ok(command, rendering.ranges_listing(prediction))
+        if command == "ir":
+            module, _ = _compile(source)
+            return _ok(command, rendering.ir_dump(module))
+        if command == "run":
+            module, _ = _compile(source)
+            result = run_module(
+                module,
+                args=[int(v) for v in options.get("args", [])],
+                input_values=[int(v) for v in options.get("inputs", [])],
+                max_steps=int(options.get("max_steps", 5_000_000)),
+            )
+            return _ok(
+                command,
+                rendering.run_report(
+                    result, profile=bool(options.get("profile", False))
+                ),
+            )
+        if command == "check":
+            module, prediction = _predict(source, options, config)
+            program = name if name != "-" else module.name
+            report, rendered = _render_check(module, prediction, program, options)
+            return _ok(
+                command,
+                rendered,
+                exit_code=1 if report.fails(str(options.get("fail_on", "error"))) else 0,
+            )
+        raise ProtocolError(f"unknown command {command!r}")
+    except (LexError, ParseError, LoweringError, InterpreterError) as error:
+        return protocol.error_response(command, str(error))
+
+
+def _render_check(module, prediction, program: str, options: Dict[str, object]):
+    from repro.diagnostics import (
+        check_module,
+        render_json,
+        render_sarif,
+        render_text,
+    )
+
+    report = check_module(module, prediction, program=program)
+    fmt = str(options.get("format", "text"))
+    if fmt == "json":
+        rendered = render_json(report)
+    elif fmt == "sarif":
+        rendered = render_sarif(report, artifact_uri=program)
+    else:
+        rendered = render_text(report)
+    return report, rendered + "\n"
+
+
+def degraded_payload(
+    command: str, source: str, name: str, options: Dict[str, object]
+) -> dict:
+    """The heuristics-only stand-in served after a timeout."""
+    from repro.heuristics import BallLarusPredictor
+    from repro.lang import LexError, LoweringError, ParseError
+
+    try:
+        module, _ = _compile(source)
+    except (LexError, ParseError, LoweringError) as error:
+        return protocol.error_response(command, str(error))
+    if command == "predict":
+        predictor = BallLarusPredictor()
+        branches: Dict[tuple, float] = {}
+        for function_name, function in module.functions.items():
+            for label, probability in predictor.predict_function(function).items():
+                branches[(function_name, label)] = probability
+        output = rendering.branch_table(branches, set(branches))
+        return dict(_ok(command, output, degraded=True))
+    if command == "check":
+        from repro.diagnostics.engine import CheckReport
+
+        program = name if name != "-" else module.name
+        report = CheckReport(program=program)
+        rendered = _render_empty_check(report, program, options)
+        return dict(_ok(command, rendered, degraded=True))
+    return dict(
+        protocol.error_response(command, "analysis timed out"), degraded=True
+    )
+
+
+def _render_empty_check(report, program: str, options: Dict[str, object]) -> str:
+    from repro.diagnostics import render_json, render_sarif, render_text
+
+    fmt = str(options.get("format", "text"))
+    if fmt == "json":
+        return render_json(report) + "\n"
+    if fmt == "sarif":
+        return render_sarif(report, artifact_uri=program) + "\n"
+    return render_text(report) + "\n"
+
+
+def _run_with_deadline(fn, timeout_s: Optional[float]):
+    """Run ``fn`` under a wall-clock deadline.
+
+    The body runs in a daemon helper thread; on deadline the thread is
+    abandoned (it finishes eventually and its result is discarded) and
+    :class:`AnalysisTimeout` is raised.  ``None`` disables the deadline
+    and costs nothing.
+    """
+    if timeout_s is None:
+        return fn()
+    box: Dict[str, object] = {}
+    done = threading.Event()
+
+    def runner() -> None:
+        try:
+            box["value"] = fn()
+        except BaseException as error:  # noqa: BLE001
+            box["error"] = error
+        finally:
+            done.set()
+
+    thread = threading.Thread(target=runner, daemon=True, name="repro-analysis")
+    thread.start()
+    if not done.wait(timeout_s):
+        raise AnalysisTimeout(f"analysis exceeded {timeout_s}s")
+    if "error" in box:
+        raise box["error"]  # type: ignore[misc]
+    return box["value"]
+
+
+class AnalysisService:
+    """Validated requests in, deterministic (and cached) responses out."""
+
+    def __init__(
+        self,
+        cache: Optional[ResultCache] = None,
+        timeout_s: Optional[float] = None,
+        base_options: Optional[Dict[str, object]] = None,
+    ):
+        self.cache = cache if cache is not None else ResultCache()
+        self.timeout_s = timeout_s
+        #: Server-wide option defaults, overridden per request.
+        self.base_options = dict(base_options or {})
+
+    # -- single requests -----------------------------------------------------
+
+    def execute(self, body: dict, command: Optional[str] = None) -> dict:
+        """One request -> one response.  Raises ProtocolError on bad input."""
+        command, source, name, options = validate_request(body, command)
+        merged = dict(self.base_options)
+        merged.update(options)
+        started = time.perf_counter()
+        config = build_config(merged)
+        # The display name only reaches the output of ``check`` (report
+        # headers name the program); other commands normalise it out of
+        # the key so renames do not shatter the cache.
+        key_name = name if command == "check" else "-"
+        key = request_key(
+            command, source, key_name, protocol.canonical_options(command, merged),
+            config,
+        )
+        payload, tier = self.cache.get(key)
+        if payload is None:
+            try:
+                payload = _run_with_deadline(
+                    lambda: analyze_payload(command, source, name, merged, config),
+                    self.timeout_s,
+                )
+            except AnalysisTimeout:
+                payload = degraded_payload(command, source, name, merged)
+            if not payload.get("degraded"):
+                self.cache.put(key, payload)
+        response = dict(payload)
+        response["key"] = key
+        response["cached"] = tier
+        response["elapsed_ms"] = round((time.perf_counter() - started) * 1000, 3)
+        return response
+
+    def execute_item(self, body: dict, command: Optional[str] = None) -> dict:
+        """Like :meth:`execute`, but protocol errors become responses.
+
+        Batch items use this so one malformed item fails *itself*, not
+        the whole batch.
+        """
+        try:
+            return self.execute(body, command)
+        except ProtocolError as error:
+            response = protocol.error_response(
+                body.get("command") if isinstance(body, dict) else None,
+                str(error),
+            )
+            response.update(key=None, cached=None, elapsed_ms=0.0)
+            return response
+
+    # -- micro-batched requests ----------------------------------------------
+
+    def execute_batch(
+        self,
+        items: Sequence[dict],
+        pool: Optional[WorkerPool] = None,
+    ) -> List[dict]:
+        """A multi-file submission, fanned out item-per-job.
+
+        With a pool the batch enqueues atomically (or raises
+        :class:`repro.server.workers.QueueFullError` as a unit) and the
+        items run on the analysis workers, interleaved with other
+        traffic; results come back in submission order regardless of
+        completion order -- the serving-shape analogue of the
+        ``--jobs N`` fan-out's determinism contract.
+        """
+        if pool is not None and len(items) > 1:
+            futures = pool.submit_many(
+                [(self.execute_item, (item,), {}) for item in items]
+            )
+            return [future.result() for future in futures]
+        return [self.execute_item(item) for item in items]

@@ -1,0 +1,155 @@
+"""Bounded worker pool with request queueing and backpressure.
+
+The daemon's HTTP layer spawns a thread per connection (that is what
+``ThreadingHTTPServer`` does), but *analysis* concurrency must be
+bounded -- VRP is CPU work, and an unbounded backlog converts overload
+into latency collapse.  So connection threads do not analyse; they
+submit jobs here and wait.  The pool runs ``workers`` analysis threads
+over a queue of at most ``queue_size`` waiting jobs, and a submit
+against a full queue raises :class:`QueueFullError` immediately -- the
+HTTP layer turns that into a 503 with ``Retry-After``, which is the
+whole backpressure contract (``docs/SERVING.md``).
+
+Micro-batching rides on the same pool: a multi-file submission expands
+into one job per item (:meth:`WorkerPool.submit_many`), so items from
+one batch interleave with other requests instead of monopolising the
+pool, and the batch either enqueues atomically or fails with 503 as a
+unit.  This is the serving-shape reuse of the PR 3 ``jobs=N`` fan-out:
+the per-item functions are the same shape (pure, order-preserving),
+only the executor differs -- resident threads instead of a process pool
+booted per invocation.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from concurrent.futures import Future
+from typing import Callable, List, Optional, Sequence, Tuple
+
+
+class QueueFullError(RuntimeError):
+    """The waiting-job queue is at capacity (maps to HTTP 503)."""
+
+
+class PoolClosedError(RuntimeError):
+    """The pool is draining or shut down and takes no new work."""
+
+
+_Job = Tuple[Future, Callable, tuple, dict]
+
+
+class WorkerPool:
+    """Fixed worker threads over a bounded job queue."""
+
+    def __init__(self, workers: int = 4, queue_size: int = 64):
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if queue_size < 1:
+            raise ValueError("queue_size must be >= 1")
+        self.workers = workers
+        self.queue_size = queue_size
+        self._queue: "queue.Queue[Optional[_Job]]" = queue.Queue()
+        self._lock = threading.Lock()
+        self._idle = threading.Condition(self._lock)
+        # Jobs accepted but not yet finished (queued + running).
+        self._unfinished = 0
+        self._accepting = True
+        self._queue_high_water = 0
+        self._threads = [
+            threading.Thread(
+                target=self._worker, name=f"repro-worker-{i}", daemon=True
+            )
+            for i in range(workers)
+        ]
+        for thread in self._threads:
+            thread.start()
+
+    # -- submission ----------------------------------------------------------
+
+    def submit(self, fn: Callable, *args, **kwargs) -> Future:
+        """Enqueue one job; raises :class:`QueueFullError` at capacity."""
+        return self.submit_many([(fn, args, kwargs)])[0]
+
+    def submit_many(
+        self, jobs: Sequence[Tuple[Callable, tuple, dict]]
+    ) -> List[Future]:
+        """Enqueue a batch atomically: all items fit or none enter.
+
+        Queued-but-not-running counts against ``queue_size``; running
+        jobs do not (they occupy a worker, not the queue).
+        """
+        with self._lock:
+            if not self._accepting:
+                raise PoolClosedError("worker pool is draining")
+            queued = max(0, self._unfinished - self.workers)
+            if queued + len(jobs) > self.queue_size:
+                raise QueueFullError(
+                    f"queue full ({queued} waiting, capacity {self.queue_size})"
+                )
+            futures: List[Future] = []
+            for fn, args, kwargs in jobs:
+                future: Future = Future()
+                self._unfinished += 1
+                self._queue.put((future, fn, args, kwargs))
+                futures.append(future)
+            self._queue_high_water = max(
+                self._queue_high_water, max(0, self._unfinished - self.workers)
+            )
+            return futures
+
+    # -- introspection -------------------------------------------------------
+
+    def depth(self) -> int:
+        """Jobs accepted and not yet finished (queued + running)."""
+        with self._lock:
+            return self._unfinished
+
+    def high_water(self) -> int:
+        """The deepest the waiting queue has ever been."""
+        with self._lock:
+            return self._queue_high_water
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """Stop accepting work and wait for in-flight jobs to finish.
+
+        Returns True when everything finished inside ``timeout``
+        (``None`` = wait forever).  Idempotent; the pool stays usable
+        for reads afterwards but rejects new submissions.
+        """
+        with self._idle:
+            self._accepting = False
+            return self._idle.wait_for(
+                lambda: self._unfinished == 0, timeout=timeout
+            )
+
+    def shutdown(self, timeout: Optional[float] = None) -> bool:
+        """Drain, then stop the worker threads."""
+        finished = self.drain(timeout=timeout)
+        for _ in self._threads:
+            self._queue.put(None)
+        for thread in self._threads:
+            thread.join(timeout=1.0)
+        return finished
+
+    # -- the worker loop -----------------------------------------------------
+
+    def _worker(self) -> None:
+        while True:
+            job = self._queue.get()
+            if job is None:
+                return
+            future, fn, args, kwargs = job
+            try:
+                if future.set_running_or_notify_cancel():
+                    try:
+                        future.set_result(fn(*args, **kwargs))
+                    except BaseException as error:  # noqa: BLE001
+                        future.set_exception(error)
+            finally:
+                with self._idle:
+                    self._unfinished -= 1
+                    if self._unfinished == 0:
+                        self._idle.notify_all()

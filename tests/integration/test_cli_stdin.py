@@ -1,0 +1,69 @@
+"""Reading program text from stdin ('-') across the one-shot commands."""
+
+import io
+
+import pytest
+
+from repro.cli import main
+
+PROGRAM = """
+func main(n) {
+  var total = 0;
+  for (i = 0; i < 10; i = i + 1) {
+    if (i > 5) { total = total + i; }
+  }
+  return total;
+}
+"""
+
+
+@pytest.fixture
+def from_stdin(monkeypatch):
+    def feed(text=PROGRAM):
+        monkeypatch.setattr("sys.stdin", io.StringIO(text))
+
+    return feed
+
+
+class TestStdinParity:
+    @pytest.mark.parametrize("command", ["predict", "ranges", "ir"])
+    def test_matches_file_input(self, capsys, tmp_path, from_stdin, command):
+        path = tmp_path / "p.toy"
+        path.write_text(PROGRAM, encoding="utf-8")
+        assert main([command, str(path)]) == 0
+        expected = capsys.readouterr().out
+        from_stdin()
+        assert main([command, "-"]) == 0
+        assert capsys.readouterr().out == expected
+
+    def test_run_from_stdin(self, capsys, from_stdin):
+        from_stdin("func main(n) { return n * 2; }")
+        assert main(["run", "-", "--args", "21"]) == 0
+        assert "return value: 42" in capsys.readouterr().out
+
+    def test_check_from_stdin(self, capsys, from_stdin):
+        from_stdin()
+        code = main(["check", "-"])
+        out = capsys.readouterr().out
+        assert code in (0, 1)
+        assert out  # a report was rendered
+
+
+class TestStdinRestrictions:
+    def test_check_rejects_stdin_with_multiple_files(self, tmp_path, from_stdin):
+        path = tmp_path / "p.toy"
+        path.write_text(PROGRAM, encoding="utf-8")
+        from_stdin()
+        with pytest.raises(SystemExit):
+            main(["check", "-", str(path)])
+
+    def test_check_rejects_stdin_with_jobs(self, from_stdin):
+        from_stdin()
+        with pytest.raises(SystemExit):
+            main(["check", "-", "--jobs", "2"])
+
+    def test_parse_error_from_stdin_is_reported(self, from_stdin):
+        from_stdin("func main( { oops")
+        with pytest.raises(SystemExit) as excinfo:
+            main(["predict", "-"])
+        assert "error" in str(excinfo.value)

@@ -1,0 +1,82 @@
+"""Metrics schema compatibility: v1-v4 documents still validate under v5."""
+
+from repro.observability.metrics import (
+    OPTIONAL_KEYS,
+    SCHEMA_KEYS,
+    SCHEMA_VERSION,
+    MetricsReport,
+    validate_report_dict,
+)
+
+
+def base_document(version: int) -> dict:
+    return {
+        "schema_version": version,
+        "program": "p",
+        "phases": {},
+        "counters": {},
+        "branches": [
+            {"function": "main", "label": "if1", "probability": 0.5,
+             "source": "ranges"},
+        ],
+        "meta": {},
+    }
+
+
+class TestHistoricalDocuments:
+    def test_v1_validates(self):
+        assert validate_report_dict(base_document(1)) is None
+
+    def test_v2_with_diagnostics_validates(self):
+        document = dict(base_document(2), diagnostics=[])
+        assert validate_report_dict(document) is None
+
+    def test_v3_with_perf_validates(self):
+        document = dict(base_document(3), diagnostics=[], perf={})
+        assert validate_report_dict(document) is None
+
+    def test_v4_with_passes_validates(self):
+        document = dict(base_document(4), diagnostics=[], perf={}, passes={})
+        assert validate_report_dict(document) is None
+
+    def test_v5_with_server_validates(self):
+        document = dict(
+            base_document(5), diagnostics=[], perf={}, passes={}, server={}
+        )
+        assert validate_report_dict(document) is None
+
+
+class TestSchemaShape:
+    def test_current_version_is_5(self):
+        assert SCHEMA_VERSION == 5
+
+    def test_every_new_key_since_v1_is_optional(self):
+        required = set(SCHEMA_KEYS) - set(OPTIONAL_KEYS)
+        assert required == {
+            "schema_version", "program", "phases", "counters", "branches",
+            "meta",
+        }
+
+    def test_server_is_optional(self):
+        assert "server" in OPTIONAL_KEYS
+        assert "server" in SCHEMA_KEYS
+
+    def test_missing_required_key_is_an_error(self):
+        document = base_document(5)
+        del document["counters"]
+        assert "counters" in validate_report_dict(document)
+
+    def test_malformed_branch_record_is_an_error(self):
+        document = base_document(5)
+        document["branches"] = [{"function": "main"}]
+        assert "label" in validate_report_dict(document)
+
+    def test_report_roundtrip_preserves_the_server_key(self):
+        report = MetricsReport(program="p", server={"degraded": 3})
+        clone = MetricsReport.from_dict(report.to_dict())
+        assert clone.server == {"degraded": 3}
+        assert clone.schema_version == SCHEMA_VERSION
+
+    def test_from_dict_accepts_documents_without_server(self):
+        report = MetricsReport.from_dict(base_document(4))
+        assert report.server == {}

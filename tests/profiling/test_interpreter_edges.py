@@ -1,0 +1,84 @@
+"""Interpreter edge cases: input exhaustion and Pi-assertion checking."""
+
+import pytest
+
+from repro.ir import BasicBlock, Constant, Function, Module, Pi, Return, Temp
+from repro.profiling.interpreter import AssertionViolation, run_module
+
+from tests.helpers import compile_and_prepare
+
+
+def run(source, args=None, inputs=None, **kwargs):
+    module, _ = compile_and_prepare(source)
+    return run_module(module, args=args or [0], input_values=inputs, **kwargs)
+
+
+class TestInputExhaustion:
+    def test_exhausted_input_vector_reads_zero(self):
+        source = "func main(n) { return input() + input() + input(); }"
+        assert run(source, inputs=[5, 7]).return_value == 12
+
+    def test_empty_input_vector_reads_zero(self):
+        source = "func main(n) { return input(); }"
+        assert run(source, inputs=[]).return_value == 0
+        assert run(source, inputs=None).return_value == 0
+
+    def test_inputs_are_consumed_in_order(self):
+        source = "func main(n) { return input() - input(); }"
+        assert run(source, inputs=[10, 3]).return_value == 7
+
+    def test_exhaustion_zero_can_steer_branches(self):
+        source = """
+        func main(n) {
+          if (input() > 0) { return 1; }
+          return 2;
+        }
+        """
+        assert run(source, inputs=[9]).return_value == 1
+        assert run(source, inputs=[]).return_value == 2
+
+
+def contradicting_pi_module() -> Module:
+    """``main(n) { m = pi n assuming n > 10; return m; }`` built by hand.
+
+    Compiled programs only ever get Pi nodes consistent with the branch
+    they sit behind, so a violating Pi has to be constructed directly.
+    """
+    function = Function("main", params=["n"])
+    block = function.add_block(BasicBlock("entry"))
+    block.append(Pi(Temp("m"), Temp("n.0"), "gt", Constant(10), parent="n"))
+    block.append(Return(Temp("m")))
+    module = Module("handmade")
+    module.add_function(function)
+    return module
+
+
+class TestPiAssertions:
+    def test_violated_assertion_raises(self):
+        with pytest.raises(AssertionViolation) as excinfo:
+            run_module(contradicting_pi_module(), args=[0])
+        assert "does not hold" in str(excinfo.value)
+
+    def test_satisfied_assertion_passes_the_value_through(self):
+        result = run_module(contradicting_pi_module(), args=[11])
+        assert result.return_value == 11
+
+    def test_checking_can_be_disabled(self):
+        result = run_module(
+            contradicting_pi_module(), args=[0], check_assertions=False
+        )
+        assert result.return_value == 0
+
+    def test_compiled_pis_hold_at_runtime(self):
+        # The lowering inserts Pi nodes on branch edges; interpreting
+        # with checking on must never trip them.
+        source = """
+        func main(n) {
+          var total = 0;
+          for (i = 0; i < 10; i = i + 1) {
+            if (i > 5) { total = total + i; }
+          }
+          return total;
+        }
+        """
+        assert run(source, args=[1]).return_value == 6 + 7 + 8 + 9

@@ -1,0 +1,254 @@
+"""The HTTP daemon: endpoints, backpressure, degradation, drain."""
+
+import http.client
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+
+import pytest
+
+from repro.observability.metrics import validate_report_dict
+from repro.server import ReproServer, ServeClient, ServerError
+
+PROGRAM = """
+func main(n) {
+  var total = 0;
+  for (i = 0; i < 100; i = i + 1) {
+    if (i > 90) { total = total + i; }
+  }
+  return total;
+}
+"""
+
+
+def start_server(**kwargs):
+    server = ReproServer(port=0, **kwargs)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    client = ServeClient(port=server.port)
+    client.wait_ready()
+    return server, client
+
+
+def raw_post(port, path, body_bytes, headers=None):
+    connection = http.client.HTTPConnection("127.0.0.1", port, timeout=10)
+    try:
+        connection.request("POST", path, body=body_bytes, headers=headers or {})
+        response = connection.getresponse()
+        return response.status, dict(response.getheaders()), response.read()
+    finally:
+        connection.close()
+
+
+@pytest.fixture
+def served():
+    server, client = start_server(workers=2, queue_size=8)
+    yield server, client
+    server.drain(timeout=10)
+
+
+class TestEndpoints:
+    def test_healthz(self, served):
+        _, client = served
+        health = client.healthz()
+        assert health["status"] == "ok"
+        assert health["inflight"] == 0
+
+    def test_predict_roundtrip(self, served):
+        _, client = served
+        response = client.analyze("predict", PROGRAM)
+        assert response["status"] == "ok"
+        assert response["output"].startswith("function")
+        assert response["cached"] is None
+        assert client.analyze("predict", PROGRAM)["cached"] == "memory"
+
+    def test_analyze_route_takes_command_from_body(self, served):
+        _, client = served
+        status, document = client.request_json(
+            "POST", "/v1/analyze", {"command": "ir", "source": PROGRAM}
+        )
+        assert status == 200
+        assert document["command"] == "ir"
+
+    def test_command_endpoint_mismatch_is_rejected(self, served):
+        _, client = served
+        status, document = client.request_json(
+            "POST", "/v1/predict", {"command": "ir", "source": PROGRAM}
+        )
+        assert status == 400
+        assert "endpoint" in document["error"]
+
+    def test_batch_preserves_order(self, served):
+        _, client = served
+        items = [
+            {"command": "run", "source": f"func main(n) {{ return {i}; }}",
+             "options": {"args": [0]}}
+            for i in range(5)
+        ]
+        results = client.batch(items)
+        assert [r["output"].splitlines()[0] for r in results] == [
+            f"return value: {i}" for i in range(5)
+        ]
+
+    def test_unknown_routes_404(self, served):
+        server, client = served
+        status, _ = client.request_json("GET", "/nope")
+        assert status == 404
+        status, _, _ = raw_post(server.port, "/v1/nope", b"{}")
+        assert status == 404
+
+    def test_metricsz_is_a_valid_v5_document(self, served):
+        _, client = served
+        client.analyze("predict", PROGRAM)
+        document = client.metricsz()
+        assert validate_report_dict(document) is None
+        assert document["schema_version"] == 5
+        assert document["program"] == "repro-serve"
+        server_block = document["server"]
+        assert server_block["endpoints"]["/v1/predict"]["count"] == 1
+        assert "le_1ms" in server_block["endpoints"]["/v1/predict"]["histogram"]
+        assert server_block["cache"]["memory"]["entries"] == 1
+        assert server_block["tracer"]["event_counts"]["server.request.begin"] >= 1
+
+
+class TestRejection:
+    def test_bad_json_is_400(self, served):
+        server, _ = served
+        status, _, body = raw_post(server.port, "/v1/predict", b"{not json")
+        assert status == 400
+        assert b"not valid JSON" in body
+
+    def test_missing_length_is_411(self, served):
+        server, _ = served
+        connection = http.client.HTTPConnection("127.0.0.1", server.port, timeout=10)
+        try:
+            connection.putrequest("POST", "/v1/predict")
+            connection.endheaders()
+            assert connection.getresponse().status == 411
+        finally:
+            connection.close()
+
+    def test_oversized_body_is_413(self):
+        server, client = start_server(workers=1, queue_size=2, max_request_bytes=64)
+        try:
+            with pytest.raises(ServerError) as excinfo:
+                client.analyze("predict", PROGRAM)
+            assert excinfo.value.status == 413
+            assert server.stats.snapshot()["rejected"]["too_large"] == 1
+        finally:
+            server.drain(timeout=10)
+
+    def test_protocol_violation_is_400(self, served):
+        _, client = served
+        with pytest.raises(ServerError) as excinfo:
+            client.analyze("predict", PROGRAM, options={"typo": True})
+        assert excinfo.value.status == 400
+
+
+class TestBackpressure:
+    def test_full_queue_is_503_with_retry_after(self):
+        server, client = start_server(workers=1, queue_size=1)
+        release = threading.Event()
+        running = threading.Event()
+        try:
+            # Park the only worker, then fill the one queue slot.
+            server.pool.submit(lambda: (running.set(), release.wait(10)))
+            assert running.wait(timeout=5)
+            server.pool.submit(lambda: None)
+            status, headers, body = raw_post(
+                server.port,
+                "/v1/predict",
+                json.dumps({"source": PROGRAM}).encode("utf-8"),
+            )
+            assert status == 503
+            assert headers.get("Retry-After") == "1"
+            assert b"queue full" in body
+            assert server.stats.snapshot()["rejected"]["queue_full"] == 1
+        finally:
+            release.set()
+            server.drain(timeout=10)
+
+
+class TestDegradation:
+    def test_tiny_timeout_degrades_predict(self):
+        server, client = start_server(workers=2, queue_size=8, timeout_s=0.0)
+        try:
+            response = client.analyze("predict", PROGRAM)
+            assert response["degraded"] is True
+            body = response["output"].splitlines()[1:]
+            assert body and all("heuristic" in line for line in body)
+            assert server.stats.snapshot()["degraded"] == 1
+        finally:
+            server.drain(timeout=10)
+
+
+class TestDrain:
+    def test_drain_finishes_inflight_requests(self):
+        server, client = start_server(workers=1, queue_size=8)
+        release = threading.Event()
+        running = threading.Event()
+        server.pool.submit(lambda: (running.set(), release.wait(10)))
+        assert running.wait(timeout=5)
+
+        outcome = {}
+
+        def post():
+            try:
+                outcome["response"] = client.analyze("predict", PROGRAM)
+            except ServerError as error:
+                outcome["error"] = error
+
+        poster = threading.Thread(target=post)
+        poster.start()
+        # Wait until the request is queued behind the parked job.
+        deadline = time.monotonic() + 5
+        while server.pool.depth() < 2 and time.monotonic() < deadline:
+            time.sleep(0.01)
+        assert server.pool.depth() == 2
+
+        threading.Timer(0.1, release.set).start()
+        assert server.drain(timeout=10) is True
+        poster.join(timeout=10)
+        assert "response" in outcome, outcome.get("error")
+        assert outcome["response"]["status"] == "ok"
+
+    def test_drained_server_stops_answering(self, served):
+        server, client = served
+        assert server.drain(timeout=10) is True
+        with pytest.raises(ServerError):
+            client.healthz()
+
+
+class TestServeDaemonProcess:
+    def test_sigterm_drains_cleanly(self, tmp_path):
+        src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.path.abspath(src)
+        process = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "--port", "0",
+             "--workers", "2", "--cache-dir", str(tmp_path / "cache")],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            env=env,
+            text=True,
+        )
+        try:
+            ready = process.stdout.readline()
+            assert "listening on" in ready
+            port = int(ready.split("listening on ")[1].split()[0].split(":")[1])
+            client = ServeClient(port=port)
+            response = client.analyze("predict", PROGRAM)
+            assert response["status"] == "ok"
+            process.send_signal(signal.SIGTERM)
+            out, _ = process.communicate(timeout=30)
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.communicate()
+        assert process.returncode == 0
+        assert "draining" in out
+        assert "drained" in out

@@ -1,0 +1,258 @@
+"""The analysis service: byte parity with the CLI, caching, degradation."""
+
+import pytest
+
+from repro.cli import main
+from repro.server.cache import ResultCache
+from repro.server.protocol import ProtocolError
+from repro.server.service import AnalysisService, analyze_payload
+from repro.server.workers import WorkerPool
+
+PROGRAM = """
+func main(n) {
+  var total = 0;
+  for (i = 0; i < 100; i = i + 1) {
+    if (i > 90) { total = total + i; }
+  }
+  if (total < 0) { total = 0; }
+  return total;
+}
+"""
+
+BROKEN = "func main( { oops"
+
+
+def cli_stdout(capsys, argv):
+    code = main(argv)
+    return capsys.readouterr().out, code
+
+
+@pytest.fixture
+def program_file(tmp_path):
+    path = tmp_path / "program.toy"
+    path.write_text(PROGRAM, encoding="utf-8")
+    return str(path)
+
+
+class TestByteParityWithCli:
+    @pytest.mark.parametrize("command", ["predict", "ranges", "ir"])
+    def test_matches_one_shot_output(self, capsys, program_file, command):
+        expected, _ = cli_stdout(capsys, [command, program_file])
+        response = AnalysisService().execute(
+            {"command": command, "source": PROGRAM}
+        )
+        assert response["output"] == expected
+        assert response["exit_code"] == 0
+        assert response["degraded"] is False
+
+    def test_run_matches(self, capsys, program_file):
+        expected, _ = cli_stdout(capsys, ["run", program_file, "--args", "5"])
+        response = AnalysisService().execute(
+            {"command": "run", "source": PROGRAM, "options": {"args": [5]}}
+        )
+        assert response["output"] == expected
+
+    @pytest.mark.parametrize("fmt", ["text", "json", "sarif"])
+    def test_check_matches_including_program_name(
+        self, capsys, program_file, fmt
+    ):
+        expected, code = cli_stdout(
+            capsys, ["check", program_file, "--format", fmt]
+        )
+        response = AnalysisService().execute(
+            {
+                "command": "check",
+                "source": PROGRAM,
+                "name": program_file,
+                "options": {"format": fmt},
+            }
+        )
+        assert response["output"] == expected
+        assert response["exit_code"] == code
+
+    def test_warm_tiers_are_byte_identical(self, tmp_path, capsys, program_file):
+        expected, _ = cli_stdout(capsys, ["predict", program_file])
+        disk = tmp_path / "cache"
+        request = {"command": "predict", "source": PROGRAM}
+
+        warm = AnalysisService(cache=ResultCache(disk_dir=str(disk)))
+        cold = warm.execute(request)
+        memory_hit = warm.execute(request)
+        # A fresh service over the same disk dir simulates a restart.
+        restarted = AnalysisService(cache=ResultCache(disk_dir=str(disk)))
+        disk_hit = restarted.execute(request)
+
+        assert cold["cached"] is None
+        assert memory_hit["cached"] == "memory"
+        assert disk_hit["cached"] == "disk"
+        assert cold["output"] == memory_hit["output"] == disk_hit["output"]
+        assert cold["output"] == expected
+        assert cold["key"] == memory_hit["key"] == disk_hit["key"]
+
+
+class TestCacheKeys:
+    def test_display_name_does_not_shatter_predict(self):
+        service = AnalysisService()
+        a = service.execute(
+            {"command": "predict", "source": PROGRAM, "name": "a.toy"}
+        )
+        b = service.execute(
+            {"command": "predict", "source": PROGRAM, "name": "b.toy"}
+        )
+        assert a["key"] == b["key"]
+        assert b["cached"] == "memory"
+
+    def test_display_name_is_key_material_for_check(self):
+        # The name appears verbatim in check reports, so it must key.
+        service = AnalysisService()
+        a = service.execute(
+            {"command": "check", "source": PROGRAM, "name": "a.toy"}
+        )
+        b = service.execute(
+            {"command": "check", "source": PROGRAM, "name": "b.toy"}
+        )
+        assert a["key"] != b["key"]
+        assert "a.toy" in a["output"] and "b.toy" in b["output"]
+
+    def test_spelled_out_defaults_hit_the_same_key(self):
+        service = AnalysisService()
+        a = service.execute({"command": "predict", "source": PROGRAM})
+        b = service.execute(
+            {
+                "command": "predict",
+                "source": PROGRAM,
+                "options": {"max_ranges": 4, "intra": False},
+            }
+        )
+        assert a["key"] == b["key"]
+        assert b["cached"] == "memory"
+
+    def test_engine_knobs_change_the_key(self):
+        service = AnalysisService()
+        a = service.execute({"command": "predict", "source": PROGRAM})
+        b = service.execute(
+            {
+                "command": "predict",
+                "source": PROGRAM,
+                "options": {"max_ranges": 8},
+            }
+        )
+        assert a["key"] != b["key"]
+
+
+class TestErrors:
+    def test_parse_errors_are_deterministic_responses(self):
+        response = AnalysisService().execute(
+            {"command": "predict", "source": BROKEN}
+        )
+        assert response["status"] == "error"
+        assert response["exit_code"] == 1
+        assert response["error"]
+
+    def test_parse_errors_are_cached(self):
+        service = AnalysisService()
+        service.execute({"command": "predict", "source": BROKEN})
+        again = service.execute({"command": "predict", "source": BROKEN})
+        assert again["cached"] == "memory"
+        assert again["status"] == "error"
+
+    def test_protocol_errors_raise(self):
+        with pytest.raises(ProtocolError):
+            AnalysisService().execute({"command": "predict"})
+        with pytest.raises(ProtocolError):
+            AnalysisService().execute(
+                {"command": "predict", "source": PROGRAM, "options": {"typo": 1}}
+            )
+
+    def test_execute_item_turns_protocol_errors_into_responses(self):
+        response = AnalysisService().execute_item({"command": "nope", "source": "x"})
+        assert response["status"] == "error"
+        assert response["exit_code"] == 1
+        assert response["cached"] is None
+
+
+class TestDegradation:
+    def test_predict_degrades_to_heuristics_only(self):
+        service = AnalysisService(timeout_s=0.0)
+        response = service.execute({"command": "predict", "source": PROGRAM})
+        assert response["degraded"] is True
+        assert response["status"] == "ok"
+        body = response["output"].splitlines()[1:]
+        assert body and all("heuristic" in line for line in body)
+
+    def test_check_degrades_to_empty_report(self):
+        service = AnalysisService(timeout_s=0.0)
+        response = service.execute(
+            {"command": "check", "source": PROGRAM, "name": "p.toy"}
+        )
+        assert response["degraded"] is True
+        assert response["exit_code"] == 0
+
+    def test_ranges_answers_a_timeout_error(self):
+        service = AnalysisService(timeout_s=0.0)
+        response = service.execute({"command": "ranges", "source": PROGRAM})
+        assert response["degraded"] is True
+        assert response["status"] == "error"
+        assert "timed out" in response["error"]
+
+    def test_degraded_results_are_never_cached(self):
+        service = AnalysisService(timeout_s=0.0)
+        service.execute({"command": "predict", "source": PROGRAM})
+        assert service.cache.stats()["stores"] == 0
+        # Lifting the deadline serves (and caches) the full result.
+        service.timeout_s = None
+        full = service.execute({"command": "predict", "source": PROGRAM})
+        assert full["degraded"] is False
+        assert full["cached"] is None
+        assert service.cache.stats()["stores"] == 1
+
+    def test_degraded_output_differs_from_full(self, capsys, program_file):
+        expected, _ = cli_stdout(capsys, ["predict", program_file])
+        degraded = AnalysisService(timeout_s=0.0).execute(
+            {"command": "predict", "source": PROGRAM}
+        )
+        assert degraded["output"] != expected  # ranges rows became heuristic
+
+
+class TestBatches:
+    def test_results_come_back_in_submission_order(self):
+        sources = [
+            f"func main(n) {{ return {i}; }}" for i in range(6)
+        ]
+        pool = WorkerPool(workers=3, queue_size=16)
+        try:
+            results = AnalysisService().execute_batch(
+                [
+                    {"command": "run", "source": s, "options": {"args": [0]}}
+                    for s in sources
+                ],
+                pool=pool,
+            )
+        finally:
+            pool.shutdown(timeout=5)
+        values = [r["output"].splitlines()[0] for r in results]
+        assert values == [f"return value: {i}" for i in range(6)]
+
+    def test_one_bad_item_fails_alone(self):
+        results = AnalysisService().execute_batch(
+            [
+                {"command": "predict", "source": PROGRAM},
+                {"command": "predict"},  # missing source
+                {"command": "predict", "source": PROGRAM},
+            ]
+        )
+        assert [r["status"] for r in results] == ["ok", "error", "ok"]
+
+    def test_batch_shares_the_result_cache(self):
+        service = AnalysisService()
+        service.execute({"command": "predict", "source": PROGRAM})
+        results = service.execute_batch(
+            [{"command": "predict", "source": PROGRAM}]
+        )
+        assert results[0]["cached"] == "memory"
+
+
+class TestAnalyzePayloadDirect:
+    def test_unknown_command_raises(self):
+        with pytest.raises(ProtocolError):
+            analyze_payload("explode", PROGRAM, "-", {})

@@ -1,0 +1,129 @@
+"""Worker pool: bounded queue, atomic batches, drain semantics."""
+
+import threading
+
+import pytest
+
+from repro.server.workers import PoolClosedError, QueueFullError, WorkerPool
+
+
+def blocked_jobs(pool, count):
+    """Occupy ``count`` workers with jobs parked on an Event."""
+    release = threading.Event()
+    running = threading.Semaphore(0)
+
+    def job():
+        running.release()
+        release.wait(timeout=10)
+
+    futures = [pool.submit(job) for _ in range(count)]
+    for _ in range(count):
+        assert running.acquire(timeout=5)
+    return release, futures
+
+
+class TestSubmission:
+    def test_runs_and_returns(self):
+        pool = WorkerPool(workers=2, queue_size=4)
+        try:
+            assert pool.submit(lambda: 21 * 2).result(timeout=5) == 42
+        finally:
+            pool.shutdown(timeout=5)
+
+    def test_exceptions_propagate_through_the_future(self):
+        pool = WorkerPool(workers=1, queue_size=4)
+        try:
+            future = pool.submit(lambda: 1 // 0)
+            with pytest.raises(ZeroDivisionError):
+                future.result(timeout=5)
+        finally:
+            pool.shutdown(timeout=5)
+
+    def test_invalid_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            WorkerPool(workers=0)
+        with pytest.raises(ValueError):
+            WorkerPool(queue_size=0)
+
+
+class TestBackpressure:
+    def test_queue_full_raises(self):
+        pool = WorkerPool(workers=1, queue_size=2)
+        release, _ = blocked_jobs(pool, 1)
+        try:
+            pool.submit(lambda: 1)
+            pool.submit(lambda: 2)  # queue now at capacity
+            with pytest.raises(QueueFullError):
+                pool.submit(lambda: 3)
+        finally:
+            release.set()
+            pool.shutdown(timeout=5)
+
+    def test_running_jobs_do_not_count_against_the_queue(self):
+        pool = WorkerPool(workers=2, queue_size=1)
+        release, _ = blocked_jobs(pool, 2)
+        try:
+            # Both workers busy, queue empty: one more must fit.
+            future = pool.submit(lambda: 99)
+            with pytest.raises(QueueFullError):
+                pool.submit(lambda: 100)
+            release.set()
+            assert future.result(timeout=5) == 99
+        finally:
+            release.set()
+            pool.shutdown(timeout=5)
+
+    def test_batch_is_atomic(self):
+        pool = WorkerPool(workers=1, queue_size=2)
+        release, _ = blocked_jobs(pool, 1)
+        try:
+            pool.submit(lambda: 1)  # one slot left
+            with pytest.raises(QueueFullError):
+                pool.submit_many(
+                    [(lambda: 2, (), {}), (lambda: 3, (), {})]
+                )
+            # The failed batch must not have consumed the free slot.
+            future = pool.submit(lambda: 4)
+            release.set()
+            assert future.result(timeout=5) == 4
+        finally:
+            release.set()
+            pool.shutdown(timeout=5)
+
+    def test_high_water_tracks_peak_queue_depth(self):
+        pool = WorkerPool(workers=1, queue_size=4)
+        release, _ = blocked_jobs(pool, 1)
+        try:
+            pool.submit(lambda: 1)
+            pool.submit(lambda: 2)
+            assert pool.high_water() == 2
+        finally:
+            release.set()
+            pool.shutdown(timeout=5)
+
+
+class TestDrain:
+    def test_drain_waits_for_inflight_work(self):
+        pool = WorkerPool(workers=2, queue_size=4)
+        results = []
+        release, _ = blocked_jobs(pool, 1)
+        pool.submit(lambda: results.append("done"))
+        threading.Timer(0.05, release.set).start()
+        assert pool.shutdown(timeout=5) is True
+        assert results == ["done"]
+        assert pool.depth() == 0
+
+    def test_drained_pool_rejects_new_work(self):
+        pool = WorkerPool(workers=1, queue_size=4)
+        pool.shutdown(timeout=5)
+        with pytest.raises(PoolClosedError):
+            pool.submit(lambda: 1)
+
+    def test_drain_times_out_on_stuck_work(self):
+        pool = WorkerPool(workers=1, queue_size=4)
+        release, _ = blocked_jobs(pool, 1)
+        try:
+            assert pool.drain(timeout=0.1) is False
+        finally:
+            release.set()
+            pool.shutdown(timeout=5)
