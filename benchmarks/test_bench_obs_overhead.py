@@ -20,6 +20,11 @@ and diagnostics layers:
    the engine's work counts stay byte-identical to the seed even with
    :mod:`repro.diagnostics` imported, and running the checker afterward
    changes nothing about the propagation that already happened.
+4. **Telemetry neutrality (v6).**  The trace-context, structured
+   logging, Prometheus, and chrome-trace layers are pure consumers
+   too: importing all of them changes no work counts, and the only
+   cost they add to an untraced engine run -- one ContextVar read per
+   span open -- fits inside the same 5% analytic budget.
 """
 
 import json
@@ -76,6 +81,79 @@ def test_work_counts_unchanged_with_checker_off(results_dir):
     }
     assert current["workloads"] == seed["workloads"]
     assert current["scaling"] == seed["scaling"]
+
+
+def test_work_counts_unchanged_with_telemetry_imported(results_dir):
+    """Importing every v6 telemetry module must be invisible to the engine.
+
+    None of these modules are imported by the analysis engine; this
+    pins that down by loading all of them and re-measuring.  Off-path
+    means byte-identical, not merely "close".
+    """
+    import repro.observability.chrometrace  # noqa: F401
+    import repro.observability.context  # noqa: F401
+    import repro.observability.logging  # noqa: F401
+    import repro.observability.profiler  # noqa: F401
+    import repro.observability.prometheus  # noqa: F401
+
+    seed = json.loads(SEED_COUNTS.read_text())
+    current = {
+        "workloads": [list(row) for row in measure_workloads()],
+        "scaling": [list(row) for row in measure_scaling(SCALING_UNITS)],
+    }
+    assert current["workloads"] == seed["workloads"]
+    assert current["scaling"] == seed["scaling"]
+
+
+def test_trace_context_read_cost_under_budget(results_dir):
+    """The v6 trace-context read is the only new per-span engine cost.
+
+    An untraced span open does one ``ContextVar.get`` (returning None)
+    to decide whether to attach a trace id.  That read happens at most
+    once per span -- orders of magnitude rarer than event hooks -- but
+    bound it the same analytic way: span count x measured per-read
+    cost must stay inside the 5% budget.
+    """
+    from repro.observability import context as tracecontext
+
+    started = time.perf_counter()
+    measure_workloads()
+    wall_seconds = time.perf_counter() - started
+
+    trials = 1_000_000
+    per_read = (
+        timeit.timeit(
+            "current_trace_id()",
+            globals={"current_trace_id": tracecontext.current_trace_id},
+            number=trials,
+        )
+        / trials
+    )
+
+    # Span opens are bounded by hook executions (every span also emits
+    # begin/end bookkeeping), so the padded hook count over-counts them.
+    padded_spans = int(_count_hook_executions() * HOOK_PADDING)
+    overhead_fraction = (padded_spans * per_read) / wall_seconds
+
+    emit(
+        results_dir,
+        "obs_context_overhead.txt",
+        "\n".join(
+            [
+                "Trace-context read-cost guard",
+                "",
+                f"suite wall time:         {wall_seconds * 1e3:10.2f} ms",
+                f"padded span opens:       {padded_spans:10d}",
+                f"cost per context read:   {per_read * 1e9:10.2f} ns",
+                f"analytic overhead:       {overhead_fraction:.3%} of wall time",
+                f"budget:                  {OVERHEAD_BUDGET:.0%}",
+            ]
+        ),
+    )
+    assert overhead_fraction < OVERHEAD_BUDGET, (
+        f"trace-context read overhead {overhead_fraction:.2%} exceeds "
+        f"{OVERHEAD_BUDGET:.0%} budget"
+    )
 
 
 def _count_hook_executions() -> int:

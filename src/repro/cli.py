@@ -22,7 +22,11 @@ Commands:
   content-addressed result cache, bounded worker pool, graceful
   degradation -- see ``docs/SERVING.md``);
 * ``submit FILE...`` -- send programs to a running daemon; output is
-  byte-identical to the corresponding one-shot command.
+  byte-identical to the corresponding one-shot command (``--trace-out``
+  additionally exports the exchange as Chrome trace-event JSON);
+* ``profile FILE``   -- per-pass / per-analysis self and cumulative
+  times, hot transfer functions, and collapsed stacks for flamegraphs
+  (``--collapsed``, ``--trace-out``).
 
 ``predict``, ``ir``, ``ranges``, ``submit`` and (single-file) ``check``
 read from stdin when FILE is ``-``.  ``predict``, ``opt``, ``check``,
@@ -574,7 +578,81 @@ def cmd_serve(args: argparse.Namespace) -> int:
     )
 
 
+def _submit_verbose_line(response: dict) -> str:
+    """The ``--verbose`` provenance line for one submit response.
+
+    Always carries the full provenance -- key, status, cache tier,
+    degradation (with the daemon's reason when it gave one), latency,
+    and trace id -- so degraded and error responses explain themselves
+    the same way cached hits do.
+    """
+    line = (
+        f"# key={response.get('key')} status={response.get('status')} "
+        f"cached={response.get('cached')} degraded={response.get('degraded')} "
+        f"elapsed_ms={response.get('elapsed_ms')}"
+    )
+    reason = response.get("degraded_reason")
+    if reason:
+        line += f" reason={reason!r}"
+    error = response.get("error")
+    if error:
+        line += f" error={error!r}"
+    trace_id = response.get("trace_id")
+    if trace_id:
+        line += f" trace_id={trace_id}"
+    return line
+
+
+def _submit_trace_events(context, files, responses, started_us, elapsed_us):
+    """Chrome trace events for one submit invocation.
+
+    The client span covers the whole exchange on tid 1; each response's
+    shipped server spans (relative offsets) are re-based at the client's
+    request-start instant on their own tid, which nests them under the
+    client span without synchronised clocks.
+    """
+    from repro.observability import chrometrace
+
+    events = [
+        chrometrace.metadata_event("process_name", 1, "repro submit"),
+        chrometrace.metadata_event("thread_name", 1, "client", tid=1),
+    ]
+    events.append(
+        chrometrace.complete_event(
+            f"submit:{','.join(files)}",
+            started_us,
+            elapsed_us,
+            tid=1,
+            args={"trace_id": context.trace_id},
+        )
+    )
+    for index, (path, response) in enumerate(zip(files, responses)):
+        wire_spans = response.get("trace")
+        if not isinstance(wire_spans, list) or not wire_spans:
+            continue
+        tid = 2 + index
+        events.append(
+            chrometrace.metadata_event(
+                "thread_name", 1, f"server:{path}", tid=tid
+            )
+        )
+        events.extend(
+            chrometrace.events_from_wire_spans(
+                wire_spans,
+                started_us,
+                tid=tid,
+                trace_id=response.get("trace_id") or context.trace_id,
+            )
+        )
+    return events
+
+
 def cmd_submit(args: argparse.Namespace) -> int:
+    import json
+    import time
+
+    from repro.observability import chrometrace
+    from repro.observability import context as tracecontext
     from repro.server.client import ServeClient, ServerError
 
     files = args.files
@@ -603,6 +681,8 @@ def cmd_submit(args: argparse.Namespace) -> int:
         options["max_steps"] = args.max_steps
         if args.profile:
             options["profile"] = True
+    if args.trace_out:
+        options["trace"] = True
 
     items = []
     for path in files:
@@ -614,19 +694,25 @@ def cmd_submit(args: argparse.Namespace) -> int:
             {"command": command, "source": source, "name": path, "options": options}
         )
     client = ServeClient(args.host, args.port, timeout=args.http_timeout)
+    # One trace id for the whole invocation: the client mints it, the
+    # header carries it, the daemon's access log and events echo it.
+    context = tracecontext.mint()
+    started_us = time.perf_counter() * 1e6
     try:
-        if len(items) == 1:
-            responses = [
-                client.analyze(
-                    command, items[0]["source"], name=items[0]["name"],
-                    options=options,
-                )
-            ]
-        else:
-            responses = client.batch(items)
+        with tracecontext.use(context):
+            if len(items) == 1:
+                responses = [
+                    client.analyze(
+                        command, items[0]["source"], name=items[0]["name"],
+                        options=options,
+                    )
+                ]
+            else:
+                responses = client.batch(items)
     except ServerError as error:
         suffix = f" (HTTP {error.status})" if error.status else ""
         raise SystemExit(f"error: {error}{suffix}")
+    elapsed_us = time.perf_counter() * 1e6 - started_us
 
     exit_code = 0
     for path, response in zip(files, responses):
@@ -636,19 +722,96 @@ def cmd_submit(args: argparse.Namespace) -> int:
             print(f"error: {response.get('error')}", file=sys.stderr)
         sys.stdout.write(response.get("output") or "")
         if args.verbose:
-            print(
-                f"# key={response.get('key')} cached={response.get('cached')} "
-                f"degraded={response.get('degraded')} "
-                f"elapsed_ms={response.get('elapsed_ms')}",
-                file=sys.stderr,
-            )
+            print(_submit_verbose_line(response), file=sys.stderr)
         exit_code = max(exit_code, int(response.get("exit_code", 0)))
+    if args.trace_out:
+        events = _submit_trace_events(
+            context, files, responses, started_us, elapsed_us
+        )
+        document = chrometrace.chrome_trace_document(
+            events, trace_id=context.trace_id
+        )
+        _write_text_output(
+            args.trace_out,
+            json.dumps(document, indent=1) + "\n",
+            label="trace",
+        )
     if args.emit_metrics:
         try:
             _emit_metrics(client.metricsz(), args.emit_metrics)
         except ServerError as error:
             raise SystemExit(f"error: {error}")
     return exit_code
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.lang import LexError, LoweringError, ParseError
+    from repro.observability import chrometrace
+    from repro.observability import context as tracecontext
+    from repro.observability.profiler import profile_source
+    from repro.passes import parse_passes
+
+    try:
+        source = _read_source(args.file)
+    except FileNotFoundError:
+        raise SystemExit(f"error: no such file: {args.file}")
+    try:
+        passes = parse_passes(args.passes) if args.passes else None
+    except ValueError as error:
+        raise SystemExit(f"error: {error.args[0]}")
+    context = tracecontext.mint()
+    try:
+        with tracecontext.use(context):
+            session = profile_source(
+                source,
+                config=_config_from_args(args),
+                pipeline=args.pipeline,
+                passes=passes,
+                max_events=args.max_events,
+            )
+    except (LexError, ParseError, LoweringError) as error:
+        raise SystemExit(f"error: {error}")
+    except KeyError as error:
+        raise SystemExit(f"error: {error.args[0]}")
+
+    report = session.report
+    sys.stdout.write(report.render_text(top=args.top))
+    if args.collapsed:
+        _write_text_output(
+            args.collapsed, report.render_collapsed(), label="collapsed stacks"
+        )
+    if args.trace_out:
+        wire_spans = chrometrace.serialize_spans(session.tracer.spans)
+        events = [
+            chrometrace.metadata_event("process_name", 1, "repro profile"),
+        ]
+        events.extend(
+            chrometrace.events_from_wire_spans(
+                wire_spans, 0.0, trace_id=context.trace_id
+            )
+        )
+        document = chrometrace.chrome_trace_document(
+            events, trace_id=context.trace_id
+        )
+        _write_text_output(
+            args.trace_out, json.dumps(document, indent=1) + "\n", label="trace"
+        )
+    if args.emit_metrics:
+        from repro.core import perf
+        from repro.observability import build_metrics_report
+
+        with tracecontext.use(context):
+            metrics = build_metrics_report(
+                session.prediction,
+                session.tracer,
+                program=report.program,
+                perf_stats=perf.snapshot() if _config_from_args(args).perf else None,
+                profile=report.as_metrics(),
+            )
+        _emit_metrics(metrics, args.emit_metrics)
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -936,11 +1099,66 @@ def build_parser() -> argparse.ArgumentParser:
         help="print cache tier / degradation / latency per response (stderr)",
     )
     submit_cmd.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        help=(
+            "request server-side spans and write a Chrome trace-event "
+            "JSON (chrome://tracing, Perfetto) for the exchange"
+        ),
+    )
+    submit_cmd.add_argument(
         "--emit-metrics",
         metavar="PATH",
-        help="fetch the daemon's /metricsz document (schema v5) into PATH",
+        help="fetch the daemon's /metricsz document (schema v6) into PATH",
     )
     submit_cmd.set_defaults(handler=cmd_submit)
+
+    profile_cmd = sub.add_parser(
+        "profile", help="per-pass and per-analysis self/cumulative profile"
+    )
+    add_analysis_flags(profile_cmd)
+    profile_group = profile_cmd.add_mutually_exclusive_group()
+    profile_group.add_argument(
+        "--pipeline",
+        default="predict",
+        metavar="NAME",
+        help="named pipeline to profile (default predict)",
+    )
+    profile_group.add_argument(
+        "--passes",
+        metavar="A,B,C",
+        help="explicit comma-separated pass list (overrides --pipeline)",
+    )
+    profile_cmd.add_argument(
+        "--top",
+        type=int,
+        default=10,
+        metavar="N",
+        help="hot transfer functions to list (default 10)",
+    )
+    profile_cmd.add_argument(
+        "--collapsed",
+        metavar="PATH",
+        help="write collapsed stacks (flamegraph.pl / speedscope input)",
+    )
+    profile_cmd.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        help="write the span tree as Chrome trace-event JSON",
+    )
+    profile_cmd.add_argument(
+        "--max-events",
+        type=int,
+        default=1_000_000,
+        metavar="N",
+        help="event-stream retention cap (default 1000000)",
+    )
+    profile_cmd.add_argument(
+        "--emit-metrics",
+        metavar="PATH",
+        help="write a metrics JSON including the 'profile' key (schema v6)",
+    )
+    profile_cmd.set_defaults(handler=cmd_profile)
 
     return parser
 

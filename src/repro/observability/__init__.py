@@ -1,17 +1,28 @@
-"""End-to-end observability: tracing, metrics, and branch explanation.
+"""End-to-end observability: traces, logs, metrics, and profiling.
 
 * :mod:`repro.observability.tracer`  -- span timing + event stream
   (:class:`Tracer` / :class:`NullTracer`, ``active()`` / ``use()``);
+* :mod:`repro.observability.context` -- trace_id/span_id propagation
+  (:class:`TraceContext`, the ``X-Repro-Trace-Id`` header);
 * :mod:`repro.observability.events`  -- the event taxonomy;
+* :mod:`repro.observability.logging` -- structured JSON log lines with
+  trace correlation (the serving daemon's access log);
 * :mod:`repro.observability.metrics` -- :class:`MetricsReport`, the
   JSON export consumed by the harness and the benchmarks;
+* :mod:`repro.observability.prometheus` -- Prometheus text exposition
+  for ``GET /metricsz`` (plus the validating parser CI uses);
+* :mod:`repro.observability.chrometrace` -- Chrome trace-event JSON
+  export (``about:tracing`` / Perfetto);
+* :mod:`repro.observability.profiler` -- per-pass/per-analysis
+  self/cumulative profiling and collapsed stacks (``repro profile``);
 * :mod:`repro.observability.explain` -- "why is this branch 87.5%?";
 * :mod:`repro.observability.instrument` -- traced compile/analyse
   pipelines (phase spans for lex/parse/lower/ssa/propagate/predict).
 
-``explain`` and ``instrument`` depend on the analysis layers, while the
-engine itself imports the tracer from here -- they are loaded lazily
-(PEP 562) to keep ``repro.core`` -> ``repro.observability`` acyclic.
+``explain``, ``instrument``, and ``profiler`` depend on the analysis
+layers, while the engine itself imports the tracer from here -- they
+are loaded lazily (PEP 562) to keep ``repro.core`` ->
+``repro.observability`` acyclic.
 """
 
 from repro.observability.events import (
@@ -30,6 +41,14 @@ from repro.observability.events import (
     TraceEvent,
     WorklistPop,
     WorklistPush,
+)
+from repro.observability.context import (
+    TRACE_HEADER,
+    TraceContext,
+    current_trace_id,
+    mint,
+    new_span_id,
+    new_trace_id,
 )
 from repro.observability.metrics import (
     SCHEMA_KEYS,
@@ -55,6 +74,18 @@ _LAZY = {
     "TraceSession": "repro.observability.instrument",
     "compile_source_traced": "repro.observability.instrument",
     "trace_analysis": "repro.observability.instrument",
+    "ProfileReport": "repro.observability.profiler",
+    "ProfileSession": "repro.observability.profiler",
+    "profile_source": "repro.observability.profiler",
+    "JsonFormatter": "repro.observability.logging",
+    "configure_json_logging": "repro.observability.logging",
+    "get_logger": "repro.observability.logging",
+    "log_event": "repro.observability.logging",
+    "chrome_trace_document": "repro.observability.chrometrace",
+    "validate_chrome_trace": "repro.observability.chrometrace",
+    "write_chrome_trace": "repro.observability.chrometrace",
+    "parse_prometheus_text": "repro.observability.prometheus",
+    "render_server_metrics": "repro.observability.prometheus",
 }
 
 
@@ -72,11 +103,13 @@ __all__ = [
     "NULL_TRACER",
     "SCHEMA_KEYS",
     "SCHEMA_VERSION",
+    "TRACE_HEADER",
     "BranchExplanation",
     "BranchResolution",
     "DerivationAttempt",
     "DiagnosticFinding",
     "HeuristicChain",
+    "JsonFormatter",
     "LatticeTransition",
     "MetricsReport",
     "NullTracer",
@@ -85,9 +118,12 @@ __all__ = [
     "PhaseTiming",
     "PhiMerge",
     "PiRefinement",
+    "ProfileReport",
+    "ProfileSession",
     "ServerRequestBegin",
     "ServerRequestEnd",
     "SpanRecord",
+    "TraceContext",
     "TraceEvent",
     "TraceSession",
     "Tracer",
@@ -95,10 +131,23 @@ __all__ = [
     "WorklistPush",
     "active",
     "build_metrics_report",
+    "chrome_trace_document",
     "compile_source_traced",
+    "configure_json_logging",
+    "current_trace_id",
     "explain_branch",
     "explain_module",
+    "get_logger",
+    "log_event",
+    "mint",
+    "new_span_id",
+    "new_trace_id",
+    "parse_prometheus_text",
+    "profile_source",
+    "render_server_metrics",
     "trace_analysis",
     "use",
+    "validate_chrome_trace",
     "validate_report_dict",
+    "write_chrome_trace",
 ]

@@ -1,0 +1,194 @@
+"""Chrome trace-event JSON export (``about:tracing`` / Perfetto).
+
+The tracer's :class:`~repro.observability.tracer.SpanRecord` tree and
+the serving daemon's shipped span lists both flatten into the Chrome
+trace-event format's complete events (``"ph": "X"``), the one trace
+interchange format every browser ships a viewer for.  ``repro submit
+--trace-out t.json`` and ``repro profile --trace-out t.json`` write
+these documents; load them in ``chrome://tracing`` or
+https://ui.perfetto.dev to see the request tree on a timeline.
+
+Document shape (the JSON-object flavour, which Perfetto and Chrome both
+accept)::
+
+    {
+      "traceEvents": [
+        {"name": "process_name", "ph": "M", "pid": 1, "args": {...}},
+        {"name": "submit:p.toy", "ph": "X", "ts": 12.0, "dur": 830.5,
+         "pid": 1, "tid": 1, "args": {"trace_id": "..."}},
+        ...
+      ],
+      "displayTimeUnit": "ms",
+      "otherData": {"trace_id": "..."}
+    }
+
+Timestamps (``ts``) and durations (``dur``) are microseconds.  Spans
+shipped across the process boundary arrive as *relative* offsets from
+the server's request start; the client re-bases them onto its own
+clock (its request-start instant), which nests them correctly under
+the client span without needing synchronised clocks.
+
+:func:`validate_chrome_trace` is the structural check CI runs on every
+exported artifact -- it enforces exactly the invariants the viewers
+need, nothing more.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Sequence
+
+#: Span dict keys used on the wire (server -> client ``trace`` field).
+WIRE_SPAN_KEYS = ("name", "start_us", "dur_us", "parent")
+
+
+def serialize_spans(spans: Sequence[object]) -> List[dict]:
+    """Tracer ``SpanRecord`` objects -> wire-format span dicts.
+
+    Offsets are microseconds relative to the first span's start (the
+    request/root span), so the receiver can re-base them on any clock.
+    Open spans (``end is None``) are skipped -- a shipped trace
+    describes finished work only.
+    """
+    closed = [span for span in spans if getattr(span, "end", None) is not None]
+    if not closed:
+        return []
+    base = min(span.start for span in closed)
+    out = []
+    for span in closed:
+        out.append(
+            {
+                "name": span.name,
+                "start_us": round((span.start - base) * 1e6, 1),
+                "dur_us": round((span.end - span.start) * 1e6, 1),
+                "parent": span.parent,
+            }
+        )
+    return out
+
+
+def complete_event(
+    name: str,
+    ts_us: float,
+    dur_us: float,
+    pid: int = 1,
+    tid: int = 1,
+    args: Optional[dict] = None,
+) -> dict:
+    """One ``"ph": "X"`` (complete) trace event."""
+    event = {
+        "name": name,
+        "ph": "X",
+        "ts": ts_us,
+        "dur": dur_us,
+        "pid": pid,
+        "tid": tid,
+        "cat": "repro",
+    }
+    if args:
+        event["args"] = args
+    return event
+
+
+def metadata_event(name: str, pid: int, value: str, tid: int = 0) -> dict:
+    """A ``"ph": "M"`` metadata event naming a process or thread track."""
+    key = "name"
+    return {
+        "name": name,
+        "ph": "M",
+        "pid": pid,
+        "tid": tid,
+        "args": {key: value},
+    }
+
+
+def events_from_wire_spans(
+    wire_spans: Sequence[dict],
+    base_ts_us: float,
+    pid: int = 1,
+    tid: int = 1,
+    trace_id: Optional[str] = None,
+) -> List[dict]:
+    """Wire-format spans -> complete events re-based at ``base_ts_us``."""
+    events = []
+    for span in wire_spans:
+        if not isinstance(span, dict) or "name" not in span:
+            continue
+        args: Dict[str, object] = {}
+        if trace_id:
+            args["trace_id"] = trace_id
+        events.append(
+            complete_event(
+                str(span["name"]),
+                base_ts_us + float(span.get("start_us", 0.0)),
+                float(span.get("dur_us", 0.0)),
+                pid=pid,
+                tid=tid,
+                args=args or None,
+            )
+        )
+    return events
+
+
+def chrome_trace_document(
+    events: Sequence[dict], trace_id: Optional[str] = None
+) -> dict:
+    """Wrap events in the JSON-object trace container."""
+    document: dict = {
+        "traceEvents": list(events),
+        "displayTimeUnit": "ms",
+    }
+    if trace_id:
+        document["otherData"] = {"trace_id": trace_id}
+    return document
+
+
+def write_chrome_trace(
+    path: str, events: Sequence[dict], trace_id: Optional[str] = None
+) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(chrome_trace_document(events, trace_id), handle, indent=1)
+        handle.write("\n")
+
+
+def validate_chrome_trace(document: object) -> List[str]:
+    """Structural check of an exported trace; returns problems (empty = ok).
+
+    Accepts both container flavours the viewers accept: a JSON object
+    with a ``traceEvents`` list, or a bare JSON array of events.
+    """
+    problems: List[str] = []
+    if isinstance(document, dict):
+        events = document.get("traceEvents")
+        if not isinstance(events, list):
+            return ["'traceEvents' must be a list"]
+    elif isinstance(document, list):
+        events = document
+    else:
+        return ["trace must be a JSON object or array"]
+    if not events:
+        problems.append("trace contains no events")
+        return problems
+    for index, event in enumerate(events):
+        where = f"event {index}"
+        if not isinstance(event, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        phase = event.get("ph")
+        if not isinstance(event.get("name"), str) or not event["name"]:
+            problems.append(f"{where}: missing 'name'")
+        if phase not in ("X", "B", "E", "M", "I", "i"):
+            problems.append(f"{where}: unsupported phase {phase!r}")
+            continue
+        if not isinstance(event.get("pid"), int):
+            problems.append(f"{where}: 'pid' must be an integer")
+        if phase == "X":
+            for key in ("ts", "dur"):
+                value = event.get(key)
+                if not isinstance(value, (int, float)) or isinstance(value, bool):
+                    problems.append(f"{where}: {key!r} must be a number")
+                elif value < 0:
+                    problems.append(f"{where}: {key!r} must be >= 0")
+            if not isinstance(event.get("tid"), int):
+                problems.append(f"{where}: 'tid' must be an integer")
+    return problems

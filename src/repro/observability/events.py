@@ -201,6 +201,7 @@ class ServerRequestBegin(TraceEvent):
 
     endpoint: str
     command: Optional[str]
+    trace_id: Optional[str] = None
 
 
 @dataclass(frozen=True)
@@ -215,6 +216,7 @@ class ServerRequestEnd(TraceEvent):
     elapsed_ms: float
     cached: Optional[str]  # None | "memory" | "disk"
     degraded: bool
+    trace_id: Optional[str] = None
 
 
 EVENT_KINDS: Tuple[str, ...] = tuple(

@@ -1,0 +1,127 @@
+"""Structured JSON logging with trace correlation.
+
+One log line is one JSON object: timestamp, level, logger name,
+message, the ambient trace/span ids (when a
+:mod:`repro.observability.context` is active), and any structured
+fields the call site attached.  Machine-parseable by construction --
+the serving runbook's "correlate a slow request" recipe is
+``grep <trace_id> server.log | jq .`` (``docs/SERVING.md``).
+
+Built on stdlib :mod:`logging`: handlers, levels, and propagation all
+behave exactly as any Python operator expects, and nothing here is
+imported by the analysis engine -- logging is a pure consumer, so the
+overhead-guard benchmark's byte-identical work counts are untouchable
+by this module (enforced in ``benchmarks/test_bench_obs_overhead.py``).
+
+Usage::
+
+    from repro.observability.logging import configure_json_logging, get_logger
+
+    configure_json_logging()              # JSON lines on stderr, idempotent
+    log = get_logger("server.access")
+    log.info("request served", extra={"fields": {
+        "endpoint": "/v1/predict", "status": 200, "latency_ms": 1.7,
+    }})
+
+Loggers are namespaced under the ``repro`` root logger; a process that
+never calls :func:`configure_json_logging` gets stdlib default
+behaviour (INFO records go nowhere), which keeps library use silent.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+import time
+from typing import IO, Optional
+
+from repro.observability import context as tracecontext
+
+#: The root of the repo's logger namespace.
+ROOT_LOGGER = "repro"
+
+#: ``extra`` key carrying structured fields into the formatter.
+FIELDS_KEY = "fields"
+
+
+class JsonFormatter(logging.Formatter):
+    """Render one :class:`logging.LogRecord` as one JSON line.
+
+    Field order is fixed (``ts`` first, structured fields last) and the
+    document is serialised with ``sort_keys=False`` so the line reads
+    naturally while staying stable for tests.  Non-serialisable field
+    values degrade to ``repr`` instead of raising -- a log line must
+    never take down the request it describes.
+    """
+
+    def format(self, record: logging.LogRecord) -> str:
+        created = time.strftime(
+            "%Y-%m-%dT%H:%M:%S", time.gmtime(record.created)
+        )
+        document = {
+            "ts": f"{created}.{int(record.msecs):03d}Z",
+            "level": record.levelname,
+            "logger": record.name,
+            "message": record.getMessage(),
+        }
+        context = tracecontext.current()
+        if context is not None:
+            document["trace_id"] = context.trace_id
+            document["span_id"] = context.span_id
+        fields = getattr(record, FIELDS_KEY, None)
+        if isinstance(fields, dict):
+            for key, value in fields.items():
+                if key not in document:
+                    document[key] = value
+        if record.exc_info:
+            document["exc_info"] = self.formatException(record.exc_info)
+        try:
+            return json.dumps(document, default=repr)
+        except (TypeError, ValueError):  # pragma: no cover -- default=repr
+            return json.dumps({"level": "ERROR", "message": "unloggable record"})
+
+
+def get_logger(name: Optional[str] = None) -> logging.Logger:
+    """A logger under the ``repro`` namespace (``repro.<name>``)."""
+    return logging.getLogger(f"{ROOT_LOGGER}.{name}" if name else ROOT_LOGGER)
+
+
+def configure_json_logging(
+    stream: Optional[IO[str]] = None,
+    level: int = logging.INFO,
+) -> logging.Logger:
+    """Install a JSON-line handler on the ``repro`` root logger.
+
+    Idempotent: a second call replaces the previously installed JSON
+    handler (same stream or a new one) instead of stacking duplicates.
+    Returns the configured root logger.  ``stream`` defaults to
+    ``sys.stderr`` *at call time*, so test harnesses that rebind stderr
+    capture the output.
+    """
+    root = logging.getLogger(ROOT_LOGGER)
+    for handler in list(root.handlers):
+        if getattr(handler, "_repro_json", False):
+            root.removeHandler(handler)
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler.setFormatter(JsonFormatter())
+    handler._repro_json = True  # type: ignore[attr-defined]
+    root.addHandler(handler)
+    root.setLevel(level)
+    root.propagate = False
+    return root
+
+
+def log_event(
+    logger: logging.Logger,
+    message: str,
+    level: int = logging.INFO,
+    **fields: object,
+) -> None:
+    """One structured line: ``message`` plus keyword fields.
+
+    The keyword-arguments-to-``extra`` plumbing in one place, so call
+    sites stay one line.
+    """
+    if logger.isEnabledFor(level):
+        logger.log(level, message, extra={FIELDS_KEY: fields})

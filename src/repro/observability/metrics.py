@@ -9,7 +9,7 @@ instead of scraped from tables.
 
 Top-level schema keys (``SCHEMA_KEYS``):
 
-* ``schema_version`` -- integer, currently 5;
+* ``schema_version`` -- integer, currently 6;
 * ``program``        -- module/workload name;
 * ``phases``         -- {span name: {"count": int, "seconds": float}};
 * ``counters``       -- the :class:`repro.core.counters.Counters` dict;
@@ -28,6 +28,13 @@ Top-level schema keys (``SCHEMA_KEYS``):
   (since v5; per-endpoint request/latency histograms, result-cache
   hit/miss per tier, degraded/rejected counts; absent outside the
   daemon, v1-v4 documents still validate);
+* ``profile``        -- profiler output from ``repro profile`` (since
+  v6; per-span self/cumulative seconds and counts, hot transfer
+  functions, wall time; absent outside profiled runs, v1-v5 documents
+  still validate);
+* ``tracing``        -- request-trace correlation (since v6; the
+  ``trace_id`` of the run plus span totals; absent when no trace
+  context was active, v1-v5 documents still validate);
 * ``meta``           -- rounds, function/event totals, drop counts.
 
 Each branch record has ``function``, ``label``, ``probability``,
@@ -44,7 +51,7 @@ from typing import Dict, List, Optional
 
 from repro.observability.events import BranchResolution, HeuristicChain
 
-SCHEMA_VERSION = 5
+SCHEMA_VERSION = 6
 
 SCHEMA_KEYS = (
     "schema_version",
@@ -56,12 +63,14 @@ SCHEMA_KEYS = (
     "perf",
     "passes",
     "server",
+    "profile",
+    "tracing",
     "meta",
 )
 
 # Keys a report may omit (documents written by older schema versions,
 # runs with the perf layer disabled, non-pipeline or non-daemon runs).
-OPTIONAL_KEYS = ("diagnostics", "perf", "passes", "server")
+OPTIONAL_KEYS = ("diagnostics", "perf", "passes", "server", "profile", "tracing")
 
 BRANCH_KEYS = ("function", "label", "probability", "source")
 
@@ -78,6 +87,8 @@ class MetricsReport:
     perf: Dict[str, dict] = field(default_factory=dict)
     passes: Dict[str, object] = field(default_factory=dict)
     server: Dict[str, object] = field(default_factory=dict)
+    profile: Dict[str, object] = field(default_factory=dict)
+    tracing: Dict[str, object] = field(default_factory=dict)
     meta: Dict[str, object] = field(default_factory=dict)
     schema_version: int = SCHEMA_VERSION
 
@@ -94,6 +105,8 @@ class MetricsReport:
             "perf": self.perf,
             "passes": self.passes,
             "server": self.server,
+            "profile": self.profile,
+            "tracing": self.tracing,
             "meta": self.meta,
         }
 
@@ -111,6 +124,8 @@ class MetricsReport:
             perf=data.get("perf", {}),
             passes=data.get("passes", {}),
             server=data.get("server", {}),
+            profile=data.get("profile", {}),
+            tracing=data.get("tracing", {}),
             meta=data.get("meta", {}),
             schema_version=data.get("schema_version", SCHEMA_VERSION),
         )
@@ -137,6 +152,7 @@ def build_metrics_report(
     perf_stats=None,
     passes=None,
     server_stats=None,
+    profile=None,
 ) -> "MetricsReport":
     """Assemble a report from a :class:`ModulePrediction` and a tracer.
 
@@ -151,8 +167,13 @@ def build_metrics_report(
     dict) populates the ``passes`` key when a pass pipeline drove the
     analysis; ``server_stats`` (a ``repro.server.ServerStats.snapshot()``
     dict) populates the ``server`` key when the serving daemon is the
-    caller.
+    caller; ``profile`` (a
+    :meth:`repro.observability.profiler.ProfileReport.as_metrics` dict)
+    populates the ``profile`` key when ``repro profile`` is the caller.
+    The ``tracing`` key fills itself from the ambient trace context
+    (``repro.observability.context``) when one is active.
     """
+    from repro.observability import context as tracecontext
     phases: Dict[str, Dict[str, float]] = {}
     meta: Dict[str, object] = {
         "rounds": getattr(prediction, "rounds", 1),
@@ -198,6 +219,13 @@ def build_metrics_report(
             record["heuristics"] = [list(pair) for pair in chain.chain]
         branches.append(record)
 
+    tracing: Dict[str, object] = {}
+    context = tracecontext.current()
+    if context is not None:
+        tracing = {"trace_id": context.trace_id, "span_id": context.span_id}
+        if tracer is not None and tracer.enabled:
+            tracing["spans"] = len(tracer.spans)
+
     return MetricsReport(
         program=program,
         phases=phases,
@@ -207,6 +235,8 @@ def build_metrics_report(
         perf=perf_stats or {},
         passes=passes or {},
         server=server_stats or {},
+        profile=profile or {},
+        tracing=tracing,
         meta=meta,
     )
 

@@ -1,0 +1,357 @@
+"""Prometheus text exposition (and a validating parser) for ``/metricsz``.
+
+The serving daemon content-negotiates its metrics endpoint: JSON
+(the metrics-schema document, unchanged) by default, and the Prometheus
+text exposition format version 0.0.4 when the scraper asks for
+``text/plain`` / OpenMetrics or appends ``?format=prometheus``.  This
+module renders that text from the same
+:meth:`repro.server.stats.ServerStats.snapshot` document the JSON path
+serves -- one source of numbers, two encodings.
+
+Exposed families (all prefixed ``repro_``):
+
+=====================================  =======  ==========================
+family                                 type     labels
+=====================================  =======  ==========================
+``repro_requests_total``               counter  ``endpoint``
+``repro_request_errors_total``         counter  ``endpoint``
+``repro_responses_total``              counter  ``status``
+``repro_results_total``                counter  ``tier`` (memory/disk/fresh)
+``repro_degraded_total``               counter  --
+``repro_rejected_total``               counter  ``reason``
+``repro_request_latency_seconds``      histogram ``endpoint`` (SLO buckets)
+``repro_cache_entries``                gauge    ``tier``
+``repro_cache_hits_total``             counter  ``tier``
+``repro_cache_misses_total``           counter  ``tier``
+``repro_queue_depth``                  gauge    --
+``repro_queue_high_water``             gauge    --
+``repro_workers``                      gauge    --
+``repro_uptime_seconds``               gauge    --
+=====================================  =======  ==========================
+
+Histogram buckets are the serving SLO boundaries
+(:data:`repro.server.stats.LATENCY_BUCKETS_MS`, seconds here), rendered
+cumulatively with the mandatory ``+Inf`` bucket, ``_sum`` and
+``_count`` series -- everything a Prometheus server needs to compute
+``histogram_quantile`` over scrapes.
+
+:func:`parse_prometheus_text` is a small strict parser used by the CI
+scrape check and the test suite; it understands exactly the exposition
+subset written here (``# HELP`` / ``# TYPE`` comments, optionally
+labelled samples) and reports structural violations.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Sequence, Tuple
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>[^\s]+)"
+    r"(?:\s+(?P<timestamp>-?\d+))?$"
+)
+_LABEL_RE = re.compile(r'^(?P<key>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>[^"]*)"$')
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _format_value(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value) if isinstance(value, float) else str(value)
+
+
+class MetricFamily:
+    """One ``# HELP``/``# TYPE`` block plus its samples, in order."""
+
+    def __init__(self, name: str, kind: str, help_text: str):
+        if not _NAME_RE.match(name):
+            raise ValueError(f"invalid metric name {name!r}")
+        self.name = name
+        self.kind = kind  # "counter" | "gauge" | "histogram"
+        self.help_text = help_text
+        self.samples: List[Tuple[str, Dict[str, str], float]] = []
+
+    def add(
+        self, value: float, labels: Optional[Dict[str, str]] = None, suffix: str = ""
+    ) -> None:
+        self.samples.append((self.name + suffix, dict(labels or {}), float(value)))
+
+    def render(self) -> str:
+        lines = [
+            f"# HELP {self.name} {self.help_text}",
+            f"# TYPE {self.name} {self.kind}",
+        ]
+        for name, labels, value in self.samples:
+            if labels:
+                body = ",".join(
+                    f'{key}="{_escape_label(str(val))}"'
+                    for key, val in labels.items()
+                )
+                lines.append(f"{name}{{{body}}} {_format_value(value)}")
+            else:
+                lines.append(f"{name} {_format_value(value)}")
+        return "\n".join(lines)
+
+
+def _histogram_family(
+    name: str,
+    help_text: str,
+    per_endpoint: Dict[str, dict],
+    bucket_bounds_ms: Sequence[float],
+) -> MetricFamily:
+    """The per-endpoint latency histogram, cumulative, in seconds."""
+    family = MetricFamily(name, "histogram", help_text)
+    for endpoint, stats in sorted(per_endpoint.items()):
+        histogram = stats.get("histogram", {})
+        cumulative = 0
+        for bound in bucket_bounds_ms:
+            cumulative += int(histogram.get(f"le_{bound}ms", 0))
+            family.add(
+                cumulative,
+                {"endpoint": endpoint, "le": _format_value(bound / 1000.0)},
+                suffix="_bucket",
+            )
+        cumulative += int(histogram.get("le_inf", 0))
+        family.add(
+            cumulative, {"endpoint": endpoint, "le": "+Inf"}, suffix="_bucket"
+        )
+        family.add(
+            float(stats.get("sum_ms", 0.0)) / 1000.0,
+            {"endpoint": endpoint},
+            suffix="_sum",
+        )
+        family.add(
+            int(stats.get("count", 0)), {"endpoint": endpoint}, suffix="_count"
+        )
+    return family
+
+
+def render_server_metrics(
+    server: dict,
+    uptime_s: Optional[float] = None,
+    workers: Optional[int] = None,
+) -> str:
+    """The full exposition document for one ``ServerStats.snapshot()``.
+
+    ``server`` is the metrics-schema ``server`` key: ``endpoints``,
+    ``responses``, ``results``, ``degraded``, ``rejected``, plus the
+    optional ``cache`` and ``queue`` sub-documents the daemon attaches.
+    """
+    from repro.server.stats import LATENCY_BUCKETS_MS
+
+    families: List[MetricFamily] = []
+
+    endpoints: Dict[str, dict] = server.get("endpoints", {})
+    requests = MetricFamily(
+        "repro_requests_total", "counter", "Requests finished, by endpoint."
+    )
+    errors = MetricFamily(
+        "repro_request_errors_total",
+        "counter",
+        "Requests answered with HTTP status >= 400, by endpoint.",
+    )
+    for endpoint, stats in sorted(endpoints.items()):
+        requests.add(int(stats.get("count", 0)), {"endpoint": endpoint})
+        errors.add(int(stats.get("errors", 0)), {"endpoint": endpoint})
+    families += [requests, errors]
+
+    responses = MetricFamily(
+        "repro_responses_total", "counter", "Responses sent, by HTTP status."
+    )
+    for status, count in sorted(server.get("responses", {}).items()):
+        responses.add(int(count), {"status": str(status)})
+    families.append(responses)
+
+    results = MetricFamily(
+        "repro_results_total",
+        "counter",
+        "Successful results, by cache tier (fresh = computed).",
+    )
+    for tier, count in sorted(server.get("results", {}).items()):
+        results.add(int(count), {"tier": tier})
+    families.append(results)
+
+    degraded = MetricFamily(
+        "repro_degraded_total",
+        "counter",
+        "Responses degraded to heuristics-only under deadline pressure.",
+    )
+    degraded.add(int(server.get("degraded", 0)))
+    families.append(degraded)
+
+    rejected = MetricFamily(
+        "repro_rejected_total",
+        "counter",
+        "Requests refused before analysis, by reason.",
+    )
+    for reason, count in sorted(server.get("rejected", {}).items()):
+        rejected.add(int(count), {"reason": reason})
+    families.append(rejected)
+
+    families.append(
+        _histogram_family(
+            "repro_request_latency_seconds",
+            "Request latency by endpoint (SLO bucket boundaries).",
+            endpoints,
+            LATENCY_BUCKETS_MS,
+        )
+    )
+
+    cache = server.get("cache")
+    if isinstance(cache, dict):
+        entries = MetricFamily(
+            "repro_cache_entries", "gauge", "Result-cache entries resident, by tier."
+        )
+        hits = MetricFamily(
+            "repro_cache_hits_total", "counter", "Result-cache hits, by tier."
+        )
+        misses = MetricFamily(
+            "repro_cache_misses_total", "counter", "Result-cache misses, by tier."
+        )
+        for tier in ("memory", "disk"):
+            tier_stats = cache.get(tier, {})
+            if not isinstance(tier_stats, dict):
+                continue
+            if "entries" in tier_stats:
+                entries.add(int(tier_stats["entries"]), {"tier": tier})
+            hits.add(int(tier_stats.get("hits", 0)), {"tier": tier})
+            misses.add(int(tier_stats.get("misses", 0)), {"tier": tier})
+        families += [entries, hits, misses]
+
+    queue = server.get("queue")
+    if isinstance(queue, dict):
+        depth = MetricFamily(
+            "repro_queue_depth", "gauge", "Jobs accepted and not yet finished."
+        )
+        depth.add(int(queue.get("depth", 0)))
+        high_water = MetricFamily(
+            "repro_queue_high_water",
+            "gauge",
+            "Deepest the waiting queue has ever been.",
+        )
+        high_water.add(int(queue.get("high_water", 0)))
+        families += [depth, high_water]
+
+    if workers is not None:
+        family = MetricFamily(
+            "repro_workers", "gauge", "Analysis worker threads."
+        )
+        family.add(int(workers))
+        families.append(family)
+    if uptime_s is not None:
+        family = MetricFamily(
+            "repro_uptime_seconds", "gauge", "Daemon uptime."
+        )
+        family.add(float(uptime_s))
+        families.append(family)
+
+    return "\n".join(family.render() for family in families) + "\n"
+
+
+# -- parsing (CI scrape validation) ------------------------------------------
+
+
+class PrometheusParseError(ValueError):
+    """The text does not follow the exposition format."""
+
+
+def parse_prometheus_text(text: str) -> Dict[str, dict]:
+    """Parse an exposition document; returns {family: {type, samples}}.
+
+    Strict about everything the format mandates: ``# TYPE`` before the
+    family's samples, valid metric/label names, float-parseable values,
+    histogram families carrying ``_bucket``/``_sum``/``_count`` series.
+    Raises :class:`PrometheusParseError` on violation.
+    """
+    families: Dict[str, dict] = {}
+    current: Optional[str] = None
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.rstrip()
+        if not line:
+            continue
+        if line.startswith("# HELP "):
+            parts = line.split(" ", 3)
+            if len(parts) < 4:
+                raise PrometheusParseError(f"line {lineno}: malformed HELP")
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split(" ")
+            if len(parts) != 4:
+                raise PrometheusParseError(f"line {lineno}: malformed TYPE")
+            _, _, name, kind = parts
+            if not _NAME_RE.match(name):
+                raise PrometheusParseError(
+                    f"line {lineno}: invalid metric name {name!r}"
+                )
+            if kind not in ("counter", "gauge", "histogram", "summary", "untyped"):
+                raise PrometheusParseError(
+                    f"line {lineno}: unknown metric type {kind!r}"
+                )
+            if name in families:
+                raise PrometheusParseError(
+                    f"line {lineno}: duplicate TYPE for {name!r}"
+                )
+            families[name] = {"type": kind, "samples": []}
+            current = name
+            continue
+        if line.startswith("#"):
+            continue
+        match = _SAMPLE_RE.match(line)
+        if not match:
+            raise PrometheusParseError(f"line {lineno}: malformed sample {line!r}")
+        name = match.group("name")
+        base = name
+        for suffix in ("_bucket", "_sum", "_count"):
+            if name.endswith(suffix) and name[: -len(suffix)] in families:
+                base = name[: -len(suffix)]
+                break
+        if base not in families:
+            raise PrometheusParseError(
+                f"line {lineno}: sample {name!r} has no preceding TYPE"
+            )
+        if base != current:
+            raise PrometheusParseError(
+                f"line {lineno}: sample {name!r} outside its family block"
+            )
+        labels: Dict[str, str] = {}
+        raw_labels = match.group("labels")
+        if raw_labels:
+            for part in raw_labels.split(","):
+                label_match = _LABEL_RE.match(part.strip())
+                if not label_match:
+                    raise PrometheusParseError(
+                        f"line {lineno}: malformed label {part!r}"
+                    )
+                labels[label_match.group("key")] = label_match.group("value")
+        value_text = match.group("value")
+        try:
+            value = float(value_text.replace("+Inf", "inf").replace("-Inf", "-inf"))
+        except ValueError:
+            raise PrometheusParseError(
+                f"line {lineno}: unparseable value {value_text!r}"
+            ) from None
+        families[base]["samples"].append((name, labels, value))
+
+    for name, family in families.items():
+        if family["type"] != "histogram":
+            continue
+        series = {sample_name for sample_name, _, _ in family["samples"]}
+        for suffix in ("_bucket", "_sum", "_count"):
+            if family["samples"] and name + suffix not in series:
+                raise PrometheusParseError(
+                    f"histogram {name!r} is missing its {suffix} series"
+                )
+        for sample_name, labels, _ in family["samples"]:
+            if sample_name == name + "_bucket" and "le" not in labels:
+                raise PrometheusParseError(
+                    f"histogram {name!r} has a bucket without an 'le' label"
+                )
+    return families

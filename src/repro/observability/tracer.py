@@ -27,13 +27,14 @@ from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Type
 
+from repro.observability import context as tracecontext
 from repro.observability.events import TraceEvent
 
 
 class SpanRecord:
     """One timed region.  ``end`` is ``None`` while the span is open."""
 
-    __slots__ = ("name", "start", "end", "depth", "index", "parent")
+    __slots__ = ("name", "start", "end", "depth", "index", "parent", "trace_id")
 
     def __init__(
         self,
@@ -42,6 +43,7 @@ class SpanRecord:
         depth: int,
         index: int,
         parent: Optional[int],
+        trace_id: Optional[str] = None,
     ):
         self.name = name
         self.start = start
@@ -50,6 +52,8 @@ class SpanRecord:
         self.index = index
         #: Index of the enclosing span in ``Tracer.spans`` (or None).
         self.parent = parent
+        #: Trace id of the request this span served (or None outside one).
+        self.trace_id = trace_id
 
     @property
     def seconds(self) -> float:
@@ -156,6 +160,7 @@ class Tracer:
             depth=len(self._stack),
             index=len(self.spans),
             parent=self._stack[-1].index if self._stack else None,
+            trace_id=tracecontext.current_trace_id(),
         )
         self.spans.append(record)
         self._stack.append(record)

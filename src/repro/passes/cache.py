@@ -217,6 +217,22 @@ class AnalysisCache:
     # -- computation ----------------------------------------------------------
 
     def _compute(self, name: str, function: Optional[Function]):
+        """Compute one analysis, under an ``analysis:<name>`` span.
+
+        The span makes per-analysis wall time visible to ``repro
+        profile`` and ``--emit-metrics``; with no active tracer (the
+        default) the guard is one attribute test, and analyses are
+        coarse enough that the cost is invisible next to the work.
+        """
+        from repro.observability import tracer as tracing
+
+        tracer = tracing.active()
+        if tracer.enabled:
+            with tracer.span(f"analysis:{name}"):
+                return self._compute_inner(name, function)
+        return self._compute_inner(name, function)
+
+    def _compute_inner(self, name: str, function: Optional[Function]):
         if name == "cfg":
             return CFG(function)
         if name == "dominators":

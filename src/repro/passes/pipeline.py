@@ -147,11 +147,14 @@ class PassPipeline:
         self,
         passes: Sequence[Union[str, Pass]],
         config: Optional[VRPConfig] = None,
+        name: str = "custom",
     ):
         self.passes: List[Pass] = [
             create_pass(item) if isinstance(item, str) else item for item in passes
         ]
         self.config = config or VRPConfig()
+        #: Pipeline label used for the ``pipeline:<name>`` span.
+        self.name = name
 
     @classmethod
     def named(
@@ -164,7 +167,7 @@ class PassPipeline:
             raise KeyError(
                 f"unknown pipeline {pipeline!r} (available: {known})"
             ) from None
-        return cls(names, config=config)
+        return cls(names, config=config, name=pipeline)
 
     def run(
         self,
@@ -174,12 +177,18 @@ class PassPipeline:
     ) -> PipelineResult:
         """Run every pass in order over a prepared (SSA) module."""
         from repro.observability import tracer as tracing
-        from repro.observability.events import PassBegin, PassEnd
 
         if cache is None:
             cache = AnalysisCache(module, ssa_infos, config=self.config)
         tracer = tracing.active()
         result = PipelineResult(module=module, cache=cache)
+        with tracer.span(f"pipeline:{self.name}"):
+            self._run_passes(module, cache, tracer, result)
+        return result
+
+    def _run_passes(self, module, cache, tracer, result) -> None:
+        from repro.observability.events import PassBegin, PassEnd
+
         for pass_ in self.passes:
             tracer.emit(PassBegin(pass_name=pass_.name, mutates=pass_.mutates))
             hits0 = sum(cache.hits.values())
@@ -211,7 +220,6 @@ class PassPipeline:
                     invalidated=invalidated,
                 )
             )
-        return result
 
     # -- internals ------------------------------------------------------------
 

@@ -17,6 +17,8 @@ import json
 import socket
 from typing import Dict, List, Optional, Tuple
 
+from repro.observability import context as tracecontext
+
 
 class ServerError(Exception):
     """The daemon rejected the request or could not be reached."""
@@ -39,19 +41,34 @@ class ServeClient:
     # -- transport -----------------------------------------------------------
 
     def request_json(
-        self, method: str, path: str, body: Optional[dict] = None
+        self,
+        method: str,
+        path: str,
+        body: Optional[dict] = None,
+        headers: Optional[Dict[str, str]] = None,
     ) -> Tuple[int, dict]:
-        """One HTTP exchange; returns ``(status, decoded JSON body)``."""
+        """One HTTP exchange; returns ``(status, decoded JSON body)``.
+
+        The ambient trace context (``repro.observability.context``), if
+        any, rides along as ``X-Repro-Trace-Id`` so a ``repro submit``
+        invocation and the daemon's access log share one id; an
+        explicit ``headers`` entry for it wins.
+        """
         connection = http.client.HTTPConnection(
             self.host, self.port, timeout=self.timeout
         )
         try:
             payload = None
-            headers = {}
+            send_headers: Dict[str, str] = {}
+            trace_id = tracecontext.current_trace_id()
+            if trace_id is not None:
+                send_headers[tracecontext.TRACE_HEADER] = trace_id
+            if headers:
+                send_headers.update(headers)
             if body is not None:
                 payload = json.dumps(body).encode("utf-8")
-                headers["Content-Type"] = "application/json"
-            connection.request(method, path, body=payload, headers=headers)
+                send_headers["Content-Type"] = "application/json"
+            connection.request(method, path, body=payload, headers=send_headers)
             response = connection.getresponse()
             raw = response.read()
             try:
@@ -90,6 +107,31 @@ class ServeClient:
         if status != 200:
             raise ServerError(f"metricsz answered HTTP {status}", status=status)
         return document
+
+    def metricsz_prometheus(self) -> str:
+        """Fetch ``/metricsz`` as Prometheus text (the scrape shape)."""
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            connection.request(
+                "GET", "/metricsz?format=prometheus",
+                headers={"Accept": "text/plain"},
+            )
+            response = connection.getresponse()
+            raw = response.read()
+            if response.status != 200:
+                raise ServerError(
+                    f"metricsz answered HTTP {response.status}",
+                    status=response.status,
+                )
+            return raw.decode("utf-8")
+        except (ConnectionError, socket.timeout, socket.gaierror, OSError) as error:
+            raise ServerError(
+                f"cannot reach {self.host}:{self.port}: {error}"
+            ) from error
+        finally:
+            connection.close()
 
     def analyze(
         self,

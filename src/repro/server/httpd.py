@@ -3,7 +3,8 @@
 Endpoints::
 
     GET  /healthz      liveness + queue depth (cheap, never queued)
-    GET  /metricsz     full metrics schema v5 document (``server`` key)
+    GET  /metricsz     metrics document: JSON schema by default,
+                       Prometheus text when negotiated (see below)
     POST /v1/predict   one program  -> prediction table
     POST /v1/check     one program  -> diagnostics report
     POST /v1/ranges    one program  -> final range listing
@@ -26,6 +27,23 @@ events into the daemon's tracer and records a span, so ``/metricsz``
 can surface span counts and per-endpoint latency histograms next to
 the result-cache statistics.
 
+Observability (all off the request's hot path):
+
+* a request carrying ``X-Repro-Trace-Id`` keeps that id; otherwise the
+  daemon mints one.  The id is echoed on the response header, stamped
+  on the begin/end events, handed to the worker (so engine spans and
+  the metrics ``tracing`` key correlate), and written to the access
+  log -- one grep joins client, daemon, and engine views of a request;
+* the access log is one structured JSON line per finished request
+  (method, endpoint, status, cache tier, degraded flag, latency,
+  trace id) on the ``repro.server.access`` logger -- silent unless
+  :func:`repro.observability.logging.configure_json_logging` ran,
+  which ``repro serve`` does;
+* ``GET /metricsz`` content-negotiates: the JSON metrics-schema
+  document by default, Prometheus text exposition when the client
+  sends ``Accept: text/plain`` (or OpenMetrics) or appends
+  ``?format=prometheus``.
+
 Shutdown is a drain, not a kill: SIGTERM (or SIGINT) stops the accept
 loop, lets queued and in-flight requests finish, flushes their
 responses, then exits (connections are one-request HTTP/1.0, so no
@@ -40,8 +58,11 @@ import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Dict, Optional
+from urllib.parse import parse_qs, urlparse
 
+from repro.observability import context as tracecontext
 from repro.observability.events import ServerRequestBegin, ServerRequestEnd
+from repro.observability.logging import get_logger, log_event
 from repro.observability.tracer import SpanRecord, Tracer
 from repro.server.cache import ResultCache
 from repro.server.protocol import ProtocolError, validate_batch
@@ -82,15 +103,30 @@ class _Handler(BaseHTTPRequestHandler):
 
     # -- plumbing ------------------------------------------------------------
 
-    def _send_json(self, status: int, document: dict) -> None:
-        body = (json.dumps(document, sort_keys=True) + "\n").encode("utf-8")
+    def _adopt_trace_id(self) -> str:
+        """The request's trace id: the caller's header when valid, else minted."""
+        incoming = self.headers.get(tracecontext.TRACE_HEADER)
+        if incoming and tracecontext.valid_trace_id(incoming):
+            return incoming
+        return tracecontext.new_trace_id()
+
+    def _send_body(
+        self, status: int, body: bytes, content_type: str
+    ) -> None:
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
+        trace_id = getattr(self, "_trace_id", None)
+        if trace_id is not None:
+            self.send_header(tracecontext.TRACE_HEADER, trace_id)
         if status == 503:
             self.send_header("Retry-After", "1")
         self.end_headers()
         self.wfile.write(body)
+
+    def _send_json(self, status: int, document: dict) -> None:
+        body = (json.dumps(document, sort_keys=True) + "\n").encode("utf-8")
+        self._send_body(status, body, "application/json")
 
     def _finish(
         self,
@@ -101,10 +137,16 @@ class _Handler(BaseHTTPRequestHandler):
         started: float,
         cached: Optional[str] = None,
         degraded: bool = False,
+        body: Optional[bytes] = None,
+        content_type: str = "application/json",
     ) -> None:
-        self._send_json(status, document)
+        if body is not None:
+            self._send_body(status, body, content_type)
+        else:
+            self._send_json(status, document)
         elapsed_ms = (time.perf_counter() - started) * 1000
         ctx = self.ctx
+        trace_id = getattr(self, "_trace_id", None)
         ctx.stats.record_request(
             endpoint, status, elapsed_ms, cached=cached, degraded=degraded
         )
@@ -116,17 +158,35 @@ class _Handler(BaseHTTPRequestHandler):
                 elapsed_ms=round(elapsed_ms, 3),
                 cached=cached,
                 degraded=degraded,
+                trace_id=trace_id,
             )
         )
-        ctx.record_span(endpoint, started, time.perf_counter())
+        ctx.record_span(endpoint, started, time.perf_counter(), trace_id=trace_id)
+        log_event(
+            ctx.access_log,
+            "request",
+            method=self.command,
+            endpoint=endpoint,
+            status=status,
+            cached=cached,
+            degraded=degraded,
+            elapsed_ms=round(elapsed_ms, 3),
+            trace_id=trace_id,
+        )
 
     # -- GET -----------------------------------------------------------------
 
     def do_GET(self) -> None:  # noqa: N802
         started = time.perf_counter()
         ctx = self.ctx
-        if self.path == "/healthz":
-            ctx.emit_event(ServerRequestBegin(endpoint="/healthz", command=None))
+        self._trace_id = self._adopt_trace_id()
+        parsed = urlparse(self.path)
+        if parsed.path == "/healthz":
+            ctx.emit_event(
+                ServerRequestBegin(
+                    endpoint="/healthz", command=None, trace_id=self._trace_id
+                )
+            )
             self._finish(
                 "/healthz",
                 None,
@@ -139,19 +199,42 @@ class _Handler(BaseHTTPRequestHandler):
                 started,
             )
             return
-        if self.path == "/metricsz":
-            ctx.emit_event(ServerRequestBegin(endpoint="/metricsz", command=None))
+        if parsed.path == "/metricsz":
+            ctx.emit_event(
+                ServerRequestBegin(
+                    endpoint="/metricsz", command=None, trace_id=self._trace_id
+                )
+            )
+            if self._wants_prometheus(parsed.query):
+                self._finish(
+                    "/metricsz",
+                    None,
+                    200,
+                    {},
+                    started,
+                    body=ctx.prometheus_document().encode("utf-8"),
+                    content_type="text/plain; version=0.0.4; charset=utf-8",
+                )
+                return
             self._finish("/metricsz", None, 200, ctx.metrics_document(), started)
             return
         self._finish(
             self.path, None, 404, {"status": "error", "error": "not found"}, started
         )
 
+    def _wants_prometheus(self, query: str) -> bool:
+        formats = parse_qs(query).get("format")
+        if formats:
+            return formats[-1] == "prometheus"
+        accept = self.headers.get("Accept", "")
+        return "text/plain" in accept or "openmetrics" in accept
+
     # -- POST ----------------------------------------------------------------
 
     def do_POST(self) -> None:  # noqa: N802
         started = time.perf_counter()
         ctx = self.ctx
+        self._trace_id = self._adopt_trace_id()
         endpoint = self.path
         is_batch = endpoint == "/v1/batch"
         if not is_batch and endpoint not in POST_ROUTES:
@@ -160,7 +243,11 @@ class _Handler(BaseHTTPRequestHandler):
             )
             return
         command = POST_ROUTES.get(endpoint)
-        ctx.emit_event(ServerRequestBegin(endpoint=endpoint, command=command))
+        ctx.emit_event(
+            ServerRequestBegin(
+                endpoint=endpoint, command=command, trace_id=self._trace_id
+            )
+        )
 
         length = self.headers.get("Content-Length")
         if length is None or not length.isdigit():
@@ -204,7 +291,9 @@ class _Handler(BaseHTTPRequestHandler):
         try:
             if is_batch:
                 items = validate_batch(body)
-                results = ctx.service.execute_batch(items, pool=ctx.pool)
+                results = ctx.service.execute_batch(
+                    items, pool=ctx.pool, trace_id=self._trace_id
+                )
                 degraded = any(r.get("degraded") for r in results)
                 self._finish(
                     endpoint,
@@ -215,7 +304,9 @@ class _Handler(BaseHTTPRequestHandler):
                     degraded=degraded,
                 )
                 return
-            future = ctx.pool.submit(ctx.service.execute, body, command)
+            future = ctx.pool.submit(
+                ctx.service.execute, body, command, self._trace_id
+            )
             response = future.result()
             self._finish(
                 endpoint,
@@ -283,6 +374,7 @@ class ReproServer:
         )
         self.stats = ServerStats()
         self.tracer = Tracer(record_events=False)
+        self.access_log = get_logger("server.access")
         self.max_request_bytes = max_request_bytes
         self.verbose = verbose
         self.draining = False
@@ -308,18 +400,45 @@ class ReproServer:
         with self._tracer_lock:
             self.tracer.emit(event)
 
-    def record_span(self, name: str, start: float, end: float) -> None:
+    def record_span(
+        self,
+        name: str,
+        start: float,
+        end: float,
+        trace_id: Optional[str] = None,
+    ) -> None:
         with self._tracer_lock:
             if len(self.tracer.spans) >= MAX_RETAINED_SPANS:
                 return
             record = SpanRecord(
-                name, start, depth=0, index=len(self.tracer.spans), parent=None
+                name,
+                start,
+                depth=0,
+                index=len(self.tracer.spans),
+                parent=None,
+                trace_id=trace_id,
             )
             record.end = end
             self.tracer.spans.append(record)
 
+    def tracer_summary(self) -> dict:
+        """Span/event totals, gathered under the tracer lock.
+
+        ``/metricsz`` used to hand the live tracer to
+        ``stats.snapshot``, which iterated ``event_counts`` while
+        handler threads were still ``emit()``-ing into it -- a
+        dictionary-changed-size race under load.  All reads happen here,
+        inside ``_tracer_lock``, and only the copies leave.
+        """
+        with self._tracer_lock:
+            return {
+                "spans": len(self.tracer.spans),
+                "event_counts": dict(sorted(self.tracer.event_counts.items())),
+                "dropped_events": self.tracer.dropped_events,
+            }
+
     def metrics_document(self) -> dict:
-        """A full metrics schema v5 document for ``/metricsz``."""
+        """A full metrics-schema document for ``/metricsz``."""
         from repro.observability.metrics import MetricsReport
 
         with self._tracer_lock:
@@ -331,7 +450,7 @@ class ReproServer:
             cache_stats=self.cache.stats(),
             queue_depth=self.pool.depth(),
             queue_high_water=self.pool.high_water(),
-            tracer=self.tracer,
+            tracer_summary=self.tracer_summary(),
         )
         report = MetricsReport(
             program="repro-serve",
@@ -345,6 +464,21 @@ class ReproServer:
             },
         )
         return report.to_dict()
+
+    def prometheus_document(self) -> str:
+        """The Prometheus text exposition for ``/metricsz``."""
+        from repro.observability.prometheus import render_server_metrics
+
+        server = self.stats.snapshot(
+            cache_stats=self.cache.stats(),
+            queue_depth=self.pool.depth(),
+            queue_high_water=self.pool.high_water(),
+        )
+        return render_server_metrics(
+            server,
+            uptime_s=round(time.monotonic() - self.started_monotonic, 3),
+            workers=self.pool.workers,
+        )
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -390,7 +524,15 @@ def serve_daemon(
     (``listening on HOST:PORT``) is printed only after the socket is
     bound, so supervisors and CI scripts can wait for it; with
     ``--port 0`` the kernel-assigned port is the one printed.
+
+    The access log (one JSON line per request, stderr) is enabled here
+    and only here: in-process embedders get a silent server unless they
+    call :func:`repro.observability.logging.configure_json_logging`
+    themselves.
     """
+    from repro.observability.logging import configure_json_logging
+
+    configure_json_logging()
     server = ReproServer(
         host=host,
         port=port,

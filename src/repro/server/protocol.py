@@ -35,13 +35,18 @@ from typing import Dict, List, Optional, Tuple
 #: Commands the service executes, mirroring the one-shot CLI.
 COMMANDS = ("predict", "check", "ranges", "ir", "run")
 
-#: Options shared by every command (the CLI's analysis flags).
+#: Options shared by every command (the CLI's analysis flags, plus
+#: ``trace`` -- "return the engine's spans with the response").  ``trace``
+#: is observational: :func:`canonical_options` leaves it out of the
+#: cache key, and the spans are attached after the cache decision, so a
+#: traced request and an untraced one share results byte-for-byte.
 _ANALYSIS_OPTIONS = {
     "intra": bool,
     "numeric": bool,
     "no_derive": bool,
     "track_arrays": bool,
     "max_ranges": int,
+    "trace": bool,
 }
 
 #: Extra options per command.

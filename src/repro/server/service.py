@@ -176,9 +176,19 @@ def _render_check(module, prediction, program: str, options: Dict[str, object]):
 
 
 def degraded_payload(
-    command: str, source: str, name: str, options: Dict[str, object]
+    command: str,
+    source: str,
+    name: str,
+    options: Dict[str, object],
+    reason: str = "timeout",
 ) -> dict:
-    """The heuristics-only stand-in served after a timeout."""
+    """The heuristics-only stand-in served after a timeout.
+
+    ``reason`` travels on the payload as ``degraded_reason`` so clients
+    (``repro submit --verbose``) can report *why* the answer degraded.
+    Degraded payloads are never cached, so the field cannot leak into a
+    cached fresh result.
+    """
     from repro.heuristics import BallLarusPredictor
     from repro.lang import LexError, LoweringError, ParseError
 
@@ -193,16 +203,18 @@ def degraded_payload(
             for label, probability in predictor.predict_function(function).items():
                 branches[(function_name, label)] = probability
         output = rendering.branch_table(branches, set(branches))
-        return dict(_ok(command, output, degraded=True))
+        return dict(_ok(command, output, degraded=True), degraded_reason=reason)
     if command == "check":
         from repro.diagnostics.engine import CheckReport
 
         program = name if name != "-" else module.name
         report = CheckReport(program=program)
         rendered = _render_empty_check(report, program, options)
-        return dict(_ok(command, rendered, degraded=True))
+        return dict(_ok(command, rendered, degraded=True), degraded_reason=reason)
     return dict(
-        protocol.error_response(command, "analysis timed out"), degraded=True
+        protocol.error_response(command, "analysis timed out"),
+        degraded=True,
+        degraded_reason=reason,
     )
 
 
@@ -263,46 +275,99 @@ class AnalysisService:
 
     # -- single requests -----------------------------------------------------
 
-    def execute(self, body: dict, command: Optional[str] = None) -> dict:
-        """One request -> one response.  Raises ProtocolError on bad input."""
+    def execute(
+        self,
+        body: dict,
+        command: Optional[str] = None,
+        trace_id: Optional[str] = None,
+    ) -> dict:
+        """One request -> one response.  Raises ProtocolError on bad input.
+
+        ``trace_id`` (minted or adopted by the HTTP layer) enters the
+        ambient trace context for the duration of the request, so
+        engine spans and the metrics ``tracing`` key correlate with the
+        access log.  It runs here -- on the *worker* thread -- because
+        :class:`contextvars.ContextVar` values do not cross the pool's
+        thread boundary on their own.
+        """
+        from repro.observability import context as tracecontext
+
+        if trace_id is None:
+            return self._execute(body, command)
+        with tracecontext.use(tracecontext.mint(trace_id)):
+            return self._execute(body, command)
+
+    def _execute(self, body: dict, command: Optional[str] = None) -> dict:
+        from repro.observability import chrometrace
+        from repro.observability import context as tracecontext
+        from repro.observability import tracer as tracing
+
         command, source, name, options = validate_request(body, command)
         merged = dict(self.base_options)
         merged.update(options)
         started = time.perf_counter()
         config = build_config(merged)
+        want_trace = bool(merged.get("trace"))
         # The display name only reaches the output of ``check`` (report
         # headers name the program); other commands normalise it out of
-        # the key so renames do not shatter the cache.
+        # the key so renames do not shatter the cache.  ``trace`` never
+        # reaches the key (canonical_options drops it) and the spans are
+        # attached below, after the cache decision: a traced request and
+        # an untraced one share one cache entry.
         key_name = name if command == "check" else "-"
         key = request_key(
             command, source, key_name, protocol.canonical_options(command, merged),
             config,
         )
         payload, tier = self.cache.get(key)
+        tracer = tracing.Tracer(record_events=False) if want_trace else None
         if payload is None:
+            def compute() -> dict:
+                if tracer is None:
+                    return analyze_payload(command, source, name, merged, config)
+                # The tracer enters the context *inside* the closure:
+                # under a deadline the closure runs on a helper thread
+                # that does not inherit this thread's context vars.
+                with tracing.use(tracer), tracer.span("request"):
+                    return analyze_payload(command, source, name, merged, config)
+
             try:
-                payload = _run_with_deadline(
-                    lambda: analyze_payload(command, source, name, merged, config),
-                    self.timeout_s,
-                )
+                payload = _run_with_deadline(compute, self.timeout_s)
             except AnalysisTimeout:
-                payload = degraded_payload(command, source, name, merged)
+                payload = degraded_payload(
+                    command, source, name, merged,
+                    reason=f"deadline: analysis exceeded {self.timeout_s}s",
+                )
             if not payload.get("degraded"):
                 self.cache.put(key, payload)
         response = dict(payload)
         response["key"] = key
         response["cached"] = tier
         response["elapsed_ms"] = round((time.perf_counter() - started) * 1000, 3)
+        if want_trace:
+            # tuple(): on a timeout the abandoned helper thread may
+            # still be appending spans while we serialise.
+            response["trace"] = chrometrace.serialize_spans(
+                tuple(tracer.spans) if tracer is not None else ()
+            )
+            current_id = tracecontext.current_trace_id()
+            if current_id is not None:
+                response["trace_id"] = current_id
         return response
 
-    def execute_item(self, body: dict, command: Optional[str] = None) -> dict:
+    def execute_item(
+        self,
+        body: dict,
+        command: Optional[str] = None,
+        trace_id: Optional[str] = None,
+    ) -> dict:
         """Like :meth:`execute`, but protocol errors become responses.
 
         Batch items use this so one malformed item fails *itself*, not
         the whole batch.
         """
         try:
-            return self.execute(body, command)
+            return self.execute(body, command, trace_id=trace_id)
         except ProtocolError as error:
             response = protocol.error_response(
                 body.get("command") if isinstance(body, dict) else None,
@@ -317,6 +382,7 @@ class AnalysisService:
         self,
         items: Sequence[dict],
         pool: Optional[WorkerPool] = None,
+        trace_id: Optional[str] = None,
     ) -> List[dict]:
         """A multi-file submission, fanned out item-per-job.
 
@@ -329,7 +395,10 @@ class AnalysisService:
         """
         if pool is not None and len(items) > 1:
             futures = pool.submit_many(
-                [(self.execute_item, (item,), {}) for item in items]
+                [
+                    (self.execute_item, (item,), {"trace_id": trace_id})
+                    for item in items
+                ]
             )
             return [future.result() for future in futures]
-        return [self.execute_item(item) for item in items]
+        return [self.execute_item(item, trace_id=trace_id) for item in items]

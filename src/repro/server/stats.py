@@ -102,9 +102,15 @@ class ServerStats:
         cache_stats: Optional[dict] = None,
         queue_depth: Optional[int] = None,
         queue_high_water: Optional[int] = None,
-        tracer=None,
+        tracer_summary: Optional[dict] = None,
     ) -> dict:
-        """The metrics schema v5 ``server`` document fragment."""
+        """The metrics schema v5 ``server`` document fragment.
+
+        ``tracer_summary`` must be gathered by the caller *under its
+        own tracer lock* (see :meth:`ReproServer.tracer_summary`):
+        handing the live tracer here raced against concurrent
+        ``emit()`` calls mutating ``event_counts`` mid-iteration.
+        """
         with self._lock:
             out: Dict[str, object] = {
                 "endpoints": {
@@ -123,10 +129,6 @@ class ServerStats:
                 "depth": queue_depth,
                 "high_water": queue_high_water or 0,
             }
-        if tracer is not None and tracer.enabled:
-            out["tracer"] = {
-                "spans": len(tracer.spans),
-                "event_counts": dict(sorted(tracer.event_counts.items())),
-                "dropped_events": tracer.dropped_events,
-            }
+        if tracer_summary is not None:
+            out["tracer"] = tracer_summary
         return out

@@ -1,0 +1,109 @@
+"""Chrome trace-event export: wire spans, documents, validation."""
+
+import json
+
+from repro.observability import chrometrace
+from repro.observability.tracer import Tracer
+
+
+def record_spans() -> Tracer:
+    tracer = Tracer()
+    with tracer.span("outer"):
+        with tracer.span("inner"):
+            pass
+    return tracer
+
+
+class TestSerializeSpans:
+    def test_relative_offsets(self):
+        wire = chrometrace.serialize_spans(record_spans().spans)
+        assert [span["name"] for span in wire] == ["outer", "inner"]
+        assert wire[0]["start_us"] == 0.0
+        assert wire[1]["start_us"] >= 0.0
+        assert wire[0]["dur_us"] >= wire[1]["dur_us"]
+        assert wire[0]["parent"] is None
+        assert wire[1]["parent"] == 0
+
+    def test_open_spans_are_skipped(self):
+        tracer = Tracer()
+        context = tracer.span("open")
+        context.__enter__()
+        assert chrometrace.serialize_spans(tracer.spans) == []
+        context.__exit__(None, None, None)
+        assert len(chrometrace.serialize_spans(tracer.spans)) == 1
+
+    def test_empty(self):
+        assert chrometrace.serialize_spans([]) == []
+
+
+class TestEvents:
+    def test_complete_event_shape(self):
+        event = chrometrace.complete_event("x", 1.0, 2.0, args={"k": "v"})
+        assert event["ph"] == "X"
+        assert event["ts"] == 1.0 and event["dur"] == 2.0
+        assert event["pid"] == 1 and event["tid"] == 1
+        assert event["args"] == {"k": "v"}
+
+    def test_events_from_wire_spans_rebase(self):
+        wire = [{"name": "a", "start_us": 10.0, "dur_us": 5.0, "parent": None}]
+        (event,) = chrometrace.events_from_wire_spans(
+            wire, 1000.0, tid=7, trace_id="ab" * 16
+        )
+        assert event["ts"] == 1010.0
+        assert event["dur"] == 5.0
+        assert event["tid"] == 7
+        assert event["args"]["trace_id"] == "ab" * 16
+
+    def test_malformed_wire_spans_are_ignored(self):
+        events = chrometrace.events_from_wire_spans(
+            ["junk", {"nameless": 1}, {"name": "ok"}], 0.0
+        )
+        assert [event["name"] for event in events] == ["ok"]
+
+
+class TestDocument:
+    def test_round_trip_is_valid(self, tmp_path):
+        wire = chrometrace.serialize_spans(record_spans().spans)
+        events = [chrometrace.metadata_event("process_name", 1, "test")]
+        events += chrometrace.events_from_wire_spans(wire, 0.0)
+        path = tmp_path / "trace.json"
+        chrometrace.write_chrome_trace(str(path), events, trace_id="cd" * 16)
+        document = json.loads(path.read_text())
+        assert chrometrace.validate_chrome_trace(document) == []
+        assert document["displayTimeUnit"] == "ms"
+        assert document["otherData"]["trace_id"] == "cd" * 16
+
+    def test_bare_array_flavour_validates(self):
+        events = [chrometrace.complete_event("x", 0.0, 1.0)]
+        assert chrometrace.validate_chrome_trace(events) == []
+
+
+class TestValidate:
+    def test_rejects_non_container(self):
+        assert chrometrace.validate_chrome_trace("nope")
+        assert chrometrace.validate_chrome_trace({"no_events": 1})
+
+    def test_rejects_empty(self):
+        assert chrometrace.validate_chrome_trace({"traceEvents": []})
+
+    def test_rejects_bad_phase(self):
+        problems = chrometrace.validate_chrome_trace(
+            [{"name": "x", "ph": "Z", "pid": 1}]
+        )
+        assert any("phase" in problem for problem in problems)
+
+    def test_rejects_negative_and_missing_timing(self):
+        bad = [
+            {"name": "x", "ph": "X", "pid": 1, "tid": 1, "ts": -1.0, "dur": 1.0},
+            {"name": "y", "ph": "X", "pid": 1, "tid": 1, "ts": 0.0},
+        ]
+        problems = chrometrace.validate_chrome_trace(bad)
+        assert any("'ts'" in problem for problem in problems)
+        assert any("'dur'" in problem for problem in problems)
+
+    def test_rejects_missing_name_and_pid(self):
+        problems = chrometrace.validate_chrome_trace(
+            [{"ph": "X", "ts": 0.0, "dur": 1.0, "tid": 1}]
+        )
+        assert any("name" in problem for problem in problems)
+        assert any("pid" in problem for problem in problems)

@@ -1,0 +1,91 @@
+"""Trace-context mechanics: ids, minting, ambient propagation."""
+
+import re
+
+from repro.observability import context as tracecontext
+
+
+class TestIds:
+    def test_trace_id_shape(self):
+        assert re.fullmatch(r"[0-9a-f]{32}", tracecontext.new_trace_id())
+
+    def test_span_id_shape(self):
+        assert re.fullmatch(r"[0-9a-f]{16}", tracecontext.new_span_id())
+
+    def test_ids_are_unique(self):
+        assert len({tracecontext.new_trace_id() for _ in range(64)}) == 64
+
+    def test_valid_trace_id(self):
+        assert tracecontext.valid_trace_id("ab" * 16)
+        assert not tracecontext.valid_trace_id("AB" * 16)  # uppercase
+        assert not tracecontext.valid_trace_id("ab" * 8)  # too short
+        assert not tracecontext.valid_trace_id(None)
+        assert not tracecontext.valid_trace_id(12345)
+
+    def test_valid_span_id(self):
+        assert tracecontext.valid_span_id("cd" * 8)
+        assert not tracecontext.valid_span_id("cd" * 16)
+
+
+class TestMint:
+    def test_mint_fresh(self):
+        context = tracecontext.mint()
+        assert tracecontext.valid_trace_id(context.trace_id)
+        assert tracecontext.valid_span_id(context.span_id)
+        assert context.parent_span_id is None
+
+    def test_mint_adopts_given_trace_id(self):
+        trace_id = "12" * 16
+        assert tracecontext.mint(trace_id).trace_id == trace_id
+
+    def test_child_keeps_trace_links_parent(self):
+        parent = tracecontext.mint()
+        child = parent.child()
+        assert child.trace_id == parent.trace_id
+        assert child.span_id != parent.span_id
+        assert child.parent_span_id == parent.span_id
+
+    def test_as_dict(self):
+        context = tracecontext.TraceContext("a" * 32, "b" * 16)
+        assert context.as_dict() == {
+            "trace_id": "a" * 32,
+            "span_id": "b" * 16,
+            "parent_span_id": None,
+        }
+
+
+class TestAmbient:
+    def test_default_is_none(self):
+        assert tracecontext.current() is None
+        assert tracecontext.current_trace_id() is None
+
+    def test_use_scopes_the_context(self):
+        context = tracecontext.mint()
+        with tracecontext.use(context):
+            assert tracecontext.current() is context
+            assert tracecontext.current_trace_id() == context.trace_id
+        assert tracecontext.current() is None
+
+    def test_use_nests_and_restores(self):
+        outer, inner = tracecontext.mint(), tracecontext.mint()
+        with tracecontext.use(outer):
+            with tracecontext.use(inner):
+                assert tracecontext.current() is inner
+            assert tracecontext.current() is outer
+
+    def test_tracer_spans_pick_up_the_trace_id(self):
+        from repro.observability.tracer import Tracer
+
+        tracer = Tracer()
+        context = tracecontext.mint()
+        with tracer.span("outside"):
+            pass
+        with tracecontext.use(context):
+            with tracer.span("inside"):
+                pass
+        outside, inside = tracer.spans
+        assert outside.trace_id is None
+        assert inside.trace_id == context.trace_id
+
+    def test_header_name(self):
+        assert tracecontext.TRACE_HEADER == "X-Repro-Trace-Id"

@@ -1,0 +1,114 @@
+"""Structured JSON logging: line shape, trace correlation, idempotence."""
+
+import io
+import json
+import logging
+
+import pytest
+
+from repro.observability import context as tracecontext
+from repro.observability.logging import (
+    FIELDS_KEY,
+    ROOT_LOGGER,
+    JsonFormatter,
+    configure_json_logging,
+    get_logger,
+    log_event,
+)
+
+
+@pytest.fixture
+def clean_root():
+    """Restore the repro root logger after each test."""
+    root = logging.getLogger(ROOT_LOGGER)
+    saved = (list(root.handlers), root.level, root.propagate)
+    yield root
+    root.handlers[:] = saved[0]
+    root.setLevel(saved[1])
+    root.propagate = saved[2]
+
+
+def capture(stream: io.StringIO) -> list:
+    return [json.loads(line) for line in stream.getvalue().splitlines()]
+
+
+class TestJsonLines:
+    def test_one_line_one_object(self, clean_root):
+        stream = io.StringIO()
+        configure_json_logging(stream)
+        log_event(get_logger("t"), "hello", status=200)
+        (line,) = capture(stream)
+        assert line["message"] == "hello"
+        assert line["status"] == 200
+        assert line["level"] == "INFO"
+        assert line["logger"] == "repro.t"
+        assert line["ts"].endswith("Z")
+
+    def test_trace_correlation(self, clean_root):
+        stream = io.StringIO()
+        configure_json_logging(stream)
+        context = tracecontext.mint()
+        with tracecontext.use(context):
+            log_event(get_logger("t"), "traced")
+        log_event(get_logger("t"), "untraced")
+        traced, untraced = capture(stream)
+        assert traced["trace_id"] == context.trace_id
+        assert traced["span_id"] == context.span_id
+        assert "trace_id" not in untraced
+
+    def test_unserialisable_fields_degrade_to_repr(self, clean_root):
+        stream = io.StringIO()
+        configure_json_logging(stream)
+        log_event(get_logger("t"), "odd", thing=object())
+        (line,) = capture(stream)
+        assert "object object" in line["thing"]
+
+    def test_exception_info_is_rendered(self, clean_root):
+        stream = io.StringIO()
+        configure_json_logging(stream)
+        log = get_logger("t")
+        try:
+            raise ValueError("boom")
+        except ValueError:
+            log.exception("failed")
+        (line,) = capture(stream)
+        assert line["level"] == "ERROR"
+        assert "ValueError: boom" in line["exc_info"]
+
+    def test_fields_cannot_clobber_core_keys(self, clean_root):
+        stream = io.StringIO()
+        configure_json_logging(stream)
+        log = get_logger("t")
+        log.info("msg", extra={FIELDS_KEY: {"message": "spoof", "level": "spoof"}})
+        (line,) = capture(stream)
+        assert line["message"] == "msg"
+        assert line["level"] == "INFO"
+
+
+class TestConfigure:
+    def test_idempotent(self, clean_root):
+        stream = io.StringIO()
+        configure_json_logging(stream)
+        configure_json_logging(stream)
+        json_handlers = [
+            h
+            for h in logging.getLogger(ROOT_LOGGER).handlers
+            if getattr(h, "_repro_json", False)
+        ]
+        assert len(json_handlers) == 1
+        log_event(get_logger("t"), "once")
+        assert len(capture(stream)) == 1
+
+    def test_unconfigured_library_use_is_silent(self, clean_root):
+        # No handler installed: INFO events go nowhere and raise nothing.
+        log_event(get_logger("quiet"), "nobody hears this")
+
+    def test_formatter_direct(self):
+        record = logging.LogRecord(
+            "repro.x", logging.WARNING, __file__, 1, "warn %s", ("me",), None
+        )
+        setattr(record, FIELDS_KEY, {"k": "v"})
+        line = json.loads(JsonFormatter().format(record))
+        assert line["message"] == "warn me"
+        assert line["k"] == "v"
+        assert line["level"] == "WARNING"

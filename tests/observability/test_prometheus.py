@@ -1,0 +1,157 @@
+"""Prometheus exposition: rendering from ServerStats and the strict parser."""
+
+import pytest
+
+from repro.observability.prometheus import (
+    MetricFamily,
+    PrometheusParseError,
+    parse_prometheus_text,
+    render_server_metrics,
+)
+from repro.server.stats import LATENCY_BUCKETS_MS, ServerStats
+
+
+def populated_snapshot() -> dict:
+    stats = ServerStats()
+    stats.record_request("/v1/predict", 200, 3.0, cached="memory")
+    stats.record_request("/v1/predict", 200, 30.0)
+    stats.record_request("/v1/predict", 400, 1.0)
+    stats.record_request("/healthz", 200, 0.5)
+    stats.record_request("/v1/check", 200, 9000.0, degraded=True)
+    stats.record_rejected("queue_full")
+    return stats.snapshot(
+        cache_stats={
+            "memory": {"entries": 2, "hits": 1, "misses": 4},
+            "disk": {"hits": 0, "misses": 0},
+        },
+        queue_depth=1,
+        queue_high_water=3,
+    )
+
+
+class TestRender:
+    def test_round_trips_through_the_parser(self):
+        text = render_server_metrics(
+            populated_snapshot(), uptime_s=12.5, workers=4
+        )
+        families = parse_prometheus_text(text)
+        assert families["repro_requests_total"]["type"] == "counter"
+        assert families["repro_request_latency_seconds"]["type"] == "histogram"
+        assert families["repro_uptime_seconds"]["type"] == "gauge"
+
+    def test_counter_values(self):
+        text = render_server_metrics(populated_snapshot())
+        families = parse_prometheus_text(text)
+
+        def value(family, wanted_labels, name=None):
+            for sample_name, labels, sample_value in families[family]["samples"]:
+                if labels == wanted_labels and (
+                    name is None or sample_name == name
+                ):
+                    return sample_value
+            raise AssertionError(f"no sample {wanted_labels} in {family}")
+
+        assert value("repro_requests_total", {"endpoint": "/v1/predict"}) == 3
+        assert value("repro_request_errors_total", {"endpoint": "/v1/predict"}) == 1
+        assert value("repro_responses_total", {"status": "200"}) == 4
+        assert value("repro_results_total", {"tier": "memory"}) == 1
+        assert value("repro_results_total", {"tier": "fresh"}) == 3
+        assert value("repro_degraded_total", {}) == 1
+        assert value("repro_rejected_total", {"reason": "queue_full"}) == 1
+        assert value("repro_cache_entries", {"tier": "memory"}) == 2
+        assert value("repro_queue_depth", {}) == 1
+        assert value("repro_queue_high_water", {}) == 3
+
+    def test_histogram_is_cumulative_with_inf(self):
+        text = render_server_metrics(populated_snapshot())
+        families = parse_prometheus_text(text)
+        samples = families["repro_request_latency_seconds"]["samples"]
+        buckets = [
+            (labels["le"], value)
+            for name, labels, value in samples
+            if name.endswith("_bucket") and labels["endpoint"] == "/v1/predict"
+        ]
+        # One bucket per SLO bound plus +Inf.
+        assert len(buckets) == len(LATENCY_BUCKETS_MS) + 1
+        values = [value for _, value in buckets]
+        assert values == sorted(values)  # cumulative
+        assert buckets[-1][0] == "+Inf"
+        assert buckets[-1][1] == 3  # total count
+        count = [
+            value
+            for name, labels, value in samples
+            if name.endswith("_count") and labels == {"endpoint": "/v1/predict"}
+        ]
+        assert count == [3]
+
+    def test_slow_request_lands_in_inf_only(self):
+        text = render_server_metrics(populated_snapshot())
+        families = parse_prometheus_text(text)
+        check_buckets = {
+            labels["le"]: value
+            for name, labels, value in families[
+                "repro_request_latency_seconds"
+            ]["samples"]
+            if name.endswith("_bucket") and labels["endpoint"] == "/v1/check"
+        }
+        assert check_buckets["5"] == 0  # 9s is past the last 5s bound
+        assert check_buckets["+Inf"] == 1
+
+    def test_invalid_metric_name_rejected_at_construction(self):
+        with pytest.raises(ValueError):
+            MetricFamily("bad name", "counter", "help")
+
+
+class TestParser:
+    def test_requires_type_before_samples(self):
+        with pytest.raises(PrometheusParseError, match="no preceding TYPE"):
+            parse_prometheus_text("repro_x_total 1\n")
+
+    def test_rejects_unknown_type(self):
+        with pytest.raises(PrometheusParseError, match="unknown metric type"):
+            parse_prometheus_text("# TYPE repro_x bogus\n")
+
+    def test_rejects_duplicate_type(self):
+        text = "# TYPE a counter\na 1\n# TYPE a counter\n"
+        with pytest.raises(PrometheusParseError, match="duplicate TYPE"):
+            parse_prometheus_text(text)
+
+    def test_rejects_malformed_labels(self):
+        text = '# TYPE a counter\na{key=unquoted} 1\n'
+        with pytest.raises(PrometheusParseError, match="malformed label"):
+            parse_prometheus_text(text)
+
+    def test_rejects_unparseable_value(self):
+        text = "# TYPE a counter\na notanumber\n"
+        with pytest.raises(PrometheusParseError, match="unparseable value"):
+            parse_prometheus_text(text)
+
+    def test_rejects_histogram_without_count(self):
+        text = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="+Inf"} 1\n'
+            "h_sum 0.5\n"
+        )
+        with pytest.raises(PrometheusParseError, match="_count"):
+            parse_prometheus_text(text)
+
+    def test_rejects_bucket_without_le(self):
+        text = (
+            "# TYPE h histogram\n"
+            "h_bucket 1\n"
+            "h_sum 0.5\n"
+            "h_count 1\n"
+        )
+        with pytest.raises(PrometheusParseError, match="'le'"):
+            parse_prometheus_text(text)
+
+    def test_accepts_inf_values_and_labels(self):
+        text = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="0.001"} 2\n'
+            'h_bucket{le="+Inf"} 3\n'
+            "h_sum 1.25\n"
+            "h_count 3\n"
+        )
+        families = parse_prometheus_text(text)
+        assert len(families["h"]["samples"]) == 4

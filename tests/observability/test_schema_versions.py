@@ -1,4 +1,4 @@
-"""Metrics schema compatibility: v1-v4 documents still validate under v5."""
+"""Metrics schema compatibility: v1-v5 documents still validate under v6."""
 
 from repro.observability.metrics import (
     OPTIONAL_KEYS,
@@ -45,10 +45,18 @@ class TestHistoricalDocuments:
         )
         assert validate_report_dict(document) is None
 
+    def test_v6_with_profile_and_tracing_validates(self):
+        document = dict(
+            base_document(6),
+            diagnostics=[], perf={}, passes={}, server={},
+            profile={"wall_seconds": 0.1}, tracing={"trace_id": "0" * 32},
+        )
+        assert validate_report_dict(document) is None
+
 
 class TestSchemaShape:
-    def test_current_version_is_5(self):
-        assert SCHEMA_VERSION == 5
+    def test_current_version_is_6(self):
+        assert SCHEMA_VERSION == 6
 
     def test_every_new_key_since_v1_is_optional(self):
         required = set(SCHEMA_KEYS) - set(OPTIONAL_KEYS)
@@ -57,17 +65,18 @@ class TestSchemaShape:
             "meta",
         }
 
-    def test_server_is_optional(self):
-        assert "server" in OPTIONAL_KEYS
-        assert "server" in SCHEMA_KEYS
+    def test_v6_keys_are_optional(self):
+        for key in ("profile", "tracing"):
+            assert key in OPTIONAL_KEYS
+            assert key in SCHEMA_KEYS
 
     def test_missing_required_key_is_an_error(self):
-        document = base_document(5)
+        document = base_document(6)
         del document["counters"]
         assert "counters" in validate_report_dict(document)
 
     def test_malformed_branch_record_is_an_error(self):
-        document = base_document(5)
+        document = base_document(6)
         document["branches"] = [{"function": "main"}]
         assert "label" in validate_report_dict(document)
 
@@ -77,6 +86,18 @@ class TestSchemaShape:
         assert clone.server == {"degraded": 3}
         assert clone.schema_version == SCHEMA_VERSION
 
-    def test_from_dict_accepts_documents_without_server(self):
+    def test_report_roundtrip_preserves_profile_and_tracing(self):
+        report = MetricsReport(
+            program="p",
+            profile={"wall_seconds": 1.5, "spans": []},
+            tracing={"trace_id": "ab" * 16, "span_id": "cd" * 8},
+        )
+        clone = MetricsReport.from_dict(report.to_dict())
+        assert clone.profile == {"wall_seconds": 1.5, "spans": []}
+        assert clone.tracing == {"trace_id": "ab" * 16, "span_id": "cd" * 8}
+
+    def test_from_dict_accepts_documents_without_new_keys(self):
         report = MetricsReport.from_dict(base_document(4))
         assert report.server == {}
+        assert report.profile == {}
+        assert report.tracing == {}

@@ -136,5 +136,71 @@ class TestEmitMetrics:
         assert f"metrics written to {out_path}" in capsys.readouterr().out
         document = json.loads(out_path.read_text(encoding="utf-8"))
         assert validate_report_dict(document) is None
-        assert document["schema_version"] == 5
+        assert document["schema_version"] == 6
         assert document["server"]["endpoints"]["/v1/predict"]["count"] >= 1
+
+
+class TestVerboseProvenance:
+    def test_degraded_response_prints_the_reason(self, capsys, tmp_path):
+        server = ReproServer(port=0, workers=2, queue_size=8, timeout_s=0.0)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            path = tmp_path / "p.toy"
+            path.write_text(PROGRAM, encoding="utf-8")
+            assert submit(server, "--verbose", str(path)) == 0
+            err = capsys.readouterr().err
+            assert "degraded=True" in err
+            assert "reason=" in err
+            assert "deadline" in err
+        finally:
+            server.drain(timeout=10)
+
+    def test_error_response_prints_the_error(self, capsys, tmp_path, served):
+        path = tmp_path / "bad.toy"
+        path.write_text(BROKEN, encoding="utf-8")
+        assert submit(served, "--verbose", str(path)) == 1
+        err = capsys.readouterr().err
+        assert "status=error" in err
+        assert "error=" in err
+
+    def test_verbose_line_carries_the_trace_id(self, capsys, tmp_path, served):
+        path = tmp_path / "p.toy"
+        path.write_text(PROGRAM, encoding="utf-8")
+        trace = tmp_path / "trace.json"
+        code = submit(
+            served, "--verbose", "--trace-out", str(trace), str(path)
+        )
+        assert code == 0
+        err = capsys.readouterr().err
+        document = json.loads(trace.read_text(encoding="utf-8"))
+        assert f"trace_id={document['otherData']['trace_id']}" in err
+
+
+class TestTraceOut:
+    def test_writes_a_valid_chrome_trace(self, capsys, tmp_path, served):
+        from repro.observability.chrometrace import validate_chrome_trace
+
+        path = tmp_path / "p.toy"
+        path.write_text(PROGRAM, encoding="utf-8")
+        trace = tmp_path / "trace.json"
+        assert submit(served, "--trace-out", str(trace), str(path)) == 0
+        assert f"trace written to {trace}" in capsys.readouterr().out
+        document = json.loads(trace.read_text(encoding="utf-8"))
+        assert validate_chrome_trace(document) == []
+        names = [event["name"] for event in document["traceEvents"]]
+        # The client-side submit span plus the server's wire spans.
+        assert any(name.startswith("submit:") for name in names)
+        assert "request" in names
+
+    def test_trace_out_does_not_change_stdout(self, capsys, tmp_path, served):
+        path = tmp_path / "p.toy"
+        path.write_text(PROGRAM, encoding="utf-8")
+        assert main(["predict", str(path)]) == 0
+        expected = capsys.readouterr().out
+        trace = tmp_path / "trace.json"
+        assert submit(served, "--trace-out", str(trace), str(path)) == 0
+        out = capsys.readouterr().out
+        # Only the trailing "trace written to" line is added.
+        assert out.splitlines()[-1].startswith("trace written to")
+        assert out.splitlines()[:-1] == expected.splitlines()
