@@ -34,6 +34,11 @@ def prepared_fp_suite():
     return [prepare_workload(w) for w in suite("fp")]
 
 
+@pytest.fixture(scope="session")
+def prepared_inter_suite():
+    return [prepare_workload(w) for w in suite("inter")]
+
+
 def emit(results_dir: pathlib.Path, name: str, text: str) -> None:
     """Print a figure table and persist it under benchmarks/results/."""
     print()

@@ -96,6 +96,7 @@ def _config_from_args(args: argparse.Namespace) -> VRPConfig:
         derive_loops=not args.no_derive,
         track_arrays=args.track_arrays,
         sanitize=getattr(args, "sanitize", False),
+        context_depth=max(0, getattr(args, "context_depth", 0)),
     )
     # Only force the field when asked; the default tracks REPRO_PERF.
     if getattr(args, "no_perf", False):
@@ -511,19 +512,28 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
     from repro.workloads import get_workload, suite
 
     emit_metrics = getattr(args, "emit_metrics", None)
+    context_depth = max(0, getattr(args, "context_depth", 0))
     if args.workload:
         workload = get_workload(args.workload)
         prepared = prepare_workload(workload)
-        evaluation = evaluate_workload(workload, prepared=prepared)
+        evaluation = evaluate_workload(
+            workload, prepared=prepared, context_depth=context_depth
+        )
         series = {
             name: error_cdf(records, weighted=args.weighted)
             for name, records in evaluation.records.items()
         }
         print(format_cdf_table(series, title=f"workload {workload.name}"))
         if emit_metrics:
+            from repro.core import VRPConfig
             from repro.evalharness.runner import workload_metrics
 
-            _emit_metrics(workload_metrics(prepared), emit_metrics)
+            _emit_metrics(
+                workload_metrics(
+                    prepared, VRPConfig(context_depth=context_depth)
+                ),
+                emit_metrics,
+            )
         return 0
     suite_name = args.suite or "fp"
     if suite_name == "all":
@@ -536,6 +546,7 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
         suite_name,
         jobs=max(1, args.jobs),
         with_metrics=bool(emit_metrics),
+        context_depth=context_depth,
     )
     print(
         format_suite_figure(
@@ -563,6 +574,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
         base_options["track_arrays"] = True
     if args.max_ranges != 4:
         base_options["max_ranges"] = args.max_ranges
+    if args.context_depth:
+        base_options["context_depth"] = args.context_depth
     return serve_daemon(
         host=args.host,
         port=args.port,
@@ -670,6 +683,8 @@ def cmd_submit(args: argparse.Namespace) -> int:
         options["track_arrays"] = True
     if args.max_ranges != 4:
         options["max_ranges"] = args.max_ranges
+    if args.context_depth:
+        options["context_depth"] = args.context_depth
     if command == "check":
         options["format"] = args.format
         options["fail_on"] = args.fail_on
@@ -846,6 +861,14 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--track-arrays", action="store_true", help="track array contents")
         p.add_argument("--max-ranges", type=int, default=4, help="ranges per variable (default 4)")
         p.add_argument(
+            "--context-depth",
+            type=int,
+            default=0,
+            metavar="K",
+            help="k-limited context-sensitive interprocedural analysis "
+            "(default 0 = context-insensitive)",
+        )
+        p.add_argument(
             "--sanitize",
             action="store_true",
             help="validate engine lattice invariants while propagating",
@@ -990,9 +1013,18 @@ def build_parser() -> argparse.ArgumentParser:
     evaluate_cmd = sub.add_parser("evaluate", help="score predictors (figures 7/8)")
     evaluate_cmd.add_argument("--workload", help="one workload by name")
     evaluate_cmd.add_argument(
-        "--suite", choices=["int", "fp", "all"], help="whole suite ('all' = int + fp)"
+        "--suite",
+        choices=["int", "fp", "inter", "all"],
+        help="whole suite ('all' = int + fp)",
     )
     evaluate_cmd.add_argument("--weighted", action="store_true")
+    evaluate_cmd.add_argument(
+        "--context-depth",
+        type=int,
+        default=0,
+        metavar="K",
+        help="k-limited context sensitivity for the VRP lines (default 0)",
+    )
     evaluate_cmd.add_argument(
         "--jobs",
         type=int,
@@ -1054,6 +1086,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve_cmd.add_argument(
         "--max-ranges", type=int, default=4, help=argparse.SUPPRESS
+    )
+    serve_cmd.add_argument(
+        "--context-depth", type=int, default=0, help=argparse.SUPPRESS
     )
     serve_cmd.set_defaults(handler=cmd_serve)
 

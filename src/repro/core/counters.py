@@ -35,6 +35,7 @@ class Counters:
         "derivations_attempted",
         "derivations_succeeded",
         "heuristic_fallbacks",
+        "interprocedural_round_caps",
         "flow_pushes",
         "ssa_pushes",
         "flow_dedup_hits",
@@ -50,6 +51,9 @@ class Counters:
         self.derivations_attempted = 0
         self.derivations_succeeded = 0
         self.heuristic_fallbacks = 0
+        # Times the interprocedural fixed point hit its round cap while a
+        # recursive SCC was still changing (results frozen, not converged).
+        self.interprocedural_round_caps = 0
         # Worklist pressure: pushes actually enqueued versus requests
         # swallowed because the item was already pending (deduplication).
         self.flow_pushes = 0

@@ -42,7 +42,9 @@ class CacheStats:
 
 
 # Cache names, one CacheStats each.  "engine_transfer" is the
-# per-instruction operand-identity skip inside the propagation engine.
+# per-instruction operand-identity skip inside the propagation engine;
+# "summary_context" is the interprocedural (function, context) → summary
+# memo of core/summaries.py.
 CACHE_NAMES = (
     "intern_bound",
     "intern_range",
@@ -56,6 +58,7 @@ CACHE_NAMES = (
     "constant",
     "boolean",
     "engine_transfer",
+    "summary_context",
 )
 
 

@@ -101,6 +101,7 @@ class VRPPredictor(Predictor):
                 heuristic=heuristic,
                 entry=entry,
                 entry_param_ranges=entry_param_ranges,
+                analysis_cache=analysis_cache,
             )
         predictions: Dict[str, FunctionPrediction] = {}
         import repro.core.counters as counters_mod

@@ -16,7 +16,7 @@ from typing import Dict, List, Optional
 from repro.core.config import VRPConfig
 from repro.core.interprocedural import ModulePrediction, analyse_module
 from repro.diagnostics.findings import Finding, severity_rank
-from repro.diagnostics.rules import all_findings
+from repro.diagnostics.rules import all_findings, module_findings
 from repro.ir import prepare_module
 from repro.ir.function import Module
 from repro.observability import events as obs_events
@@ -66,6 +66,8 @@ def check_module(
         if function_prediction is None:
             continue
         findings.extend(all_findings(function, function_prediction))
+    findings.extend(module_findings(module))
+    _attach_call_provenance(findings, prediction)
     findings.sort(key=Finding.sort_key)
     if trace is not None:
         for finding in findings:
@@ -80,6 +82,59 @@ def check_module(
                 )
             )
     return CheckReport(program=program, findings=findings)
+
+
+def _attach_call_provenance(
+    findings: List[Finding], prediction: ModulePrediction
+) -> None:
+    """Cite the call sites a summary-dependent proof rests on.
+
+    A rule that proved something about an SSA name records it under
+    ``evidence["operand"]``.  When the interprocedural driver marked
+    that name as summary-tainted, the proof transitively depends on
+    jump/return functions -- so the finding gains a
+    ``call_provenance`` evidence chain plus ``related`` locations (one
+    per contributing call site) for the text/JSON/SARIF renderers.
+    """
+    taint = getattr(prediction, "summary_taint", None)
+    if not taint:
+        return
+    for finding in findings:
+        operand = finding.evidence.get("operand")
+        if not operand:
+            continue
+        chain = prediction.provenance_chain(finding.function, operand)
+        if not chain:
+            continue
+        finding.evidence["call_provenance"] = chain
+        related: List[dict] = []
+        seen = set()
+        for source in chain:
+            if source["kind"] == "param":
+                what = (
+                    f"parameter '{source['param']}' of {source['function']} "
+                    f"is seeded by this call site (merged range "
+                    f"{source['range']})"
+                )
+            else:
+                what = (
+                    f"call result from {source['callee']} flows here "
+                    f"(return range {source['range']})"
+                )
+            for site in source.get("sites", ()):
+                key = (site["function"], site["block"], what)
+                if key in seen:
+                    continue
+                seen.add(key)
+                related.append(
+                    {
+                        "function": site["function"],
+                        "block": site["block"],
+                        "line": site["line"],
+                        "message": what,
+                    }
+                )
+        finding.related.extend(related)
 
 
 def check_source(

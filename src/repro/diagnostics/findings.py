@@ -12,7 +12,7 @@ re-running the analysis.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.rangeset import RangeSet
 
@@ -119,6 +119,18 @@ RULES: Tuple[Rule, ...] = (
             "value over an executable edge is a warning."
         ),
     ),
+    Rule(
+        id="unreachable-function",
+        default_severity=WARNING,
+        summary="function is never called from the entry point",
+        description=(
+            "Call-graph reachability from the module entry (main) never "
+            "visits this function: no chain of call sites leads to it, "
+            "so the whole body is dead code.  Calls through undefined "
+            "callees cannot hide an edge -- only defined functions "
+            "participate in the call graph."
+        ),
+    ),
 )
 
 RULES_BY_ID: Dict[str, Rule] = {rule.id: rule for rule in RULES}
@@ -155,6 +167,10 @@ class Finding:
     block: str
     line: Optional[int] = None
     evidence: Dict[str, object] = field(default_factory=dict)
+    #: Cross-function provenance: the call sites whose summaries the
+    #: proof depends on, as ``{"function", "block", "line", "message"}``
+    #: dicts.  Rendered as SARIF ``relatedLocations``.
+    related: List[Dict[str, object]] = field(default_factory=list)
 
     def sort_key(self) -> tuple:
         return (
@@ -167,7 +183,7 @@ class Finding:
         )
 
     def as_dict(self) -> dict:
-        return {
+        out = {
             "rule": self.rule,
             "severity": self.severity,
             "message": self.message,
@@ -176,3 +192,6 @@ class Finding:
             "line": self.line,
             "evidence": self.evidence,
         }
+        if self.related:
+            out["related"] = self.related
+        return out

@@ -22,6 +22,11 @@ def render_text(report: CheckReport) -> str:
             f"{location}: {finding.severity}: [{finding.rule}] "
             f"{finding.message} (in {finding.function}/{finding.block})"
         )
+        for site in finding.related:
+            where = f"{site['function']}/{site['block']}"
+            if site.get("line"):
+                where = f"{where}:{site['line']}"
+            lines.append(f"    via {where}: {site['message']}")
     counts = report.by_severity()
     if report.findings:
         summary = ", ".join(

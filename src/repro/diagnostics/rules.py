@@ -50,6 +50,11 @@ def all_findings(
 # -- shared helpers ------------------------------------------------------------
 
 
+def _operand_name(operand) -> Optional[str]:
+    """The SSA name behind an operand, for provenance lookups."""
+    return operand.name if isinstance(operand, Temp) else None
+
+
 def _operand_range(prediction: FunctionPrediction, operand) -> RangeSet:
     if isinstance(operand, Constant):
         return RangeSet.constant(operand.value)
@@ -166,6 +171,7 @@ def _dead_branches(
                 "probability": probability,
                 "condition_range": rangeset_payload(cond_range),
                 "dead_target": dead_target,
+                "operand": _operand_name(term.cond),
             },
         )
 
@@ -218,6 +224,7 @@ def _array_bounds(
                     "index_range": rangeset_payload(index_range),
                     "oob_mass": verdict.oob_mass,
                     "definitely_oob": verdict.definitely_oob,
+                    "operand": _operand_name(index),
                 },
             )
 
@@ -261,6 +268,7 @@ def _div_by_zero(
                     "operator": instr.op,
                     "divisor_range": rangeset_payload(divisor),
                     "zero_mass": mass,
+                    "operand": _operand_name(instr.rhs),
                 },
             )
 
@@ -438,6 +446,58 @@ def _reaches_real_use(function: Function) -> set:
                     reaches.add(value.name)
                     changed = True
     return reaches
+
+
+# -- module-scoped rules ------------------------------------------------------
+
+
+def module_findings(module, callgraph=None) -> List[Finding]:
+    """Rules over the whole module (call-graph reachability)."""
+    return list(_unreachable_functions(module, callgraph))
+
+
+def _unreachable_functions(module, callgraph=None) -> Iterable[Finding]:
+    """Defined functions no chain of call sites reaches from the entry.
+
+    Only meaningful when the module has a ``main`` entry; a library-like
+    module (no entry) has no reachability root, so the rule stays silent
+    rather than flagging everything.
+    """
+    entry = "main"
+    if entry not in module.functions:
+        return
+    if callgraph is None:
+        from repro.core.callgraph import CallGraph
+
+        callgraph = CallGraph(module)
+    reachable = {entry}
+    frontier = [entry]
+    while frontier:
+        name = frontier.pop()
+        for callee in callgraph.callees[name]:
+            if callee not in reachable:
+                reachable.add(callee)
+                frontier.append(callee)
+    for name, function in module.functions.items():
+        if name in reachable:
+            continue
+        entry_label = function.entry_label or ""
+        entry_block = function.blocks.get(entry_label)
+        yield Finding(
+            rule="unreachable-function",
+            severity=WARNING,
+            message=(
+                f"function {name} is never called: no chain of call "
+                f"sites reaches it from {entry}"
+            ),
+            function=name,
+            block=entry_label,
+            line=_block_line(entry_block) if entry_block is not None else None,
+            evidence={
+                "entry": entry,
+                "callers": sorted(callgraph.callers.get(name, ())),
+            },
+        )
 
 
 def _uninitialised(

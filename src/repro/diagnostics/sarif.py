@@ -59,6 +59,30 @@ def sarif_report(report: CheckReport, artifact_uri: Optional[str] = None) -> dic
             ],
             "properties": {"evidence": finding.evidence},
         }
+        if finding.related:
+            result["relatedLocations"] = [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {"uri": uri},
+                        **(
+                            {"region": {"startLine": site["line"]}}
+                            if site.get("line")
+                            else {}
+                        ),
+                    },
+                    "logicalLocations": [
+                        {
+                            "name": site["function"],
+                            "fullyQualifiedName": (
+                                f"{site['function']}/{site['block']}"
+                            ),
+                            "kind": "function",
+                        }
+                    ],
+                    "message": {"text": site["message"]},
+                }
+                for site in finding.related
+            ]
         results.append(result)
     return {
         "version": SARIF_VERSION,
@@ -136,21 +160,37 @@ def validate_sarif(log: dict) -> List[str]:
                         f"{rwhere}.ruleIndex {index} does not match ruleId"
                     )
             for loc_index, location in enumerate(result.get("locations", [])):
-                physical = location.get("physicalLocation")
-                if physical is None:
-                    continue
-                artifact = physical.get("artifactLocation")
-                if not isinstance(artifact, dict) or "uri" not in artifact:
-                    problems.append(
-                        f"{rwhere}.locations[{loc_index}]"
-                        ".physicalLocation.artifactLocation.uri is required"
+                problems.extend(
+                    _validate_location(
+                        location, f"{rwhere}.locations[{loc_index}]"
                     )
-                region = physical.get("region")
-                if region is not None:
-                    start = region.get("startLine")
-                    if not isinstance(start, int) or start < 1:
-                        problems.append(
-                            f"{rwhere}.locations[{loc_index}]"
-                            ".physicalLocation.region.startLine must be >= 1"
-                        )
+                )
+            for loc_index, location in enumerate(
+                result.get("relatedLocations", [])
+            ):
+                lwhere = f"{rwhere}.relatedLocations[{loc_index}]"
+                problems.extend(_validate_location(location, lwhere))
+                message = location.get("message")
+                if message is not None and "text" not in message:
+                    problems.append(f"{lwhere}.message.text is required")
+    return problems
+
+
+def _validate_location(location: dict, where: str) -> List[str]:
+    problems: List[str] = []
+    physical = location.get("physicalLocation")
+    if physical is None:
+        return problems
+    artifact = physical.get("artifactLocation")
+    if not isinstance(artifact, dict) or "uri" not in artifact:
+        problems.append(
+            f"{where}.physicalLocation.artifactLocation.uri is required"
+        )
+    region = physical.get("region")
+    if region is not None:
+        start = region.get("startLine")
+        if not isinstance(start, int) or start < 1:
+            problems.append(
+                f"{where}.physicalLocation.region.startLine must be >= 1"
+            )
     return problems

@@ -21,6 +21,8 @@ kind                   meaning
 ``heuristic.chain``    the Ball-Larus heuristics fired on a branch
 ``branch.resolve``     a branch probability was (re)computed
 ``diagnostic.finding`` a static-diagnostics rule fired (``repro check``)
+``vrp.interprocedural.round_cap`` the interprocedural fixed point hit its
+                       round cap while still changing (recursive SCC)
 ``pass.begin``         the pass manager started running a pass
 ``pass.end``           a pass finished (effect, timing, cache traffic)
 ``server.request.begin`` the serving daemon accepted a request
@@ -170,6 +172,24 @@ class DiagnosticFinding(TraceEvent):
 
 
 @dataclass(frozen=True)
+class RoundCap(TraceEvent):
+    """The interprocedural round cap silenced a still-changing fixed point.
+
+    Emitted at most once per module analysis, when round ``max_rounds``
+    still observed a parameter or return range change -- i.e. a
+    recursive SCC had not converged and its last-round ranges were
+    frozen as-is.  ``functions`` names the members of the recursive
+    components (the only functions whose ranges can still be moving).
+    """
+
+    kind: ClassVar[str] = "vrp.interprocedural.round_cap"
+
+    module: str
+    rounds: int
+    functions: Tuple[str, ...]
+
+
+@dataclass(frozen=True)
 class PassBegin(TraceEvent):
     """The pass manager is about to run a pass."""
 
@@ -231,6 +251,7 @@ EVENT_KINDS: Tuple[str, ...] = tuple(
         HeuristicChain,
         BranchResolution,
         DiagnosticFinding,
+        RoundCap,
         PassBegin,
         PassEnd,
         ServerRequestBegin,

@@ -15,10 +15,18 @@ from typing import Dict, List, Optional, Tuple
 from repro.core.config import VRPConfig
 from repro.core.predictor import VRPPredictor
 from repro.heuristics.combine import dempster_shafer_steps
-from repro.observability.events import BranchResolution, HeuristicChain
+from repro.observability.events import BranchResolution, HeuristicChain, RoundCap
 from repro.observability.tracer import Tracer, use
 
 CMP_SYMBOLS = {"eq": "==", "ne": "!=", "lt": "<", "le": "<=", "gt": ">", "ge": ">="}
+
+#: Display text for the per-branch provenance tags
+#: (:meth:`~repro.core.interprocedural.ModulePrediction.branch_provenance`).
+PROVENANCE_TEXT = {
+    "interprocedural": "interprocedural summary",
+    "intraprocedural": "intraprocedural propagation",
+    "heuristic": "heuristic fallback",
+}
 
 
 @dataclass
@@ -35,6 +43,10 @@ class BranchExplanation:
     operands: Tuple[Tuple[str, str], ...] = ()
     heuristics: Tuple[Tuple[str, float], ...] = ()
     combination_mode: str = "dempster-shafer"
+    #: "interprocedural" | "intraprocedural" | "heuristic" -- whether the
+    #: controlling ranges came from a cross-function summary, purely
+    #: local propagation, or the Ball-Larus fallback.
+    provenance: str = "intraprocedural"
     notes: List[str] = field(default_factory=list)
 
     @property
@@ -48,6 +60,10 @@ class BranchExplanation:
             else "heuristic fallback (controlling range is bottom)"
         )
         out = [f"{self.branch_id}: P(true) = {self.probability:.1%}  [{reason}]"]
+        out.append(
+            "  provenance: "
+            f"{PROVENANCE_TEXT.get(self.provenance, self.provenance)}"
+        )
         if self.cmp_op is not None and len(self.operands) == 2:
             symbol = CMP_SYMBOLS.get(self.cmp_op, self.cmp_op)
             (lhs, _), (rhs, _) = self.operands
@@ -108,6 +124,12 @@ def explain_module(
     for event in tracer.events_of(HeuristicChain):
         chains[(event.function, event.label)] = event
 
+    capped_functions: set = set()
+    cap_rounds = 0
+    for event in tracer.events_of(RoundCap):
+        capped_functions.update(event.functions)
+        cap_rounds = event.rounds
+
     heuristic_branches = prediction.heuristic_branches()
     out: Dict[Tuple[str, str], BranchExplanation] = {}
     for key, probability in sorted(prediction.all_branches().items()):
@@ -118,7 +140,15 @@ def explain_module(
             label=label,
             probability=probability,
             source=source,
+            provenance=prediction.branch_provenance(function, label)
+            if hasattr(prediction, "branch_provenance")
+            else ("heuristic" if source == "heuristic" else "intraprocedural"),
         )
+        if function in capped_functions:
+            explanation.notes.append(
+                f"interprocedural round cap hit after {cap_rounds} rounds: "
+                f"ranges in this recursive component may not have converged"
+            )
         resolution = resolutions.get(key)
         if resolution is not None:
             explanation.cond = resolution.cond

@@ -35,6 +35,10 @@ Top-level schema keys (``SCHEMA_KEYS``):
 * ``tracing``        -- request-trace correlation (since v6; the
   ``trace_id`` of the run plus span totals; absent when no trace
   context was active, v1-v5 documents still validate);
+* ``interprocedural`` -- fixed-point telemetry from the module driver
+  (since v7; rounds vs the round cap, convergence, context depth,
+  contexts analysed, summary-cache hit/miss/eviction stats; absent on
+  single-function runs, v1-v6 documents still validate);
 * ``meta``           -- rounds, function/event totals, drop counts.
 
 Each branch record has ``function``, ``label``, ``probability``,
@@ -51,7 +55,7 @@ from typing import Dict, List, Optional
 
 from repro.observability.events import BranchResolution, HeuristicChain
 
-SCHEMA_VERSION = 6
+SCHEMA_VERSION = 7
 
 SCHEMA_KEYS = (
     "schema_version",
@@ -65,12 +69,21 @@ SCHEMA_KEYS = (
     "server",
     "profile",
     "tracing",
+    "interprocedural",
     "meta",
 )
 
 # Keys a report may omit (documents written by older schema versions,
 # runs with the perf layer disabled, non-pipeline or non-daemon runs).
-OPTIONAL_KEYS = ("diagnostics", "perf", "passes", "server", "profile", "tracing")
+OPTIONAL_KEYS = (
+    "diagnostics",
+    "perf",
+    "passes",
+    "server",
+    "profile",
+    "tracing",
+    "interprocedural",
+)
 
 BRANCH_KEYS = ("function", "label", "probability", "source")
 
@@ -89,6 +102,7 @@ class MetricsReport:
     server: Dict[str, object] = field(default_factory=dict)
     profile: Dict[str, object] = field(default_factory=dict)
     tracing: Dict[str, object] = field(default_factory=dict)
+    interprocedural: Dict[str, object] = field(default_factory=dict)
     meta: Dict[str, object] = field(default_factory=dict)
     schema_version: int = SCHEMA_VERSION
 
@@ -107,6 +121,7 @@ class MetricsReport:
             "server": self.server,
             "profile": self.profile,
             "tracing": self.tracing,
+            "interprocedural": self.interprocedural,
             "meta": self.meta,
         }
 
@@ -126,6 +141,7 @@ class MetricsReport:
             server=data.get("server", {}),
             profile=data.get("profile", {}),
             tracing=data.get("tracing", {}),
+            interprocedural=data.get("interprocedural", {}),
             meta=data.get("meta", {}),
             schema_version=data.get("schema_version", SCHEMA_VERSION),
         )
@@ -171,7 +187,9 @@ def build_metrics_report(
     :meth:`repro.observability.profiler.ProfileReport.as_metrics` dict)
     populates the ``profile`` key when ``repro profile`` is the caller.
     The ``tracing`` key fills itself from the ambient trace context
-    (``repro.observability.context``) when one is active.
+    (``repro.observability.context``) when one is active, and the
+    ``interprocedural`` key from the prediction's fixed-point telemetry
+    when the module driver produced one (absent on single-function runs).
     """
     from repro.observability import context as tracecontext
     phases: Dict[str, Dict[str, float]] = {}
@@ -237,6 +255,7 @@ def build_metrics_report(
         server=server_stats or {},
         profile=profile or {},
         tracing=tracing,
+        interprocedural=getattr(prediction, "interprocedural", None) or {},
         meta=meta,
     )
 

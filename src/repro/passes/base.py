@@ -34,6 +34,9 @@ ANALYSIS_NAMES: Tuple[str, ...] = (
     "context",
     "frequency",
     "prediction",
+    "callgraph",
+    "summaries",
+    "module_prediction",
 )
 
 #: ``preserves`` value meaning "everything survives" (pure analyses).

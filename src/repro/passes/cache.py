@@ -47,10 +47,14 @@ from repro.passes.base import ANALYSIS_NAMES
 
 #: Analyses whose cached value clients deliberately keep using across
 #: mutating passes (see the module docstring).  Never perf-gated.
-SEMANTIC_ANALYSES = frozenset(("prediction", "frequency"))
+SEMANTIC_ANALYSES = frozenset(("prediction", "frequency", "summaries"))
 
-#: Analyses computed per module rather than per function.
-MODULE_SCOPE = frozenset(("prediction",))
+#: Analyses computed per module rather than per function.  ``callgraph``
+#: and the interprocedural products ride with ``prediction``: any
+#: function's IR feeds them, so module-wide invalidation is the unit.
+MODULE_SCOPE = frozenset(
+    ("prediction", "callgraph", "summaries", "module_prediction")
+)
 
 
 # -- single construction site for the structural trees ----------------------
@@ -210,6 +214,14 @@ class AnalysisCache:
         """The module-wide VRP prediction (computes it on first demand)."""
         return self.get("prediction")
 
+    def callgraph(self):
+        """The module's call graph (sites, edges, SCC condensation)."""
+        return self.get("callgraph")
+
+    def summaries(self):
+        """Per-function interprocedural summaries (jump/return/purity)."""
+        return self.get("summaries")
+
     def function_prediction(self, function):
         name = function if isinstance(function, str) else function.name
         return self.prediction().functions[name]
@@ -268,6 +280,37 @@ class AnalysisCache:
                 self._predictor = predictor
             return predictor.predict_module(
                 self.module, self.ssa_infos, analysis_cache=self
+            )
+        if name == "module_prediction":
+            # Explicit module-scope alias of ``prediction`` so pipelines
+            # can declare the interprocedural product by its own name.
+            return self.prediction()
+        if name == "callgraph":
+            from repro.core.callgraph import CallGraph
+
+            return CallGraph(self.module)
+        if name == "summaries":
+            prediction = self.prediction()
+            if getattr(prediction, "summaries", None) is not None:
+                return prediction.summaries
+            # Intraprocedural prediction (no driver-built summaries):
+            # distil what the per-function predictions do expose.
+            from repro.core.summaries import build_summaries, compute_purity
+
+            callgraph = self.get("callgraph")
+            return build_summaries(
+                self.module,
+                callgraph,
+                compute_purity(self.module, callgraph),
+                {},
+                {
+                    fn: pred.return_set
+                    for fn, pred in prediction.functions.items()
+                },
+                {
+                    fn: pred.block_frequency
+                    for fn, pred in prediction.functions.items()
+                },
             )
         raise KeyError(f"unknown analysis {name!r}")  # pragma: no cover
 

@@ -11,7 +11,8 @@ One request analyses one program.  The JSON body is::
     }
 
 ``options`` accepts the one-shot CLI's analysis flags (``intra``,
-``numeric``, ``no_derive``, ``track_arrays``, ``max_ranges``) plus
+``numeric``, ``no_derive``, ``track_arrays``, ``max_ranges``,
+``context_depth``) plus
 ``format``/``fail_on`` for ``check`` and ``args``/``inputs``/
 ``max_steps`` for ``run``.  Unknown options are rejected: a typo that
 silently falls back to a default would poison the content-addressed
@@ -46,6 +47,7 @@ _ANALYSIS_OPTIONS = {
     "no_derive": bool,
     "track_arrays": bool,
     "max_ranges": int,
+    "context_depth": int,
     "trace": bool,
 }
 
@@ -147,6 +149,8 @@ def validate_request(
             raise ProtocolError(f"option {key!r} must be a list of integers")
     if "max_ranges" in clean and clean["max_ranges"] < 1:
         raise ProtocolError("option 'max_ranges' must be >= 1")
+    if "context_depth" in clean and clean["context_depth"] < 0:
+        raise ProtocolError("option 'context_depth' must be >= 0")
     return command, source, name, clean
 
 

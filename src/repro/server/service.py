@@ -63,6 +63,7 @@ def build_config(options: Dict[str, object]) -> VRPConfig:
         symbolic=not options.get("numeric", False),
         derive_loops=not options.get("no_derive", False),
         track_arrays=bool(options.get("track_arrays", False)),
+        context_depth=int(options.get("context_depth", 0)),
     )
 
 

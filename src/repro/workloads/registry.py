@@ -36,7 +36,7 @@ class Workload:
     """One benchmark program with train and ref runs."""
 
     name: str
-    suite: str  # "int" or "fp"
+    suite: str  # "int", "fp", or "inter"
     description: str
     source: str
     train_args: List[int]
@@ -47,7 +47,7 @@ class Workload:
     max_steps: int = 2_000_000
 
     def __post_init__(self) -> None:
-        if self.suite not in ("int", "fp"):
+        if self.suite not in ("int", "fp", "inter"):
             raise ValueError(f"unknown suite {self.suite!r}")
 
 
@@ -72,7 +72,7 @@ def all_workloads() -> List[Workload]:
 
 
 def suite(name: str) -> List[Workload]:
-    """All workloads of the "int" or "fp" suite."""
+    """All workloads of the "int", "fp", or "inter" suite."""
     _ensure_loaded()
     return [w for w in all_workloads() if w.suite == name]
 
@@ -80,4 +80,5 @@ def suite(name: str) -> List[Workload]:
 def _ensure_loaded() -> None:
     # Importing the suite modules registers their workloads.
     import repro.workloads.fpsuite  # noqa: F401
+    import repro.workloads.intersuite  # noqa: F401
     import repro.workloads.intsuite  # noqa: F401

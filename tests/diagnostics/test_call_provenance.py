@@ -1,0 +1,139 @@
+"""Cross-function provenance on summary-dependent findings.
+
+A proof inside a callee can rest on the merged ranges flowing in from
+its call sites (§3.7 jump functions); a proof in a caller can rest on a
+callee's return function.  Either way the finding must cite the call
+sites it depends on -- in the evidence payload, the text rendering, and
+SARIF ``relatedLocations``.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.diagnostics.engine import check_source
+from repro.diagnostics.render import render_json, render_text
+from repro.diagnostics.sarif import sarif_report, validate_sarif
+
+# Both call sites bound gate's parameter, so the dead branch inside
+# gate is proven *by the call sites* -- a jump-function dependency.
+PARAM_DEPENDENT = """
+func gate(v) {
+  if (v < 100) { return 1; }
+  return 0;
+}
+
+func main(n) {
+  var a = gate(n % 8);
+  var b = gate(n % 4);
+  return a + b;
+}
+"""
+
+# The dead branch in main is proven by five's return function.
+RETURN_DEPENDENT = """
+func five(v) {
+  return v + 5;
+}
+
+func main(n) {
+  var r = five(0);
+  if (r < 100) { return 1; }
+  return 0;
+}
+"""
+
+# No calls at all: the same shape of proof, purely intraprocedural.
+INTRAPROCEDURAL = """
+func main(n) {
+  var v = n % 8;
+  if (v < 100) { return 1; }
+  return 0;
+}
+"""
+
+
+def _finding(report, rule, function):
+    return next(
+        f
+        for f in report.findings
+        if f.rule == rule and f.function == function
+    )
+
+
+class TestParamProvenance:
+    def test_evidence_chain_cites_both_call_sites(self):
+        report = check_source(PARAM_DEPENDENT, program="prov")
+        finding = _finding(report, "dead-branch", "gate")
+        chain = finding.evidence["call_provenance"]
+        assert any(source["kind"] == "param" for source in chain)
+        param_source = next(s for s in chain if s["kind"] == "param")
+        assert param_source["param"] == "v"
+        assert param_source["function"] == "gate"
+        sites = param_source["sites"]
+        assert len(sites) == 2
+        assert all(site["function"] == "main" for site in sites)
+
+    def test_related_locations_point_at_the_caller(self):
+        report = check_source(PARAM_DEPENDENT, program="prov")
+        finding = _finding(report, "dead-branch", "gate")
+        assert finding.related
+        for site in finding.related:
+            assert site["function"] == "main"
+            assert "parameter 'v'" in site["message"]
+
+    def test_text_rendering_carries_via_lines(self):
+        report = check_source(PARAM_DEPENDENT, program="prov")
+        text = render_text(report)
+        assert "via main/" in text
+        assert "seeded by this call site" in text
+
+    def test_json_rendering_carries_the_chain(self):
+        report = check_source(PARAM_DEPENDENT, program="prov")
+        document = json.loads(render_json(report))
+        finding = next(
+            f
+            for f in document["findings"]
+            if f["rule"] == "dead-branch" and f["function"] == "gate"
+        )
+        assert finding["evidence"]["call_provenance"]
+        assert finding["related"]
+
+
+class TestReturnProvenance:
+    def test_caller_side_proof_cites_the_callee(self):
+        report = check_source(RETURN_DEPENDENT, program="prov")
+        finding = _finding(report, "dead-branch", "main")
+        chain = finding.evidence["call_provenance"]
+        call_source = next(s for s in chain if s["kind"] == "call")
+        assert call_source["callee"] == "five"
+        assert finding.related
+        assert any(
+            "call result from five" in site["message"]
+            for site in finding.related
+        )
+
+
+class TestSarifRelatedLocations:
+    def test_related_locations_are_emitted_and_valid(self):
+        report = check_source(PARAM_DEPENDENT, program="prov")
+        log = sarif_report(report)
+        assert validate_sarif(log) == []
+        results = log["runs"][0]["results"]
+        dead = next(
+            r for r in results if "dead code" in r["message"]["text"]
+        )
+        locations = dead["relatedLocations"]
+        assert locations
+        for location in locations:
+            message = location["message"]["text"]
+            assert "call site" in message
+
+
+class TestIntraproceduralControl:
+    def test_no_chain_without_summary_dependence(self):
+        report = check_source(INTRAPROCEDURAL, program="prov")
+        finding = _finding(report, "dead-branch", "main")
+        assert "call_provenance" not in finding.evidence
+        assert finding.related == []
+        assert "via " not in render_text(report)

@@ -2,7 +2,7 @@
 
 The rules are deliberately conservative -- silent in dead code, silent
 on heuristic probabilities, silent on widened over-approximations -- so
-the 27 defect-free SPEC stand-ins must produce *no* findings.  Any
+the 31 defect-free SPEC stand-ins must produce *no* findings.  Any
 regression here means a rule started treating an approximation as a
 proof.
 """
@@ -20,7 +20,7 @@ WORKLOADS = all_workloads()
 def test_seed_suite_size_is_stable():
     # The snapshot below covers every registered workload; if the
     # registry grows, the new programs are automatically swept in.
-    assert len(WORKLOADS) == 27
+    assert len(WORKLOADS) == 31
 
 
 @pytest.mark.parametrize(

@@ -1,4 +1,4 @@
-"""Metrics schema compatibility: v1-v5 documents still validate under v6."""
+"""Metrics schema compatibility: v1-v6 documents still validate under v7."""
 
 from repro.observability.metrics import (
     OPTIONAL_KEYS,
@@ -53,10 +53,24 @@ class TestHistoricalDocuments:
         )
         assert validate_report_dict(document) is None
 
+    def test_v7_with_interprocedural_validates(self):
+        document = dict(
+            base_document(7),
+            diagnostics=[], perf={}, passes={}, server={},
+            profile={}, tracing={},
+            interprocedural={
+                "rounds": 2, "max_rounds": 8, "converged": True,
+                "round_cap_hits": 0, "context_depth": 1,
+                "contexts_analyzed": 4,
+                "summary_cache": {"hits": 3, "misses": 4, "evictions": 0},
+            },
+        )
+        assert validate_report_dict(document) is None
+
 
 class TestSchemaShape:
-    def test_current_version_is_6(self):
-        assert SCHEMA_VERSION == 6
+    def test_current_version_is_7(self):
+        assert SCHEMA_VERSION == 7
 
     def test_every_new_key_since_v1_is_optional(self):
         required = set(SCHEMA_KEYS) - set(OPTIONAL_KEYS)
@@ -69,6 +83,10 @@ class TestSchemaShape:
         for key in ("profile", "tracing"):
             assert key in OPTIONAL_KEYS
             assert key in SCHEMA_KEYS
+
+    def test_v7_key_is_optional(self):
+        assert "interprocedural" in OPTIONAL_KEYS
+        assert "interprocedural" in SCHEMA_KEYS
 
     def test_missing_required_key_is_an_error(self):
         document = base_document(6)

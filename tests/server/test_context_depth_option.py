@@ -1,0 +1,90 @@
+"""The ``context_depth`` analysis option: validation, config, cache key.
+
+``--context-depth`` is an engine knob, so the server folds it into the
+config fingerprint (not ``canonical_options``): a request spelling out
+the k=0 default hits the same cache entry as one omitting it, while any
+k >= 1 keys separately and actually changes the analysis.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.server.protocol import (
+    ProtocolError,
+    canonical_options,
+    validate_request,
+)
+from repro.server.service import AnalysisService, build_config
+
+PROGRAM = """
+func affine(v) {
+  return v * 3 + 1;
+}
+
+func main(n) {
+  var x = input();
+  var a = affine(x % 8);
+  var w = affine(x);
+  if (a < 12) { return 1; }
+  if (w < 0) { return 2; }
+  return 0;
+}
+"""
+
+
+def _request(options):
+    return {
+        "command": "predict",
+        "source": PROGRAM,
+        "options": options,
+    }
+
+
+class TestValidation:
+    def test_accepted_on_every_analysis_command(self):
+        for command in ("predict", "check", "ranges", "ir"):
+            body = _request({"context_depth": 2})
+            body["command"] = command
+            _, _, _, clean = validate_request(body)
+            assert clean["context_depth"] == 2
+
+    def test_negative_depth_is_rejected(self):
+        with pytest.raises(ProtocolError, match="must be >= 0"):
+            validate_request(_request({"context_depth": -1}))
+
+    def test_non_integer_depth_is_rejected(self):
+        for bad in ("1", 1.5, True, None):
+            with pytest.raises(ProtocolError, match="must be an integer"):
+                validate_request(_request({"context_depth": bad}))
+
+
+class TestConfig:
+    def test_build_config_threads_the_depth(self):
+        assert build_config({"context_depth": 3}).context_depth == 3
+
+    def test_default_depth_is_zero(self):
+        assert build_config({}).context_depth == 0
+
+    def test_engine_knob_stays_out_of_canonical_options(self):
+        canonical = canonical_options("predict", {"context_depth": 2})
+        assert "context_depth" not in canonical
+
+
+class TestCacheKeys:
+    def test_spelled_out_default_hits_the_same_key(self):
+        service = AnalysisService()
+        bare = service.execute(_request({}))
+        explicit = service.execute(_request({"context_depth": 0}))
+        assert bare["key"] == explicit["key"]
+        assert explicit["cached"] == "memory"
+
+    def test_positive_depth_keys_separately_and_changes_results(self):
+        service = AnalysisService()
+        base = service.execute(_request({}))
+        deep = service.execute(_request({"context_depth": 1}))
+        assert base["key"] != deep["key"]
+        assert base["status"] == deep["status"] == "ok"
+        # k=1 re-derives the narrow call site, so the prediction output
+        # itself differs from the merged-summary run.
+        assert base["output"] != deep["output"]
