@@ -1,0 +1,211 @@
+"""Serving-tier load benchmark: 1 shard vs N shards, cold/hot/mixed.
+
+Boots the sharded daemon in-process at two shard counts and drives it
+with the closed-loop load generator (:mod:`repro.server.loadgen`) over
+the three canonical workloads:
+
+* **cold**  -- every request a distinct program: pure analysis
+  bandwidth, the workload sharding exists for;
+* **hot**   -- a small working set served from shard-local caches: the
+  consistent-hash router's cache-affinity payoff;
+* **mixed** -- alternating cold/hot, the realistic blend.
+
+Emits ``BENCH_serve_load.json`` with throughput, p50/p99 latency, and
+rejection rates for every (shards, workload) cell plus the cold-ratio
+headline, and asserts the serving SLOs:
+
+* shard scaling on the cold workload: on a >= 4-core runner the
+  4-shard tier must clear **3x** the 1-shard throughput (the CI gate);
+  on smaller machines the bar scales down to what the cores can give
+  and bottoms out at a no-collapse check (sharding must never *cost*
+  throughput on a box with real parallelism);
+* saturation sheds load by rejection, never by error: a burst at a
+  tiny queue produces 503s (counted) and zero transport/HTTP-5xx
+  errors, and the daemon still answers cleanly afterwards;
+* responses stay byte-identical across shard counts and equal to the
+  engine's direct output (the CLI core), cold or cached.
+"""
+
+import json
+import os
+import threading
+
+from benchmarks.conftest import emit
+from repro.server.client import ServeClient
+from repro.server.frontend import ShardedServer
+from repro.server.loadgen import make_corpus, run_load
+from repro.server.service import analyze_payload
+
+CPU_COUNT = os.cpu_count() or 1
+MANY_SHARDS = max(2, min(4, CPU_COUNT))
+REQUESTS = 120
+CONCURRENCY = 8
+HOT_SET = 8
+WORKLOADS = ("cold", "hot", "mixed")
+
+#: Cold-workload throughput the N-shard tier must reach, as a multiple
+#: of the 1-shard tier.  Real parallelism is required for the full 3x
+#: CI gate; a 1-core container can only check that sharding does not
+#: collapse under the extra IPC.
+if CPU_COUNT >= 4:
+    REQUIRED_COLD_RATIO = 3.0
+elif CPU_COUNT >= 2:
+    REQUIRED_COLD_RATIO = 0.6 * CPU_COUNT
+else:
+    REQUIRED_COLD_RATIO = 0.4
+
+
+def start_server(shards: int, queue_size: int = 64) -> ShardedServer:
+    server = ShardedServer(port=0, shards=shards, queue_size=queue_size)
+    threading.Thread(target=server.serve_forever, daemon=True).start()
+    ServeClient(port=server.port).wait_ready()
+    return server
+
+
+def drive(server: ShardedServer, offset: int) -> dict:
+    """All three workloads against one server; distinct cold corpora."""
+    runs = {}
+    for index, workload in enumerate(WORKLOADS):
+        runs[workload] = run_load(
+            "127.0.0.1",
+            server.port,
+            requests=REQUESTS,
+            concurrency=CONCURRENCY,
+            workload=workload,
+            hot_set=HOT_SET,
+            corpus_offset=offset + index * 10_000,
+        )
+    return runs
+
+
+def test_bench_serve_load(results_dir):
+    # -- throughput/latency cells -----------------------------------------
+    single = start_server(shards=1)
+    try:
+        single_runs = drive(single, offset=0)
+        single_sample = ServeClient(port=single.port).analyze(
+            "predict", make_corpus(1, offset=777_000)[0]
+        )
+    finally:
+        assert single.drain(timeout=30)
+
+    many = start_server(shards=MANY_SHARDS)
+    try:
+        many_runs = drive(many, offset=100_000)
+        many_sample = ServeClient(port=many.port).analyze(
+            "predict", make_corpus(1, offset=777_000)[0]
+        )
+        many_sample_repeat = ServeClient(port=many.port).analyze(
+            "predict", make_corpus(1, offset=777_000)[0]
+        )
+    finally:
+        assert many.drain(timeout=30)
+
+    # -- byte identity across shard counts and vs the engine core ---------
+    direct = analyze_payload(
+        "predict", make_corpus(1, offset=777_000)[0], "-", {}
+    )
+    bytes_identical = (
+        single_sample["output"]
+        == many_sample["output"]
+        == many_sample_repeat["output"]
+        == direct["output"]
+    )
+    assert bytes_identical
+    assert many_sample_repeat["cached"] == "memory"  # affinity held
+
+    # -- rejection at saturation ------------------------------------------
+    tiny = start_server(shards=1, queue_size=2)
+    try:
+        saturation = run_load(
+            "127.0.0.1",
+            tiny.port,
+            requests=150,
+            concurrency=24,
+            workload="cold",
+            corpus_offset=500_000,
+        )
+        # Load was shed by 503 (rejection), never by error, and the
+        # daemon still answers cleanly after the burst.
+        post_burst = ServeClient(port=tiny.port).analyze(
+            "predict", make_corpus(1, offset=888_000)[0]
+        )
+    finally:
+        assert tiny.drain(timeout=30)
+    assert saturation["errors"] == 0
+    assert saturation["rejected"] > 0
+    assert saturation["completed"] > 0
+    assert post_burst["status"] == "ok"
+
+    # -- SLO assertions ----------------------------------------------------
+    for runs in (single_runs, many_runs):
+        for workload, run in runs.items():
+            assert run["errors"] == 0, (workload, run)
+            assert run["completed"] + run["rejected"] == REQUESTS
+            assert run["latency_ms"]["p99"] < 10_000, (workload, run)
+    cold_ratio = (
+        many_runs["cold"]["throughput_rps"]
+        / single_runs["cold"]["throughput_rps"]
+    )
+    assert cold_ratio >= REQUIRED_COLD_RATIO, (
+        f"cold throughput ratio {cold_ratio:.2f} below the "
+        f"{REQUIRED_COLD_RATIO:.2f} bar for {CPU_COUNT} cores"
+    )
+    # Hot traffic is served from caches: it must not be slower than
+    # doing the analysis fresh (generous 0.8 guard against jitter).
+    assert (
+        many_runs["hot"]["throughput_rps"]
+        >= 0.8 * many_runs["cold"]["throughput_rps"]
+    )
+
+    # -- report ------------------------------------------------------------
+    report = {
+        "environment": {
+            "cpu_count": CPU_COUNT,
+            "shards_compared": [1, MANY_SHARDS],
+            "requests_per_cell": REQUESTS,
+            "concurrency": CONCURRENCY,
+            "hot_set": HOT_SET,
+        },
+        "cells": {"shards_1": single_runs, f"shards_{MANY_SHARDS}": many_runs},
+        "saturation": saturation,
+        "slo": {
+            "required_cold_ratio": round(REQUIRED_COLD_RATIO, 3),
+            "cold_ratio": round(cold_ratio, 3),
+            "full_gate_active": CPU_COUNT >= 4,
+            "bytes_identical_across_tiers": bytes_identical,
+        },
+    }
+    (results_dir / "BENCH_serve_load.json").write_text(
+        json.dumps(report, indent=1, sort_keys=True) + "\n"
+    )
+
+    lines = [
+        f"Serving-tier load: 1 vs {MANY_SHARDS} shards "
+        f"({CPU_COUNT} cores, {REQUESTS} req/cell, c={CONCURRENCY})",
+        "",
+        f"{'cell':<16s} {'req/s':>9s} {'p50 ms':>9s} {'p99 ms':>9s} "
+        f"{'rej%':>6s}",
+    ]
+    for shards_label, runs in report["cells"].items():
+        for workload in WORKLOADS:
+            run = runs[workload]
+            lines.append(
+                f"{shards_label + '/' + workload:<16s} "
+                f"{run['throughput_rps']:>9.1f} "
+                f"{run['latency_ms']['p50']:>9.2f} "
+                f"{run['latency_ms']['p99']:>9.2f} "
+                f"{100 * run['rejection_rate']:>5.1f}%"
+            )
+    lines.append("")
+    lines.append(
+        f"cold ratio {cold_ratio:.2f}x "
+        f"(required {REQUIRED_COLD_RATIO:.2f}x, "
+        f"full 3x gate {'ON' if CPU_COUNT >= 4 else 'off: <4 cores'})"
+    )
+    lines.append(
+        f"saturation: {saturation['completed']} served, "
+        f"{saturation['rejected']} rejected (503), "
+        f"{saturation['errors']} errors"
+    )
+    emit(results_dir, "serve_load.txt", "\n".join(lines))

@@ -588,6 +588,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         drain_timeout_s=args.drain_timeout,
         base_options=base_options or None,
         verbose=args.verbose,
+        shards=args.shards,
     )
 
 
@@ -722,6 +723,11 @@ def cmd_submit(args: argparse.Namespace) -> int:
                         options=options,
                     )
                 ]
+            elif args.jobs > 1:
+                # Client-side fan-out: N concurrent independent
+                # requests, results in submission order, so stdout is
+                # byte-identical to --jobs 1 (asserted in tests).
+                responses = client.analyze_many(items, jobs=args.jobs)
             else:
                 responses = client.batch(items)
     except ServerError as error:
@@ -757,6 +763,44 @@ def cmd_submit(args: argparse.Namespace) -> int:
         except ServerError as error:
             raise SystemExit(f"error: {error}")
     return exit_code
+
+
+def cmd_loadgen(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.server.client import ServeClient, ServerError
+    from repro.server.loadgen import dump_report, format_report, run_load
+
+    client = ServeClient(args.host, args.port, timeout=args.http_timeout)
+    try:
+        client.healthz()
+    except ServerError as error:
+        raise SystemExit(f"error: {error}")
+    reports = []
+    for workload in args.workloads.split(","):
+        workload = workload.strip()
+        report = run_load(
+            args.host,
+            args.port,
+            requests=args.requests,
+            concurrency=args.concurrency,
+            command=args.command,
+            workload=workload,
+            hot_set=args.hot_set,
+            corpus_offset=args.corpus_offset,
+            http_timeout=args.http_timeout,
+        )
+        reports.append(report)
+        print(format_report(report))
+        print()
+    if args.emit:
+        document = reports[0] if len(reports) == 1 else {"runs": reports}
+        if args.emit == "-":
+            print(json.dumps(document, indent=1, sort_keys=True))
+        else:
+            dump_report(document, args.emit)
+            print(f"loadgen: report written to {args.emit}", file=sys.stderr)
+    return 0
 
 
 def cmd_profile(args: argparse.Namespace) -> int:
@@ -1047,12 +1091,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--port", type=int, default=8077, help="TCP port (0 = kernel-assigned)"
     )
     serve_cmd.add_argument(
+        "--shards", type=int, default=None, metavar="N",
+        help="analysis shard processes (default: one per CPU core; "
+        "0 = single-process threaded tier)",
+    )
+    serve_cmd.add_argument(
         "--workers", type=int, default=4, metavar="K",
-        help="analysis worker threads (default 4)",
+        help="analysis worker threads for --shards 0 (default 4)",
     )
     serve_cmd.add_argument(
         "--queue-size", type=int, default=64, metavar="N",
-        help="waiting-request capacity before 503 backpressure (default 64)",
+        help="waiting-request capacity (per shard) before 503 "
+        "backpressure (default 64)",
     )
     serve_cmd.add_argument(
         "--cache-dir", metavar="DIR",
@@ -1111,6 +1161,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="client-side HTTP timeout (default 60)",
     )
     submit_cmd.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="concurrent submissions (client-side fan-out; results are "
+        "printed in file order, byte-identical to --jobs 1)",
+    )
+    submit_cmd.add_argument(
         "--format",
         choices=["text", "json", "sarif"],
         default="text",
@@ -1147,6 +1202,50 @@ def build_parser() -> argparse.ArgumentParser:
         help="fetch the daemon's /metricsz document (schema v6) into PATH",
     )
     submit_cmd.set_defaults(handler=cmd_submit)
+
+    loadgen_cmd = sub.add_parser(
+        "loadgen", help="drive load at a running daemon and measure"
+    )
+    loadgen_cmd.add_argument("--host", default="127.0.0.1", help="daemon address")
+    loadgen_cmd.add_argument(
+        "--port", type=int, default=8077, help="daemon port (default 8077)"
+    )
+    loadgen_cmd.add_argument(
+        "--requests", type=int, default=200, metavar="N",
+        help="requests per workload (default 200)",
+    )
+    loadgen_cmd.add_argument(
+        "--concurrency", type=int, default=8, metavar="N",
+        help="closed-loop client threads (default 8)",
+    )
+    loadgen_cmd.add_argument(
+        "--command",
+        choices=["predict", "check", "ranges", "ir", "run"],
+        default="predict",
+        help="endpoint to drive (default predict)",
+    )
+    loadgen_cmd.add_argument(
+        "--workloads", default="cold,hot,mixed", metavar="LIST",
+        help="comma-separated workloads: cold, hot, mixed "
+        "(default all three)",
+    )
+    loadgen_cmd.add_argument(
+        "--hot-set", type=int, default=8, metavar="N",
+        help="working-set size for hot/mixed workloads (default 8)",
+    )
+    loadgen_cmd.add_argument(
+        "--corpus-offset", type=int, default=0, metavar="N",
+        help="shift the program corpus (fresh offset = cold caches)",
+    )
+    loadgen_cmd.add_argument(
+        "--http-timeout", type=float, default=60.0, metavar="SECONDS",
+        help="client-side HTTP timeout (default 60)",
+    )
+    loadgen_cmd.add_argument(
+        "--emit", metavar="PATH",
+        help="write the JSON load report to PATH ('-' for stdout)",
+    )
+    loadgen_cmd.set_defaults(handler=cmd_loadgen)
 
     profile_cmd = sub.add_parser(
         "profile", help="per-pass and per-analysis self/cumulative profile"

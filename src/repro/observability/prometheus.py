@@ -29,6 +29,15 @@ family                                 type     labels
 ``repro_uptime_seconds``               gauge    --
 =====================================  =======  ==========================
 
+When the snapshot comes from the sharded tier (it carries a ``shards``
+list), per-shard families are appended, all labelled ``shard="0"..``:
+``repro_shard_queue_depth`` / ``repro_shard_queue_high_water`` (gauges),
+``repro_shard_served_total`` / ``repro_shard_restarts_total`` /
+``repro_shard_cache_hits_total`` (counters, the last also by ``tier``),
+``repro_shard_alive`` and ``repro_shard_cache_entries`` (gauges).  The
+single-process daemon never produces the ``shards`` key, so its
+exposition is unchanged by sharding's existence.
+
 Histogram buckets are the serving SLO boundaries
 (:data:`repro.server.stats.LATENCY_BUCKETS_MS`, seconds here), rendered
 cumulatively with the mandatory ``+Inf`` bucket, ``_sum`` and
@@ -239,6 +248,69 @@ def render_server_metrics(
         )
         high_water.add(int(queue.get("high_water", 0)))
         families += [depth, high_water]
+
+    shards = server.get("shards")
+    if isinstance(shards, list) and shards:
+        # Per-shard families, emitted only by the sharded tier: the
+        # single-process daemon's snapshot has no "shards" key, so its
+        # exposition -- every family above, all unlabeled-by-shard --
+        # is byte-for-byte what it was before sharding existed
+        # (regression-tested in tests/observability/test_prometheus.py).
+        shard_depth = MetricFamily(
+            "repro_shard_queue_depth",
+            "gauge",
+            "Requests in flight on the shard (dispatched + waiting).",
+        )
+        shard_high_water = MetricFamily(
+            "repro_shard_queue_high_water",
+            "gauge",
+            "Deepest the shard's bounded queue has ever been.",
+        )
+        shard_served = MetricFamily(
+            "repro_shard_served_total",
+            "counter",
+            "Requests the shard process has answered.",
+        )
+        shard_alive = MetricFamily(
+            "repro_shard_alive", "gauge", "1 when the shard process is alive."
+        )
+        shard_restarts = MetricFamily(
+            "repro_shard_restarts_total",
+            "counter",
+            "Times the shard process was respawned after dying.",
+        )
+        shard_cache_entries = MetricFamily(
+            "repro_shard_cache_entries",
+            "gauge",
+            "Shard-local memory-cache entries resident.",
+        )
+        shard_cache_hits = MetricFamily(
+            "repro_shard_cache_hits_total",
+            "counter",
+            "Shard-local result-cache hits, by tier.",
+        )
+        for shard in shards:
+            if not isinstance(shard, dict):
+                continue
+            label = {"shard": str(shard.get("shard", "?"))}
+            queue_doc = shard.get("queue") or {}
+            shard_depth.add(int(queue_doc.get("depth", 0)), label)
+            shard_high_water.add(int(queue_doc.get("high_water", 0)), label)
+            shard_served.add(int(shard.get("served", 0)), label)
+            shard_alive.add(1 if shard.get("alive") else 0, label)
+            shard_restarts.add(int(shard.get("restarts", 0)), label)
+            cache_doc = shard.get("cache") or {}
+            memory_doc = cache_doc.get("memory") or {}
+            shard_cache_entries.add(int(memory_doc.get("entries", 0)), label)
+            for tier in ("memory", "disk"):
+                tier_doc = cache_doc.get(tier) or {}
+                shard_cache_hits.add(
+                    int(tier_doc.get("hits", 0)), dict(label, tier=tier)
+                )
+        families += [
+            shard_depth, shard_high_water, shard_served, shard_alive,
+            shard_restarts, shard_cache_entries, shard_cache_hits,
+        ]
 
     if workers is not None:
         family = MetricFamily(

@@ -4,25 +4,44 @@ Every other entry point in the package is one-shot: it pays full
 startup plus analysis cost for a single program and exits, so the perf
 layer's caches (PR 3) and the pass manager's analysis cache (PR 4) only
 amortize *within* one process.  This package is the resident shape of
-the paper's claim that VRP is cheap enough to run routinely: a threaded
-HTTP daemon that accepts program text and answers with predictions,
-diagnostics, IR, or execution profiles -- byte-identical to the
-corresponding one-shot CLI output (see ``docs/SERVING.md``).
+the paper's claim that VRP is cheap enough to run routinely: a daemon
+that accepts program text and answers with predictions, diagnostics,
+IR, or execution profiles -- byte-identical to the corresponding
+one-shot CLI output (see ``docs/SERVING.md``).
+
+Two serving tiers share every contract (routes, backpressure, drain,
+byte identity) and differ only in throughput:
+
+* the **sharded tier** (the default): N shard *processes*, each with a
+  resident engine and shard-local caches, behind a non-blocking
+  selector front end that routes by consistent hash of the request's
+  content address -- analysis scales with cores instead of serialising
+  on the GIL;
+* the **threaded tier** (``--shards 0``): the original single-process
+  daemon with a bounded worker pool, for environments where forking is
+  unwelcome.
 
 Layers, bottom up:
 
 * :mod:`.cache`    -- content-addressed result cache (SHA-256 of source
   + config fingerprint), memory tier over an on-disk tier that survives
-  restarts;
-* :mod:`.workers`  -- bounded worker pool with request queueing; a full
-  queue is backpressure (HTTP 503), not an unbounded backlog;
+  restarts and is safely shared between shard processes;
+* :mod:`.workers`  -- bounded worker pool with request queueing (the
+  threaded tier's concurrency);
 * :mod:`.service`  -- command execution with per-request analysis
   timeouts and graceful degradation to heuristics-only prediction;
 * :mod:`.stats`    -- per-endpoint request counts and latency
-  histograms, cache tiers, degraded/rejected counters;
-* :mod:`.httpd`    -- the HTTP front end (``/v1/*``, ``/healthz``,
-  ``/metricsz``) plus SIGTERM drain;
-* :mod:`.client`   -- the stdlib client behind ``repro submit``.
+  histograms, cache tiers, degraded/rejected counters, and the
+  computed ``Retry-After`` estimate;
+* :mod:`.router`   -- the deterministic consistent-hash ring keyed by
+  content address (cache affinity across shards);
+* :mod:`.shard`    -- the shard worker process and its parent-side
+  handle (pipe protocol, drain sentinel, respawn);
+* :mod:`.frontend` -- the selector event loop in front of the shards;
+* :mod:`.httpd`    -- the threaded HTTP front end plus the
+  ``repro serve`` entry point that picks a tier;
+* :mod:`.client`   -- the stdlib client behind ``repro submit``
+  (including the ``--jobs N`` concurrent fan-out).
 
 Everything is standard library only.
 """
@@ -31,20 +50,24 @@ from __future__ import annotations
 
 from repro.server.cache import ResultCache, request_key
 from repro.server.client import ServeClient, ServerError
+from repro.server.frontend import ShardedServer
 from repro.server.httpd import ReproServer, serve_daemon
 from repro.server.protocol import (
     COMMANDS,
     ProtocolError,
     validate_request,
 )
-from repro.server.service import AnalysisService, AnalysisTimeout
-from repro.server.stats import ServerStats
+from repro.server.router import HashRing
+from repro.server.service import AnalysisService, AnalysisTimeout, request_identity
+from repro.server.shard import ShardHandle
+from repro.server.stats import ServerStats, compute_retry_after
 from repro.server.workers import QueueFullError, WorkerPool
 
 __all__ = [
     "COMMANDS",
     "AnalysisService",
     "AnalysisTimeout",
+    "HashRing",
     "ProtocolError",
     "QueueFullError",
     "ReproServer",
@@ -52,7 +75,11 @@ __all__ = [
     "ServeClient",
     "ServerError",
     "ServerStats",
+    "ShardHandle",
+    "ShardedServer",
     "WorkerPool",
+    "compute_retry_after",
+    "request_identity",
     "request_key",
     "serve_daemon",
     "validate_request",

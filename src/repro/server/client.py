@@ -154,6 +154,61 @@ class ServeClient:
             raise ServerError("batch response is missing 'results'")
         return results
 
+    def analyze_many(
+        self, items: List[dict], jobs: int = 1
+    ) -> List[dict]:
+        """Submit ``items`` as independent requests, ``jobs`` at a time.
+
+        The client-side fan-out behind ``repro submit --jobs N``: each
+        item posts to its own ``/v1/<command>`` endpoint on its own
+        connection, up to ``jobs`` concurrently, and the result list
+        comes back in *submission order* regardless of completion order
+        -- so output is byte-identical to ``--jobs 1``.  Unlike
+        :meth:`batch` the daemon sees N independent requests, which is
+        what lets a sharded daemon spread them across shards while the
+        consistent-hash router still pins repeats to warm caches.
+
+        A failed item (transport error, 503 backpressure...) surfaces
+        as a :class:`ServerError`-shaped dict (``status: "error"``,
+        ``http_status``) in its slot rather than aborting the others;
+        callers decide whether that fails the run.
+        """
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+
+        def one(item: dict) -> dict:
+            command = str(item.get("command", "analyze"))
+            path = (
+                f"/v1/{command}"
+                if command in ("predict", "check", "ranges", "ir", "run")
+                else "/v1/analyze"
+            )
+            body = {key: value for key, value in item.items() if key != "command"}
+            if path == "/v1/analyze":
+                body["command"] = command
+            try:
+                return self._post(path, body)
+            except ServerError as error:
+                return {
+                    "status": "error",
+                    "command": item.get("command"),
+                    "output": "",
+                    "exit_code": 1,
+                    "degraded": False,
+                    "error": str(error),
+                    "http_status": error.status,
+                }
+
+        if jobs == 1 or len(items) <= 1:
+            return [one(item) for item in items]
+        from concurrent.futures import ThreadPoolExecutor
+
+        with ThreadPoolExecutor(
+            max_workers=min(jobs, len(items)), thread_name_prefix="repro-submit"
+        ) as pool:
+            # map() preserves submission order: determinism by construction.
+            return list(pool.map(one, items))
+
     def wait_ready(self, attempts: int = 50, delay: float = 0.1) -> dict:
         """Poll ``/healthz`` until the daemon answers (for scripts/CI)."""
         import time

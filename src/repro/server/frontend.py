@@ -1,0 +1,952 @@
+"""Sharded serving front end: a non-blocking selector event loop.
+
+This is the scale-out face of ``repro serve``.  Where the original
+daemon (:mod:`repro.server.httpd`) spends a thread per connection and a
+GIL-capped thread pool on analysis, this front end runs **one**
+event-loop thread that only ever accepts sockets, parses HTTP, routes,
+and writes responses -- all the CPU work happens in N shard *processes*
+(:mod:`repro.server.shard`), so analysis throughput scales with cores
+instead of saturating at one.
+
+Routing is by content address: the front end computes the same
+:func:`repro.server.service.request_identity` key the caches use and
+feeds it to the consistent-hash ring (:mod:`repro.server.router`), so a
+repeat submission always lands on the shard whose memory LRU and perf
+caches already hold it, and the shared on-disk cache tier picks up the
+rest across restarts.
+
+The public contracts of the single-process daemon hold unchanged:
+
+* **byte identity** -- shards run the same :class:`AnalysisService`
+  over the same renderer, so a served response equals the one-shot CLI
+  output at every shard count (CI-gated);
+* **backpressure** -- each shard has a bounded front-end queue
+  (``queue_size``); a request routed to a full shard answers 503 with a
+  ``Retry-After`` computed from queue depth and observed drain rate,
+  and a batch enqueues atomically against all its target shards or
+  fails 503 as a unit;
+* **deadline degradation** -- per-request timeouts live in the service,
+  inside each shard, exactly as before;
+* **drain** -- SIGTERM stops the accept loop, lets every dispatched
+  request finish and flush, then collects *every* shard process before
+  exiting.
+
+HTTP handling is deliberately minimal: HTTP/1.0, one request per
+connection, ``Content-Length`` required on POST -- the same wire
+behaviour ``ThreadingHTTPServer`` gave the original daemon, now without
+a thread per socket.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import selectors
+import socket
+import threading
+import time
+from collections import deque
+from typing import Deque, Dict, List, Optional, Tuple
+from urllib.parse import parse_qs, urlparse
+
+from repro.observability import context as tracecontext
+from repro.observability.events import ServerRequestBegin, ServerRequestEnd
+from repro.observability.logging import get_logger, log_event
+from repro.observability.tracer import SpanRecord, Tracer
+from repro.server.protocol import ProtocolError, error_response, validate_batch
+from repro.server.router import HashRing
+from repro.server.service import request_identity
+from repro.server.shard import ShardHandle
+from repro.server.stats import ServerStats
+
+#: POST route -> pinned command (None = the body decides); mirrors httpd.
+from repro.server.httpd import MAX_RETAINED_SPANS, POST_ROUTES
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    411: "Length Required",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+#: Largest accepted request head (request line + headers).
+MAX_HEAD_BYTES = 32_768
+
+#: Requests allowed into a shard's pipe at once.  One: the shard is
+#: either analysing the message it already read or blocked in recv(),
+#: so a send from the event loop never blocks on a full pipe buffer;
+#: the rest of the shard's bounded queue waits in the front end.
+PIPE_WINDOW = 1
+
+
+class _ClientConn:
+    """Per-socket state for the event loop."""
+
+    __slots__ = (
+        "sock", "inbuf", "outbuf", "out_offset", "state", "method",
+        "path", "headers", "body_length", "started", "trace_id", "closed",
+    )
+
+    def __init__(self, sock: socket.socket):
+        self.sock = sock
+        self.inbuf = bytearray()
+        self.outbuf: Optional[bytes] = None
+        self.out_offset = 0
+        self.state = "head"  # head -> body -> wait -> write
+        self.method = ""
+        self.path = ""
+        self.headers: Dict[str, str] = {}
+        self.body_length = 0
+        self.started = 0.0
+        self.trace_id: Optional[str] = None
+        self.closed = False
+
+
+class _Batch:
+    """One in-flight ``/v1/batch`` request fanning out across shards."""
+
+    __slots__ = ("conn", "started", "results", "remaining")
+
+    def __init__(self, conn: _ClientConn, started: float, size: int):
+        self.conn = conn
+        self.started = started
+        self.results: List[Optional[dict]] = [None] * size
+        self.remaining = 0
+
+
+class _Pending:
+    """One request dispatched to a shard, awaiting its response."""
+
+    __slots__ = ("conn", "endpoint", "command", "started", "shard", "batch", "slot")
+
+    def __init__(self, conn, endpoint, command, started, shard, batch=None, slot=0):
+        self.conn = conn
+        self.endpoint = endpoint
+        self.command = command
+        self.started = started
+        self.shard = shard
+        self.batch = batch
+        self.slot = slot
+
+
+class ShardedServer:
+    """N shard processes behind one consistent-hash selector front end."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        shards: Optional[int] = None,
+        queue_size: int = 64,
+        cache_dir: Optional[str] = None,
+        memory_cache_entries: int = 1024,
+        timeout_s: Optional[float] = None,
+        max_request_bytes: int = 1 << 20,
+        base_options: Optional[dict] = None,
+        verbose: bool = False,
+        ready_timeout_s: float = 120.0,
+    ):
+        if shards is not None and shards < 1:
+            raise ValueError("shards must be >= 1")
+        if queue_size < 1:
+            raise ValueError("queue_size must be >= 1")
+        self.shard_count = shards if shards else (os.cpu_count() or 1)
+        self.queue_size = queue_size
+        self.cache_dir = cache_dir
+        self.max_request_bytes = max_request_bytes
+        self.base_options = dict(base_options or {})
+        self.verbose = verbose
+        self.draining = False
+        self.started_monotonic = time.monotonic()
+
+        settings = {
+            "cache_dir": cache_dir,
+            "memory_cache_entries": memory_cache_entries,
+            "timeout_s": timeout_s,
+            "base_options": self.base_options or None,
+        }
+        # Shards fork/spawn *before* any server thread exists, so the
+        # child processes never inherit a half-held lock.
+        self.shards: List[ShardHandle] = []
+        try:
+            for shard_id in range(self.shard_count):
+                self.shards.append(ShardHandle(shard_id, settings))
+            for handle in self.shards:
+                handle.wait_ready(ready_timeout_s)
+        except BaseException:
+            for handle in self.shards:
+                try:
+                    handle.shutdown(timeout_s=1.0)
+                except Exception:  # pragma: no cover -- best-effort cleanup
+                    pass
+            raise
+        self.ring = HashRing(self.shard_count)
+        self._backlogs: Dict[int, Deque[dict]] = {
+            handle.shard_id: deque() for handle in self.shards
+        }
+        self._in_pipe: Dict[int, int] = {
+            handle.shard_id: 0 for handle in self.shards
+        }
+
+        self.stats = ServerStats()
+        self.tracer = Tracer(record_events=False)
+        self.access_log = get_logger("server.access")
+        self._tracer_lock = threading.Lock()
+
+        self._listen = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listen.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listen.bind((host, port))
+        self._listen.listen(128)
+        self._listen.setblocking(False)
+
+        self._wakeup_r, self._wakeup_w = os.pipe()
+        os.set_blocking(self._wakeup_r, False)
+
+        self._pending: Dict[int, _Pending] = {}
+        self._next_id = 0
+        self._conns: Dict[socket.socket, _ClientConn] = {}
+        self._selector: Optional[selectors.BaseSelector] = None
+        self._stop_requested = False
+        self._force_stop = False
+        self._loop_running = threading.Event()
+        self._drained = threading.Event()
+        self._shards_collected = False
+
+    # -- addresses -----------------------------------------------------------
+
+    @property
+    def host(self) -> str:
+        return self._listen.getsockname()[0]
+
+    @property
+    def port(self) -> int:
+        return self._listen.getsockname()[1]
+
+    # -- observability (same wrappers as ReproServer) ------------------------
+
+    def emit_event(self, event) -> None:
+        with self._tracer_lock:
+            self.tracer.emit(event)
+
+    def record_span(
+        self, name: str, start: float, end: float, trace_id: Optional[str] = None
+    ) -> None:
+        with self._tracer_lock:
+            if len(self.tracer.spans) >= MAX_RETAINED_SPANS:
+                return
+            record = SpanRecord(
+                name, start, depth=0, index=len(self.tracer.spans),
+                parent=None, trace_id=trace_id,
+            )
+            record.end = end
+            self.tracer.spans.append(record)
+
+    def tracer_summary(self) -> dict:
+        with self._tracer_lock:
+            return {
+                "spans": len(self.tracer.spans),
+                "event_counts": dict(sorted(self.tracer.event_counts.items())),
+                "dropped_events": self.tracer.dropped_events,
+            }
+
+    # -- metrics -------------------------------------------------------------
+
+    def inflight(self) -> int:
+        return sum(handle.inflight for handle in self.shards)
+
+    def _aggregate_cache_stats(self) -> dict:
+        """Shard cache counters summed into the single-daemon shape."""
+        total = {
+            "memory": {"hits": 0, "misses": 0, "evictions": 0, "entries": 0},
+            "disk": {"hits": 0, "misses": 0, "errors": 0,
+                     "enabled": self.cache_dir is not None},
+            "stores": 0,
+        }
+        for handle in self.shards:
+            cache = handle.stats_snapshot.get("cache") or {}
+            for tier in ("memory", "disk"):
+                for field, value in (cache.get(tier) or {}).items():
+                    if isinstance(value, bool):
+                        continue
+                    if field in total[tier]:
+                        total[tier][field] += int(value)
+            total["stores"] += int(cache.get("stores", 0))
+        return total
+
+    def shard_snapshots(self) -> List[dict]:
+        return [handle.snapshot() for handle in self.shards]
+
+    def _server_snapshot(self) -> dict:
+        return self.stats.snapshot(
+            cache_stats=self._aggregate_cache_stats(),
+            queue_depth=self.inflight(),
+            queue_high_water=max(
+                (handle.high_water for handle in self.shards), default=0
+            ),
+            tracer_summary=self.tracer_summary(),
+            shards=self.shard_snapshots(),
+        )
+
+    def metrics_document(self) -> dict:
+        from repro.observability.metrics import MetricsReport
+
+        with self._tracer_lock:
+            phases = {
+                name: {"count": timing.count, "seconds": timing.seconds}
+                for name, timing in self.tracer.phase_timings().items()
+            }
+        report = MetricsReport(
+            program="repro-serve",
+            phases=phases,
+            server=self._server_snapshot(),
+            meta={
+                "uptime_s": round(time.monotonic() - self.started_monotonic, 3),
+                "shards": self.shard_count,
+                "queue_size": self.queue_size,
+                "draining": self.draining,
+            },
+        )
+        return report.to_dict()
+
+    def prometheus_document(self) -> str:
+        from repro.observability.prometheus import render_server_metrics
+
+        return render_server_metrics(
+            self._server_snapshot(),
+            uptime_s=round(time.monotonic() - self.started_monotonic, 3),
+            workers=self.shard_count,
+        )
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def serve_forever(self) -> None:
+        """Run the event loop until drained (usually on its own thread)."""
+        selector = selectors.DefaultSelector()
+        self._selector = selector
+        selector.register(self._listen, selectors.EVENT_READ, ("listen", None))
+        selector.register(self._wakeup_r, selectors.EVENT_READ, ("wakeup", None))
+        for handle in self.shards:
+            selector.register(handle.conn, selectors.EVENT_READ, ("shard", handle))
+        self._loop_running.set()
+        listener_open = True
+        try:
+            while True:
+                if self._stop_requested and listener_open:
+                    self.draining = True
+                    selector.unregister(self._listen)
+                    self._listen.close()
+                    listener_open = False
+                    self._close_idle_conns(selector)
+                if self._force_stop:
+                    break
+                if self.draining and not self._pending and not self._has_unflushed():
+                    break
+                for key, _mask in selector.select(timeout=0.1):
+                    kind, payload = key.data
+                    if kind == "listen":
+                        self._on_accept(selector)
+                    elif kind == "wakeup":
+                        try:
+                            os.read(self._wakeup_r, 4096)
+                        except OSError:
+                            pass
+                    elif kind == "shard":
+                        self._on_shard_readable(selector, payload)
+                    elif kind == "client":
+                        self._on_client_event(selector, payload, key)
+        finally:
+            for conn in list(self._conns.values()):
+                self._close_conn(selector, conn)
+            if listener_open:
+                try:
+                    selector.unregister(self._listen)
+                except KeyError:
+                    pass
+                self._listen.close()
+            for handle in self.shards:
+                try:
+                    selector.unregister(handle.conn)
+                except (KeyError, ValueError):
+                    pass
+            selector.close()
+            self._selector = None
+            # Drain collects *every* shard: sentinel, join, account.
+            self._shards_collected = all(
+                handle.shutdown() for handle in self.shards
+            )
+            self._drained.set()
+
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """Stop accepting, finish in-flight work, collect all shards.
+
+        Returns True when the loop drained and every shard process was
+        collected inside ``timeout``.  Safe to call from any thread (the
+        signal handler's thread included); idempotent.
+        """
+        self.draining = True
+        self._stop_requested = True
+        self._wake()
+        if not self._loop_running.is_set():
+            # serve_forever never ran: shut the shards down inline.
+            if not self._drained.is_set():
+                self._shards_collected = all(
+                    handle.shutdown() for handle in self.shards
+                )
+                self._drained.set()
+            return self._shards_collected
+        finished = self._drained.wait(timeout=timeout)
+        if not finished:
+            self._force_stop = True
+            self._wake()
+            self._drained.wait(timeout=5.0)
+        return finished and self._shards_collected
+
+    def _wake(self) -> None:
+        try:
+            os.write(self._wakeup_w, b"x")
+        except OSError:  # pragma: no cover -- already closed
+            pass
+
+    def _has_unflushed(self) -> bool:
+        return any(conn.outbuf is not None for conn in self._conns.values())
+
+    def _close_idle_conns(self, selector) -> None:
+        """At drain start, drop connections that never sent a byte."""
+        for conn in list(self._conns.values()):
+            if conn.state == "head" and not conn.inbuf:
+                self._close_conn(selector, conn)
+
+    # -- socket plumbing -----------------------------------------------------
+
+    def _on_accept(self, selector) -> None:
+        while True:
+            try:
+                sock, _addr = self._listen.accept()
+            except (BlockingIOError, InterruptedError):
+                return
+            except OSError:
+                return
+            sock.setblocking(False)
+            conn = _ClientConn(sock)
+            self._conns[sock] = conn
+            selector.register(sock, selectors.EVENT_READ, ("client", conn))
+
+    def _close_conn(self, selector, conn: _ClientConn) -> None:
+        if conn.closed:
+            return
+        conn.closed = True
+        self._conns.pop(conn.sock, None)
+        try:
+            selector.unregister(conn.sock)
+        except (KeyError, ValueError):
+            pass
+        try:
+            conn.sock.close()
+        except OSError:
+            pass
+
+    def _on_client_event(self, selector, conn: _ClientConn, key) -> None:
+        if conn.outbuf is not None:
+            self._on_client_writable(selector, conn)
+            return
+        try:
+            data = conn.sock.recv(65536)
+        except (BlockingIOError, InterruptedError):
+            return
+        except OSError:
+            self._close_conn(selector, conn)
+            return
+        if not data:
+            self._close_conn(selector, conn)
+            return
+        conn.inbuf += data
+        self._advance(selector, conn)
+
+    def _on_client_writable(self, selector, conn: _ClientConn) -> None:
+        assert conn.outbuf is not None
+        try:
+            sent = conn.sock.send(conn.outbuf[conn.out_offset:])
+        except (BlockingIOError, InterruptedError):
+            return
+        except OSError:
+            self._close_conn(selector, conn)
+            return
+        conn.out_offset += sent
+        if conn.out_offset >= len(conn.outbuf):
+            self._close_conn(selector, conn)
+
+    # -- HTTP parsing --------------------------------------------------------
+
+    def _advance(self, selector, conn: _ClientConn) -> None:
+        if conn.state == "head":
+            if not self._parse_head(selector, conn):
+                return
+        if conn.state == "body":
+            if len(conn.inbuf) < conn.body_length:
+                return
+            self._dispatch_post(selector, conn)
+
+    def _parse_head(self, selector, conn: _ClientConn) -> bool:
+        index = conn.inbuf.find(b"\r\n\r\n")
+        if index < 0:
+            if len(conn.inbuf) > MAX_HEAD_BYTES:
+                self._respond_error(selector, conn, 400, "request head too large")
+            return False
+        head = bytes(conn.inbuf[:index])
+        del conn.inbuf[: index + 4]
+        lines = head.split(b"\r\n")
+        parts = lines[0].split()
+        if len(parts) != 3:
+            self._respond_error(selector, conn, 400, "malformed request line")
+            return False
+        try:
+            conn.method = parts[0].decode("latin-1")
+            conn.path = parts[1].decode("latin-1")
+        except UnicodeDecodeError:  # pragma: no cover -- latin-1 total
+            self._respond_error(selector, conn, 400, "malformed request line")
+            return False
+        for line in lines[1:]:
+            name, _sep, value = line.partition(b":")
+            conn.headers[name.strip().lower().decode("latin-1")] = (
+                value.strip().decode("latin-1")
+            )
+        conn.started = time.perf_counter()
+        incoming = conn.headers.get(tracecontext.TRACE_HEADER.lower())
+        if incoming and tracecontext.valid_trace_id(incoming):
+            conn.trace_id = incoming
+        else:
+            conn.trace_id = tracecontext.new_trace_id()
+
+        if conn.method == "GET":
+            self._dispatch_get(selector, conn)
+            return False
+        if conn.method != "POST":
+            self._respond_error(selector, conn, 404, "not found")
+            return False
+        length = conn.headers.get("content-length")
+        if length is None or not length.isdigit():
+            self._finish_inline(
+                selector, conn, conn.path, None, 411,
+                {"status": "error", "error": "Content-Length required"},
+            )
+            return False
+        conn.body_length = int(length)
+        if conn.body_length > self.max_request_bytes:
+            self.stats.record_rejected("too_large")
+            self._finish_inline(
+                selector, conn, conn.path, None, 413,
+                {
+                    "status": "error",
+                    "error": (
+                        f"request of {conn.body_length} bytes exceeds the "
+                        f"{self.max_request_bytes} byte limit"
+                    ),
+                },
+            )
+            return False
+        conn.state = "body"
+        return True
+
+    # -- GET -----------------------------------------------------------------
+
+    def _dispatch_get(self, selector, conn: _ClientConn) -> None:
+        parsed = urlparse(conn.path)
+        if parsed.path == "/healthz":
+            self.emit_event(
+                ServerRequestBegin(
+                    endpoint="/healthz", command=None, trace_id=conn.trace_id
+                )
+            )
+            self._finish_inline(
+                selector, conn, "/healthz", None, 200,
+                {
+                    "status": "draining" if self.draining else "ok",
+                    "inflight": self.inflight(),
+                    "shards": self.shard_count,
+                    "uptime_s": round(
+                        time.monotonic() - self.started_monotonic, 3
+                    ),
+                },
+            )
+            return
+        if parsed.path == "/metricsz":
+            self.emit_event(
+                ServerRequestBegin(
+                    endpoint="/metricsz", command=None, trace_id=conn.trace_id
+                )
+            )
+            if self._wants_prometheus(parsed.query, conn.headers.get("accept", "")):
+                self._finish_inline(
+                    selector, conn, "/metricsz", None, 200, {},
+                    body=self.prometheus_document().encode("utf-8"),
+                    content_type="text/plain; version=0.0.4; charset=utf-8",
+                )
+                return
+            self._finish_inline(
+                selector, conn, "/metricsz", None, 200, self.metrics_document()
+            )
+            return
+        self._finish_inline(
+            selector, conn, conn.path, None, 404,
+            {"status": "error", "error": "not found"},
+        )
+
+    @staticmethod
+    def _wants_prometheus(query: str, accept: str) -> bool:
+        formats = parse_qs(query).get("format")
+        if formats:
+            return formats[-1] == "prometheus"
+        return "text/plain" in accept or "openmetrics" in accept
+
+    # -- POST routing --------------------------------------------------------
+
+    def _dispatch_post(self, selector, conn: _ClientConn) -> None:
+        endpoint = conn.path
+        is_batch = endpoint == "/v1/batch"
+        if not is_batch and endpoint not in POST_ROUTES:
+            self._finish_inline(
+                selector, conn, endpoint, None, 404,
+                {"status": "error", "error": "not found"},
+            )
+            return
+        command = POST_ROUTES.get(endpoint)
+        self.emit_event(
+            ServerRequestBegin(
+                endpoint=endpoint, command=command, trace_id=conn.trace_id
+            )
+        )
+        try:
+            body = json.loads(bytes(conn.inbuf[: conn.body_length]).decode("utf-8"))
+        except (UnicodeDecodeError, ValueError):
+            self._finish_inline(
+                selector, conn, endpoint, command, 400,
+                {"status": "error", "error": "body is not valid JSON"},
+            )
+            return
+        del conn.inbuf[: conn.body_length]
+        conn.state = "wait"
+        if self.draining:
+            self.stats.record_rejected("draining")
+            self._finish_inline(
+                selector, conn, endpoint, command, 503,
+                {"status": "error", "error": "server is draining"},
+                retry_after=self.stats.retry_after(0, 1),
+            )
+            return
+        if is_batch:
+            self._dispatch_batch(selector, conn, body)
+            return
+        try:
+            _cmd, _src, _name, _opts, _cfg, request_key = request_identity(
+                body, command, self.base_options
+            )
+        except ProtocolError as error:
+            self._finish_inline(
+                selector, conn, endpoint, command, 400,
+                {"status": "error", "error": str(error)},
+            )
+            return
+        handle = self.shards[self.ring.route(request_key)]
+        if handle.inflight >= self.queue_size:
+            self.stats.record_rejected("queue_full")
+            self._finish_inline(
+                selector, conn, endpoint, command, 503,
+                {
+                    "status": "error",
+                    "error": (
+                        f"queue full on shard {handle.shard_id} "
+                        f"({handle.inflight} in flight, "
+                        f"capacity {self.queue_size})"
+                    ),
+                },
+                retry_after=self.stats.retry_after(handle.inflight, 1),
+            )
+            return
+        pending = _Pending(conn, endpoint, command, conn.started, handle)
+        self._enqueue(selector, handle, pending, body, command, conn.trace_id)
+
+    def _dispatch_batch(self, selector, conn: _ClientConn, body) -> None:
+        endpoint = "/v1/batch"
+        try:
+            items = validate_batch(body)
+        except ProtocolError as error:
+            self._finish_inline(
+                selector, conn, endpoint, None, 400,
+                {"status": "error", "error": str(error)},
+            )
+            return
+        routed: List[Tuple[int, Optional[ShardHandle], Optional[dict], Optional[dict]]] = []
+        demand: Dict[int, int] = {}
+        for slot, item in enumerate(items):
+            if not isinstance(item, dict):
+                item = {"source": item}  # fails validation with a clear error
+            try:
+                *_rest, item_key = request_identity(item, None, self.base_options)
+            except ProtocolError as error:
+                failure = error_response(
+                    item.get("command") if isinstance(item.get("command"), str)
+                    else None,
+                    str(error),
+                )
+                failure.update(key=None, cached=None, elapsed_ms=0.0)
+                routed.append((slot, None, None, failure))
+                continue
+            handle = self.shards[self.ring.route(item_key)]
+            demand[handle.shard_id] = demand.get(handle.shard_id, 0) + 1
+            routed.append((slot, handle, item, None))
+        # Atomic admission: every target shard must have room for its
+        # whole share, or the batch bounces as a unit.
+        for shard_id, count in demand.items():
+            handle = self.shards[shard_id]
+            if handle.inflight + count > self.queue_size:
+                self.stats.record_rejected("queue_full")
+                self._finish_inline(
+                    selector, conn, endpoint, None, 503,
+                    {
+                        "status": "error",
+                        "error": (
+                            f"batch needs {count} slots on shard {shard_id} "
+                            f"({handle.inflight} in flight, "
+                            f"capacity {self.queue_size})"
+                        ),
+                    },
+                    retry_after=self.stats.retry_after(handle.inflight, 1),
+                )
+                return
+        batch = _Batch(conn, conn.started, len(items))
+        for slot, handle, item, failure in routed:
+            if failure is not None:
+                batch.results[slot] = failure
+                continue
+            batch.remaining += 1
+            pending = _Pending(
+                conn, endpoint, None, conn.started, handle, batch=batch, slot=slot
+            )
+            self._enqueue(selector, handle, pending, item, None, conn.trace_id)
+        if batch.remaining == 0:
+            self._finish_batch(selector, batch)
+
+    def _enqueue(
+        self, selector, handle: ShardHandle, pending: _Pending,
+        body: dict, command: Optional[str], trace_id: Optional[str],
+    ) -> None:
+        self._next_id += 1
+        request_id = self._next_id
+        self._pending[request_id] = pending
+        handle.inflight += 1
+        handle.high_water = max(handle.high_water, handle.inflight)
+        message = {
+            "op": "request",
+            "id": request_id,
+            "body": body,
+            "command": command,
+            "trace_id": trace_id,
+        }
+        if self._in_pipe[handle.shard_id] < PIPE_WINDOW:
+            self._pipe_send(selector, handle, message)
+        else:
+            self._backlogs[handle.shard_id].append(message)
+
+    def _pipe_send(self, selector, handle: ShardHandle, message: dict) -> None:
+        try:
+            handle.conn.send(message)
+        except (BrokenPipeError, OSError):
+            self._shard_failed(selector, handle)
+            return
+        self._in_pipe[handle.shard_id] += 1
+
+    # -- shard replies -------------------------------------------------------
+
+    def _on_shard_readable(self, selector, handle: ShardHandle) -> None:
+        while True:
+            try:
+                if not handle.conn.poll():
+                    return
+                message = handle.conn.recv()
+            except (EOFError, OSError):
+                self._shard_failed(selector, handle)
+                return
+            if not isinstance(message, dict) or message.get("op") != "response":
+                continue
+            handle.stats_snapshot = message.get("stats") or handle.stats_snapshot
+            self._in_pipe[handle.shard_id] = max(
+                0, self._in_pipe[handle.shard_id] - 1
+            )
+            backlog = self._backlogs[handle.shard_id]
+            if backlog and self._in_pipe[handle.shard_id] < PIPE_WINDOW:
+                self._pipe_send(selector, handle, backlog.popleft())
+            pending = self._pending.pop(message.get("id"), None)
+            if pending is None:
+                continue
+            handle.inflight = max(0, handle.inflight - 1)
+            self._settle(
+                selector, pending,
+                message.get("response") or {},
+                int(message.get("http_status", 200)),
+            )
+
+    def _shard_failed(self, selector, handle: ShardHandle) -> None:
+        """A shard died mid-flight: fail its requests, then respawn it."""
+        try:
+            selector.unregister(handle.conn)
+        except (KeyError, ValueError):
+            pass
+        failed = [
+            (request_id, pending)
+            for request_id, pending in self._pending.items()
+            if pending.shard is handle
+        ]
+        for request_id, pending in failed:
+            del self._pending[request_id]
+            self._settle(
+                selector, pending,
+                {
+                    "status": "error",
+                    "command": pending.command,
+                    "output": "",
+                    "exit_code": 1,
+                    "degraded": False,
+                    "error": f"shard {handle.shard_id} worker died",
+                    "key": None,
+                    "cached": None,
+                    "elapsed_ms": 0.0,
+                },
+                500,
+            )
+        self._backlogs[handle.shard_id].clear()
+        self._in_pipe[handle.shard_id] = 0
+        handle.inflight = 0
+        log_event(
+            self.access_log, "shard died", shard=handle.shard_id,
+            restarts=handle.restarts,
+        )
+        if self.draining:
+            return
+        try:
+            handle.respawn()
+        except RuntimeError:
+            log_event(
+                self.access_log, "shard respawn failed", shard=handle.shard_id
+            )
+            return
+        selector.register(handle.conn, selectors.EVENT_READ, ("shard", handle))
+
+    def _settle(
+        self, selector, pending: _Pending, response: dict, http_status: int
+    ) -> None:
+        if pending.batch is not None:
+            batch = pending.batch
+            batch.results[pending.slot] = response
+            batch.remaining -= 1
+            if batch.remaining == 0:
+                self._finish_batch(selector, batch)
+            return
+        self._finish_request(
+            selector, pending.conn, pending.endpoint,
+            response.get("command", pending.command), http_status, response,
+            pending.started,
+            cached=response.get("cached"),
+            degraded=bool(response.get("degraded")),
+        )
+
+    def _finish_batch(self, selector, batch: _Batch) -> None:
+        results = [result or {} for result in batch.results]
+        degraded = any(result.get("degraded") for result in results)
+        self._finish_request(
+            selector, batch.conn, "/v1/batch", None, 200,
+            {"status": "ok", "results": results},
+            batch.started, degraded=degraded,
+        )
+
+    # -- responses -----------------------------------------------------------
+
+    def _respond_error(self, selector, conn, status: int, message: str) -> None:
+        self._finish_inline(
+            selector, conn, conn.path or "?", None, status,
+            {"status": "error", "error": message},
+        )
+
+    def _finish_inline(
+        self, selector, conn: _ClientConn, endpoint: str,
+        command: Optional[str], status: int, document: dict,
+        body: Optional[bytes] = None,
+        content_type: str = "application/json",
+        retry_after: Optional[int] = None,
+    ) -> None:
+        """Answer a request entirely from the front end (no shard)."""
+        self._finish_request(
+            selector, conn, endpoint, command, status, document,
+            conn.started or time.perf_counter(),
+            body=body, content_type=content_type, retry_after=retry_after,
+        )
+
+    def _finish_request(
+        self, selector, conn: _ClientConn, endpoint: str,
+        command: Optional[str], status: int, document: dict, started: float,
+        cached: Optional[str] = None, degraded: bool = False,
+        body: Optional[bytes] = None,
+        content_type: str = "application/json",
+        retry_after: Optional[int] = None,
+    ) -> None:
+        if body is None:
+            body = (json.dumps(document, sort_keys=True) + "\n").encode("utf-8")
+        if status == 503 and retry_after is None:
+            retry_after = self.stats.retry_after(self.inflight(), self.shard_count)
+        if conn is not None and not conn.closed:
+            reason = _REASONS.get(status, "Unknown")
+            lines = [
+                f"HTTP/1.0 {status} {reason}",
+                "Server: repro-serve",
+                f"Content-Type: {content_type}",
+                f"Content-Length: {len(body)}",
+            ]
+            if conn.trace_id:
+                lines.append(f"{tracecontext.TRACE_HEADER}: {conn.trace_id}")
+            if status == 503:
+                lines.append(f"Retry-After: {retry_after}")
+            lines.append("Connection: close")
+            head = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+            conn.outbuf = head + body
+            conn.out_offset = 0
+            conn.state = "write"
+            try:
+                self._selector_modify_write(selector, conn)
+            except (KeyError, ValueError):  # pragma: no cover -- raced close
+                self._close_conn(selector, conn)
+        elapsed_ms = (time.perf_counter() - started) * 1000
+        trace_id = conn.trace_id if conn is not None else None
+        self.stats.record_request(
+            endpoint, status, elapsed_ms, cached=cached, degraded=degraded
+        )
+        self.emit_event(
+            ServerRequestEnd(
+                endpoint=endpoint,
+                command=command,
+                status=status,
+                elapsed_ms=round(elapsed_ms, 3),
+                cached=cached,
+                degraded=degraded,
+                trace_id=trace_id,
+            )
+        )
+        self.record_span(endpoint, started, time.perf_counter(), trace_id=trace_id)
+        log_event(
+            self.access_log,
+            "request",
+            method=conn.method if conn is not None else "POST",
+            endpoint=endpoint,
+            status=status,
+            cached=cached,
+            degraded=degraded,
+            elapsed_ms=round(elapsed_ms, 3),
+            trace_id=trace_id,
+        )
+
+    def _selector_modify_write(self, selector, conn: _ClientConn) -> None:
+        selector.modify(conn.sock, selectors.EVENT_WRITE, ("client", conn))
+        # Try an eager write: most responses fit the socket buffer, so
+        # the common case finishes without another loop iteration.
+        self._on_client_writable(selector, conn)

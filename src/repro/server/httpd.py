@@ -53,6 +53,7 @@ idle keep-alive can hold the drain hostage).
 from __future__ import annotations
 
 import json
+import os
 import signal
 import threading
 import time
@@ -120,7 +121,14 @@ class _Handler(BaseHTTPRequestHandler):
         if trace_id is not None:
             self.send_header(tracecontext.TRACE_HEADER, trace_id)
         if status == 503:
-            self.send_header("Retry-After", "1")
+            # Computed, not hardcoded: the wait quoted to a rejected
+            # client is the time the current backlog needs to drain at
+            # the observed service rate, clamped to [1s, 60s].
+            ctx = self.ctx
+            self.send_header(
+                "Retry-After",
+                str(ctx.stats.retry_after(ctx.pool.depth(), ctx.pool.workers)),
+            )
         self.end_headers()
         self.wfile.write(body)
 
@@ -517,6 +525,7 @@ def serve_daemon(
     drain_timeout_s: float = 30.0,
     base_options: Optional[dict] = None,
     verbose: bool = False,
+    shards: Optional[int] = None,
 ) -> int:
     """Run the daemon until SIGTERM/SIGINT, then drain and exit.
 
@@ -524,6 +533,13 @@ def serve_daemon(
     (``listening on HOST:PORT``) is printed only after the socket is
     bound, so supervisors and CI scripts can wait for it; with
     ``--port 0`` the kernel-assigned port is the one printed.
+
+    ``shards`` picks the serving tier: ``None`` (the default) boots the
+    sharded multi-process front end with one shard per CPU core, any
+    positive N boots exactly N shards, and ``0`` keeps the original
+    single-process threaded daemon (the GIL-bound fallback for
+    environments where forking is unwelcome).  Every tier serves
+    byte-identical responses; only throughput differs.
 
     The access log (one JSON line per request, stderr) is enabled here
     and only here: in-process embedders get a silent server unless they
@@ -533,6 +549,22 @@ def serve_daemon(
     from repro.observability.logging import configure_json_logging
 
     configure_json_logging()
+    if shards is None:
+        shards = os.cpu_count() or 1
+    if shards > 0:
+        return _serve_sharded(
+            host=host,
+            port=port,
+            shards=shards,
+            queue_size=queue_size,
+            cache_dir=cache_dir,
+            memory_cache_entries=memory_cache_entries,
+            timeout_s=timeout_s,
+            max_request_bytes=max_request_bytes,
+            drain_timeout_s=drain_timeout_s,
+            base_options=base_options,
+            verbose=verbose,
+        )
     server = ReproServer(
         host=host,
         port=port,
@@ -571,6 +603,79 @@ def serve_daemon(
         for signum, handler in previous.items():
             signal.signal(signum, handler)
     inflight = server.pool.depth()
+    print(f"repro serve: draining ({inflight} in flight)...", flush=True)
+    finished = server.drain(timeout=drain_timeout_s)
+    loop.join(timeout=5.0)
+    snapshot = server.stats.snapshot()
+    print(
+        f"repro serve: drained; served "
+        f"{sum(snapshot['responses'].values())} responses "
+        f"({snapshot['degraded']} degraded)",
+        flush=True,
+    )
+    return 0 if finished else 1
+
+
+def _serve_sharded(
+    host: str,
+    port: int,
+    shards: int,
+    queue_size: int,
+    cache_dir: Optional[str],
+    memory_cache_entries: int,
+    timeout_s: Optional[float],
+    max_request_bytes: int,
+    drain_timeout_s: float,
+    base_options: Optional[dict],
+    verbose: bool,
+) -> int:
+    """The sharded-tier body of ``repro serve`` (``--shards >= 1``).
+
+    Same operational contract as the legacy path: readiness line after
+    bind, SIGTERM/SIGINT starts a drain that finishes in-flight work
+    and collects every shard process, exit 0 only on a clean drain.
+    """
+    from repro.server.frontend import ShardedServer
+
+    # Shards fork inside the constructor, before any thread starts.
+    server = ShardedServer(
+        host=host,
+        port=port,
+        shards=shards,
+        queue_size=queue_size,
+        cache_dir=cache_dir,
+        memory_cache_entries=memory_cache_entries,
+        timeout_s=timeout_s,
+        max_request_bytes=max_request_bytes,
+        base_options=base_options,
+        verbose=verbose,
+    )
+    print(
+        f"repro serve: listening on {server.host}:{server.port} "
+        f"(shards={shards}, queue={queue_size}/shard, "
+        f"cache={'disk+memory' if cache_dir else 'memory'}, "
+        f"timeout={'none' if timeout_s is None else f'{timeout_s}s'})",
+        flush=True,
+    )
+
+    stop = threading.Event()
+
+    def _signal_handler(signum, frame) -> None:  # noqa: ARG001
+        stop.set()
+
+    previous = {}
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        previous[signum] = signal.signal(signum, _signal_handler)
+    loop = threading.Thread(
+        target=server.serve_forever, name="repro-serve-frontend", daemon=True
+    )
+    loop.start()
+    try:
+        stop.wait()
+    finally:
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)
+    inflight = server.inflight()
     print(f"repro serve: draining ({inflight} in flight)...", flush=True)
     finished = server.drain(timeout=drain_timeout_s)
     loop.join(timeout=5.0)

@@ -1,0 +1,75 @@
+"""Consistent-hash routing of requests onto shards.
+
+The sharded daemon keys every request by its content address
+(:func:`repro.server.cache.request_key`), so the router's job is to
+send equal keys -- and therefore repeat and near-duplicate submissions
+-- to the *same* shard every time: that shard's in-process memory LRU
+and the perf layer's interning/memoization caches are already hot for
+it.  A plain ``hash(key) % shards`` would do that too, but it reshuffles
+almost every key when the shard count changes; the consistent-hash ring
+moves only ~1/N of the key space when a shard is added or removed, so a
+rolling resize keeps most of the fleet's cache affinity intact.
+
+Classic construction: each shard owns ``vnodes`` points on a ring of
+SHA-256 positions; a key routes to the first shard point at or after
+its own hash (wrapping).  Virtual nodes smooth the load -- with 64
+points per shard the heaviest shard stays within a few percent of the
+mean on uniformly random keys (asserted in ``tests/server/test_router.py``).
+
+Everything is deterministic: the ring depends only on ``(shards,
+vnodes)``, never on interpreter hash randomisation, so the front end,
+tests, and an external load balancer can all compute identical routes.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Dict, List, Tuple
+
+#: Ring points per shard; enough to keep load skew small without making
+#: ring construction or memory noticeable.
+DEFAULT_VNODES = 64
+
+
+def _position(label: str) -> int:
+    """A ring position: the first 8 bytes of SHA-256, as an integer."""
+    return int.from_bytes(
+        hashlib.sha256(label.encode("utf-8")).digest()[:8], "big"
+    )
+
+
+class HashRing:
+    """Deterministic consistent-hash ring over ``shards`` shard ids."""
+
+    def __init__(self, shards: int, vnodes: int = DEFAULT_VNODES):
+        if shards < 1:
+            raise ValueError("shards must be >= 1")
+        if vnodes < 1:
+            raise ValueError("vnodes must be >= 1")
+        self.shards = shards
+        self.vnodes = vnodes
+        points: List[Tuple[int, int]] = []
+        for shard in range(shards):
+            for vnode in range(vnodes):
+                points.append((_position(f"shard:{shard}:vnode:{vnode}"), shard))
+        points.sort()
+        self._positions = [position for position, _ in points]
+        self._owners = [shard for _, shard in points]
+
+    def route(self, key: str) -> int:
+        """The shard id owning ``key`` (stable across processes)."""
+        if self.shards == 1:
+            return 0
+        position = _position(key)
+        index = bisect.bisect_right(self._positions, position)
+        if index == len(self._positions):
+            index = 0  # wrap past the highest point
+        return self._owners[index]
+
+    def distribution(self, keys) -> Dict[int, int]:
+        """How many of ``keys`` land on each shard (diagnostics/tests)."""
+        counts: Dict[int, int] = {shard: 0 for shard in range(self.shards)}
+        for key in keys:
+            counts[self.route(key)] += 1
+        return counts

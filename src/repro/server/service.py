@@ -37,7 +37,7 @@ from __future__ import annotations
 
 import threading
 import time
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro import rendering
 from repro.core import VRPConfig, VRPPredictor
@@ -65,6 +65,38 @@ def build_config(options: Dict[str, object]) -> VRPConfig:
         track_arrays=bool(options.get("track_arrays", False)),
         context_depth=int(options.get("context_depth", 0)),
     )
+
+
+def request_identity(
+    body: dict,
+    command: Optional[str] = None,
+    base_options: Optional[Dict[str, object]] = None,
+) -> Tuple[str, str, str, Dict[str, object], VRPConfig, str]:
+    """Validate one request and compute its content address.
+
+    Returns ``(command, source, name, merged_options, config, key)``.
+    This is the single definition of "what identifies a request": the
+    service uses it for cache lookups, and the sharded front end uses
+    it to route -- the router hashing the *same* key the shard's cache
+    stores under is what makes cache affinity work at all.  Raises
+    :class:`ProtocolError` on malformed bodies.
+
+    The display name only reaches the output of ``check`` (report
+    headers name the program); other commands normalise it out of the
+    key so renames do not shatter the cache.  ``trace`` never reaches
+    the key (``canonical_options`` drops it): a traced request and an
+    untraced one share one cache entry.
+    """
+    command, source, name, options = validate_request(body, command)
+    merged = dict(base_options or {})
+    merged.update(options)
+    config = build_config(merged)
+    key_name = name if command == "check" else "-"
+    key = request_key(
+        command, source, key_name,
+        protocol.canonical_options(command, merged), config,
+    )
+    return command, source, name, merged, config, key
 
 
 def _compile(source: str):
@@ -303,23 +335,11 @@ class AnalysisService:
         from repro.observability import context as tracecontext
         from repro.observability import tracer as tracing
 
-        command, source, name, options = validate_request(body, command)
-        merged = dict(self.base_options)
-        merged.update(options)
-        started = time.perf_counter()
-        config = build_config(merged)
-        want_trace = bool(merged.get("trace"))
-        # The display name only reaches the output of ``check`` (report
-        # headers name the program); other commands normalise it out of
-        # the key so renames do not shatter the cache.  ``trace`` never
-        # reaches the key (canonical_options drops it) and the spans are
-        # attached below, after the cache decision: a traced request and
-        # an untraced one share one cache entry.
-        key_name = name if command == "check" else "-"
-        key = request_key(
-            command, source, key_name, protocol.canonical_options(command, merged),
-            config,
+        command, source, name, merged, config, key = request_identity(
+            body, command, self.base_options
         )
+        started = time.perf_counter()
+        want_trace = bool(merged.get("trace"))
         payload, tier = self.cache.get(key)
         tracer = tracing.Tracer(record_events=False) if want_trace else None
         if payload is None:

@@ -9,12 +9,42 @@ rebinning.
 
 from __future__ import annotations
 
+import math
 import threading
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
 #: Upper bounds (ms) of the latency histogram buckets; the last bucket
 #: is unbounded ("+inf"), Prometheus-style.
 LATENCY_BUCKETS_MS = (1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000)
+
+#: Clamp for the computed ``Retry-After`` header: never tell a client to
+#: come back in zero seconds (it would hammer a saturated daemon) and
+#: never park it for more than a minute (queues drain in seconds here).
+RETRY_AFTER_FLOOR_S = 1
+RETRY_AFTER_CEILING_S = 60
+
+
+def compute_retry_after(
+    queue_depth: int,
+    drain_per_second: float,
+    floor: int = RETRY_AFTER_FLOOR_S,
+    ceiling: int = RETRY_AFTER_CEILING_S,
+) -> int:
+    """Seconds a 503'd client should wait before retrying.
+
+    The estimate is the time the current backlog needs to drain at the
+    observed service rate: ``depth / rate``, rounded up and clamped to
+    ``[floor, ceiling]``.  With no rate observed yet (a cold daemon
+    rejecting its very first burst) the floor is the honest answer --
+    there is nothing to extrapolate from -- and the ceiling keeps a
+    nearly-stuck queue from quoting an absurd wait.
+    """
+    if floor < 0 or ceiling < floor:
+        raise ValueError("need 0 <= floor <= ceiling")
+    if queue_depth <= 0 or drain_per_second <= 0.0:
+        return floor
+    seconds = math.ceil(queue_depth / drain_per_second)
+    return max(floor, min(ceiling, seconds))
 
 
 class _EndpointStats:
@@ -97,12 +127,37 @@ class ServerStats:
         with self._lock:
             return self._degraded
 
+    def drain_rate(self, workers: int) -> float:
+        """Analysis requests finished per second, extrapolated.
+
+        The estimate behind the computed ``Retry-After`` header: mean
+        observed latency over the *analysis* endpoints (``/v1/...``
+        only -- ``/healthz`` answers in microseconds and would wildly
+        inflate the rate) scaled by the number of concurrent workers.
+        Returns 0.0 before the first analysis completes.
+        """
+        with self._lock:
+            count = 0
+            sum_ms = 0.0
+            for endpoint, stats in self._endpoints.items():
+                if endpoint.startswith("/v1/"):
+                    count += stats.count
+                    sum_ms += stats.sum_ms
+        if count == 0 or sum_ms <= 0.0:
+            return 0.0
+        return max(1, workers) * 1000.0 * count / sum_ms
+
+    def retry_after(self, queue_depth: int, workers: int) -> int:
+        """The ``Retry-After`` seconds for a backpressure 503."""
+        return compute_retry_after(queue_depth, self.drain_rate(workers))
+
     def snapshot(
         self,
         cache_stats: Optional[dict] = None,
         queue_depth: Optional[int] = None,
         queue_high_water: Optional[int] = None,
         tracer_summary: Optional[dict] = None,
+        shards: Optional[List[dict]] = None,
     ) -> dict:
         """The metrics schema v5 ``server`` document fragment.
 
@@ -131,4 +186,11 @@ class ServerStats:
             }
         if tracer_summary is not None:
             out["tracer"] = tracer_summary
+        if shards is not None:
+            # Per-shard documents from the sharded tier: queue depth /
+            # high water, the shard's cache stats, liveness.  The
+            # single-process path never passes this, so its snapshots
+            # (and the unlabeled Prometheus series rendered from them)
+            # are byte-for-byte what they were before sharding existed.
+            out["shards"] = [dict(shard) for shard in shards]
         return out

@@ -102,6 +102,113 @@ class TestRender:
             MetricFamily("bad name", "counter", "help")
 
 
+def sharded_snapshot() -> dict:
+    """A snapshot as the sharded tier produces it (with ``shards``)."""
+    stats = ServerStats()
+    stats.record_request("/v1/predict", 200, 3.0)
+    return stats.snapshot(
+        cache_stats={
+            "memory": {"entries": 3, "hits": 1, "misses": 2},
+            "disk": {"hits": 1, "misses": 1},
+        },
+        queue_depth=2,
+        queue_high_water=5,
+        shards=[
+            {
+                "shard": 0,
+                "queue": {"depth": 2, "high_water": 4},
+                "cache": {
+                    "memory": {"entries": 2, "hits": 1, "misses": 1},
+                    "disk": {"hits": 1, "misses": 0},
+                },
+                "served": 7,
+                "degraded": 0,
+                "alive": True,
+                "restarts": 0,
+            },
+            {
+                "shard": 1,
+                "queue": {"depth": 0, "high_water": 1},
+                "cache": {
+                    "memory": {"entries": 1, "hits": 0, "misses": 1},
+                    "disk": {"hits": 0, "misses": 1},
+                },
+                "served": 2,
+                "degraded": 1,
+                "alive": False,
+                "restarts": 3,
+            },
+        ],
+    )
+
+
+class TestShardLabels:
+    def sample_value(self, families, family, wanted_labels):
+        for _name, labels, value in families[family]["samples"]:
+            if labels == wanted_labels:
+                return value
+        raise AssertionError(f"no sample {wanted_labels} in {family}")
+
+    def test_per_shard_series_round_trip_the_strict_parser(self):
+        text = render_server_metrics(sharded_snapshot(), workers=2)
+        families = parse_prometheus_text(text)
+        assert families["repro_shard_queue_depth"]["type"] == "gauge"
+        assert families["repro_shard_served_total"]["type"] == "counter"
+        assert self.sample_value(
+            families, "repro_shard_queue_depth", {"shard": "0"}
+        ) == 2
+        assert self.sample_value(
+            families, "repro_shard_queue_high_water", {"shard": "1"}
+        ) == 1
+        assert self.sample_value(
+            families, "repro_shard_served_total", {"shard": "0"}
+        ) == 7
+        assert self.sample_value(
+            families, "repro_shard_alive", {"shard": "1"}
+        ) == 0
+        assert self.sample_value(
+            families, "repro_shard_restarts_total", {"shard": "1"}
+        ) == 3
+        assert self.sample_value(
+            families, "repro_shard_cache_entries", {"shard": "0"}
+        ) == 2
+        assert self.sample_value(
+            families,
+            "repro_shard_cache_hits_total",
+            {"shard": "0", "tier": "disk"},
+        ) == 1
+
+    def test_aggregate_families_survive_next_to_shard_families(self):
+        # The fleet-wide series stay exactly as before; the shard
+        # series are additive.
+        text = render_server_metrics(sharded_snapshot(), workers=2)
+        families = parse_prometheus_text(text)
+        assert self.sample_value(families, "repro_queue_depth", {}) == 2
+        assert self.sample_value(
+            families, "repro_cache_entries", {"tier": "memory"}
+        ) == 3
+
+    def test_unsharded_snapshot_has_no_shard_series(self):
+        # Regression: the single-process daemon (1-shard legacy tier)
+        # never passes shards=, and its exposition must remain free of
+        # shard-labelled families -- dashboards scraping the old daemon
+        # see an unchanged series set.
+        text = render_server_metrics(
+            populated_snapshot(), uptime_s=12.5, workers=4
+        )
+        assert "repro_shard_" not in text
+        families = parse_prometheus_text(text)
+        assert not any(name.startswith("repro_shard_") for name in families)
+        for family in families.values():
+            for _name, labels, _value in family["samples"]:
+                assert "shard" not in labels
+
+    def test_empty_shard_list_renders_no_shard_series(self):
+        stats = ServerStats()
+        snapshot = stats.snapshot(shards=[])
+        assert "repro_shard_" not in render_server_metrics(snapshot)
+
+
 class TestParser:
     def test_requires_type_before_samples(self):
         with pytest.raises(PrometheusParseError, match="no preceding TYPE"):

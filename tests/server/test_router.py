@@ -1,0 +1,101 @@
+"""The consistent-hash ring: determinism, balance, minimal movement."""
+
+import pytest
+
+from repro.server.router import DEFAULT_VNODES, HashRing, _position
+
+
+def keys(n, prefix="key"):
+    return [f"{prefix}:{index}" for index in range(n)]
+
+
+class TestConstruction:
+    def test_rejects_zero_shards(self):
+        with pytest.raises(ValueError):
+            HashRing(0)
+
+    def test_rejects_zero_vnodes(self):
+        with pytest.raises(ValueError):
+            HashRing(2, vnodes=0)
+
+    def test_point_count(self):
+        ring = HashRing(3, vnodes=16)
+        assert len(ring._positions) == 3 * 16
+
+    def test_default_vnodes(self):
+        assert HashRing(2).vnodes == DEFAULT_VNODES
+
+
+class TestRouting:
+    def test_route_in_range(self):
+        ring = HashRing(4)
+        for key in keys(200):
+            assert 0 <= ring.route(key) < 4
+
+    def test_deterministic_across_instances(self):
+        # Two independently built rings (different processes in real
+        # life) must agree on every route: the front end and any
+        # external balancer compute identical placements.
+        first, second = HashRing(5), HashRing(5)
+        for key in keys(200):
+            assert first.route(key) == second.route(key)
+
+    def test_same_key_same_shard(self):
+        ring = HashRing(8)
+        for key in keys(50):
+            assert ring.route(key) == ring.route(key)
+
+    def test_single_shard_takes_everything(self):
+        ring = HashRing(1)
+        assert {ring.route(key) for key in keys(100)} == {0}
+
+    def test_not_hash_randomised(self):
+        # Positions come from SHA-256, never Python's randomised
+        # hash(); spot-check one against the hashlib ground truth.
+        import hashlib
+
+        label = "shard:0:vnode:0"
+        expected = int.from_bytes(
+            hashlib.sha256(label.encode()).digest()[:8], "big"
+        )
+        assert _position(label) == expected
+
+
+class TestBalance:
+    def test_load_spread_is_reasonable(self):
+        # With 64 vnodes/shard over uniformly random keys no shard
+        # should see more than ~2x its fair share (in practice the skew
+        # is far smaller; 2x is a regression tripwire, not a target).
+        shards = 4
+        ring = HashRing(shards)
+        counts = ring.distribution(keys(4000))
+        fair = 4000 / shards
+        assert set(counts) == set(range(shards))
+        assert sum(counts.values()) == 4000
+        for shard, count in counts.items():
+            assert count < 2 * fair, (shard, counts)
+            assert count > fair / 3, (shard, counts)
+
+
+class TestMinimalMovement:
+    def test_adding_a_shard_moves_a_minority(self):
+        # The consistent-hash property: growing 4 -> 5 shards should
+        # re-route roughly 1/5 of the keys, not reshuffle everything
+        # the way `hash(key) % shards` would.
+        sample = keys(2000)
+        before = HashRing(4)
+        after = HashRing(5)
+        moved = sum(
+            1 for key in sample if before.route(key) != after.route(key)
+        )
+        assert moved < len(sample) * 0.45, moved  # modulo would move ~80%
+        assert moved > 0  # the new shard must take *something*
+
+    def test_survivor_routes_are_stable(self):
+        # Keys that do not move to the new shard stay exactly where
+        # they were -- their shard's caches remain warm.
+        before = HashRing(3)
+        after = HashRing(4)
+        for key in keys(500):
+            if after.route(key) != 3:
+                assert after.route(key) == before.route(key)
