@@ -26,7 +26,16 @@ Commands:
   additionally exports the exchange as Chrome trace-event JSON);
 * ``profile FILE``   -- per-pass / per-analysis self and cumulative
   times, hot transfer functions, and collapsed stacks for flamegraphs
-  (``--collapsed``, ``--trace-out``).
+  (``--collapsed``, ``--trace-out``);
+* ``watch FILE...``  -- re-run ``predict``/``check``/``ranges`` whenever
+  a watched file changes, replaying unchanged functions from the
+  incremental summary store (``docs/INCREMENTAL.md``) so each recheck
+  re-analyses only the edited function plus its summary-dependents.
+
+``predict`` and ``check`` accept ``--incremental`` (with an optional
+``--store-dir DIR`` for a cross-run on-disk store) to replay unchanged
+callgraph components from the content-addressed summary store; output
+is byte-identical to a cold run.
 
 ``predict``, ``ir``, ``ranges``, ``submit`` and (single-file) ``check``
 read from stdin when FILE is ``-``.  ``predict``, ``opt``, ``check``,
@@ -97,11 +106,26 @@ def _config_from_args(args: argparse.Namespace) -> VRPConfig:
         track_arrays=args.track_arrays,
         sanitize=getattr(args, "sanitize", False),
         context_depth=max(0, getattr(args, "context_depth", 0)),
+        incremental=bool(getattr(args, "incremental", False)),
     )
     # Only force the field when asked; the default tracks REPRO_PERF.
     if getattr(args, "no_perf", False):
         kwargs["perf"] = False
     return VRPConfig(**kwargs)
+
+
+def _incremental_store(args: argparse.Namespace):
+    """The incremental summary store for this invocation, or ``None``.
+
+    ``--incremental`` alone gets a process-local in-memory store (useful
+    once per process only through ``watch``); ``--store-dir`` adds the
+    on-disk tier so summaries survive across invocations.
+    """
+    if not getattr(args, "incremental", False):
+        return None
+    from repro.incremental import IncrementalStore
+
+    return IncrementalStore(disk_dir=getattr(args, "store_dir", None))
 
 
 def _prepare(args: argparse.Namespace):
@@ -120,7 +144,9 @@ def _prepare(args: argparse.Namespace):
 def cmd_predict(args: argparse.Namespace) -> int:
     module, ssa_infos = _prepare(args)
     predictor = VRPPredictor(
-        config=_config_from_args(args), interprocedural=not args.intra
+        config=_config_from_args(args),
+        interprocedural=not args.intra,
+        incremental_store=_incremental_store(args),
     )
     emit_metrics = getattr(args, "emit_metrics", None)
     if emit_metrics:
@@ -142,11 +168,13 @@ def cmd_predict(args: argparse.Namespace) -> int:
     if emit_metrics:
         from repro.core import perf
 
+        outcome = predictor.last_incremental
         report = build_metrics_report(
             prediction,
             tracer,
             program=module.name,
             perf_stats=perf.snapshot() if predictor.config.perf else None,
+            incremental=outcome.as_metrics() if outcome is not None else None,
         )
         _emit_metrics(report, emit_metrics)
     return 0
@@ -240,7 +268,7 @@ def _check_file(item):
     plain dict; compile errors come back under an ``error`` key instead
     of raising, so one bad file fails the run cleanly from the parent.
     """
-    path, config, intra, fmt, with_metrics, fail_on = item
+    path, config, intra, fmt, with_metrics, fail_on, store_dir = item
     from repro.diagnostics import check_module, render_json, render_sarif, render_text
     from repro.lang import LexError, LoweringError, ParseError
 
@@ -251,7 +279,17 @@ def _check_file(item):
     except (LexError, ParseError, LoweringError) as error:
         return {"path": path, "error": str(error)}
     ssa_infos = prepare_module(module)
-    predictor = VRPPredictor(config=config, interprocedural=not intra)
+    # The store is built per worker (it holds a lock and is not
+    # picklable); the on-disk tier under ``store_dir`` is what the
+    # worker processes actually share.
+    store = None
+    if config.incremental:
+        from repro.incremental import IncrementalStore
+
+        store = IncrementalStore(disk_dir=store_dir)
+    predictor = VRPPredictor(
+        config=config, interprocedural=not intra, incremental_store=store
+    )
     program = module.name if path == "-" else path
     if with_metrics:
         from repro.core import perf
@@ -261,12 +299,14 @@ def _check_file(item):
         with use(tracer):
             prediction = predictor.predict_module(module, ssa_infos)
             report = check_module(module, prediction, program=program)
+        outcome = predictor.last_incremental
         metrics = build_metrics_report(
             prediction,
             tracer,
             program=program,
             findings=report.findings,
             perf_stats=perf.snapshot() if predictor.config.perf else None,
+            incremental=outcome.as_metrics() if outcome is not None else None,
         ).to_dict()
     else:
         prediction = predictor.predict_module(module, ssa_infos)
@@ -321,8 +361,17 @@ def cmd_check(args: argparse.Namespace) -> int:
             stems[stem] = path
 
     config = _config_from_args(args)
+    store_dir = getattr(args, "store_dir", None)
     items = [
-        (path, config, args.intra, args.format, bool(emit_metrics), args.fail_on)
+        (
+            path,
+            config,
+            args.intra,
+            args.format,
+            bool(emit_metrics),
+            args.fail_on,
+            store_dir,
+        )
         for path in files
     ]
     if jobs > 1 and len(items) > 1:
@@ -589,6 +638,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         base_options=base_options or None,
         verbose=args.verbose,
         shards=args.shards,
+        incremental=args.incremental,
     )
 
 
@@ -873,6 +923,58 @@ def cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_watch(args: argparse.Namespace) -> int:
+    from repro.diagnostics import check_module, render_json, render_sarif, render_text
+    from repro.incremental import IncrementalStore
+    from repro.incremental.watch import run_watch
+    from repro.lang import LexError, LoweringError, ParseError
+    from repro import rendering
+
+    if "-" in args.files:
+        raise SystemExit("error: watch needs real files, not stdin ('-')")
+    config = _config_from_args(args)
+    config.incremental = True  # the whole point of the watch loop
+    # One store for the whole loop: the in-memory tier is what makes
+    # the second and later rechecks cheap; --store-dir persists it.
+    store = IncrementalStore(disk_dir=getattr(args, "store_dir", None))
+    command = args.command
+
+    def render(path: str, source: str):
+        try:
+            module = compile_source(source)
+        except (LexError, ParseError, LoweringError) as error:
+            return "", None, str(error)
+        ssa_infos = prepare_module(module)
+        predictor = VRPPredictor(
+            config=config,
+            interprocedural=not args.intra,
+            incremental_store=store,
+        )
+        prediction = predictor.predict_module(module, ssa_infos)
+        if command == "check":
+            report = check_module(module, prediction, program=path)
+            if args.format == "json":
+                text = render_json(report) + "\n"
+            elif args.format == "sarif":
+                text = render_sarif(report, artifact_uri=path) + "\n"
+            else:
+                text = render_text(report) + "\n"
+        elif command == "ranges":
+            text = rendering.ranges_listing(prediction)
+        else:
+            text = rendering.branch_table(
+                prediction.all_branches(), prediction.heuristic_branches()
+            )
+        return text, predictor.last_incremental, None
+
+    return run_watch(
+        args.files,
+        render,
+        interval_s=max(0.05, args.interval),
+        max_cycles=args.max_cycles,
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -923,8 +1025,23 @@ def build_parser() -> argparse.ArgumentParser:
             help="disable the interning/memoization performance layer",
         )
 
+    def add_incremental_flags(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--incremental",
+            action="store_true",
+            help="replay unchanged functions from the content-addressed "
+            "summary store (byte-identical output; docs/INCREMENTAL.md)",
+        )
+        p.add_argument(
+            "--store-dir",
+            metavar="DIR",
+            help="on-disk tier for the incremental summary store "
+            "(summaries survive across invocations)",
+        )
+
     predict = sub.add_parser("predict", help="predict every conditional branch")
     add_analysis_flags(predict)
+    add_incremental_flags(predict)
     predict.add_argument(
         "--emit-metrics",
         metavar="PATH",
@@ -978,6 +1095,7 @@ def build_parser() -> argparse.ArgumentParser:
         "check", help="static diagnostics from the computed ranges"
     )
     add_analysis_flags(check_cmd, multi_file=True)
+    add_incremental_flags(check_cmd)
     check_cmd.add_argument(
         "--format",
         choices=["text", "json", "sarif"],
@@ -1014,6 +1132,44 @@ def build_parser() -> argparse.ArgumentParser:
         help="check files over N worker processes (same output as N=1)",
     )
     check_cmd.set_defaults(handler=cmd_check)
+
+    watch_cmd = sub.add_parser(
+        "watch",
+        help="re-analyse files on change via the incremental summary store",
+    )
+    add_analysis_flags(watch_cmd, multi_file=True)
+    watch_cmd.add_argument(
+        "--command",
+        choices=["predict", "check", "ranges"],
+        default="predict",
+        help="what to re-render on each change (default predict)",
+    )
+    watch_cmd.add_argument(
+        "--format",
+        choices=["text", "json", "sarif"],
+        default="text",
+        help="check output format (default text)",
+    )
+    watch_cmd.add_argument(
+        "--interval",
+        type=float,
+        default=0.5,
+        metavar="SECONDS",
+        help="poll interval (default 0.5)",
+    )
+    watch_cmd.add_argument(
+        "--max-cycles",
+        type=int,
+        default=None,
+        metavar="N",
+        help="stop after N poll cycles (default: run until interrupted)",
+    )
+    watch_cmd.add_argument(
+        "--store-dir",
+        metavar="DIR",
+        help="on-disk tier for the incremental summary store",
+    )
+    watch_cmd.set_defaults(handler=cmd_watch)
 
     trace_cmd = sub.add_parser(
         "trace", help="phase timings and the propagation event stream"
@@ -1124,6 +1280,12 @@ def build_parser() -> argparse.ArgumentParser:
     serve_cmd.add_argument(
         "--drain-timeout", type=float, default=30.0, metavar="SECONDS",
         help="grace period for in-flight requests on SIGTERM (default 30)",
+    )
+    serve_cmd.add_argument(
+        "--incremental",
+        action="store_true",
+        help="consult the per-function summary store on whole-file "
+        "cache misses (disk tier under <cache-dir>/incremental)",
     )
     serve_cmd.add_argument(
         "--verbose", action="store_true", help="log every HTTP request"

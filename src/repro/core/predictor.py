@@ -36,6 +36,13 @@ class VRPPredictor(Predictor):
         exactly as the paper prescribes.
     interprocedural:
         Propagate jump/return functions across calls (paper §3.7).
+    incremental_store:
+        A :class:`repro.incremental.IncrementalStore`.  When provided
+        and ``config.incremental`` is set, interprocedural module
+        predictions replay unchanged callgraph components from the
+        store instead of re-running their fixed points; rendered
+        results are byte-identical either way, and
+        :attr:`last_incremental` describes what the latest run reused.
     """
 
     name = "vrp"
@@ -45,10 +52,15 @@ class VRPPredictor(Predictor):
         config: Optional[VRPConfig] = None,
         fallback: Optional[Predictor] = None,
         interprocedural: bool = True,
+        incremental_store=None,
     ):
         self.config = config or VRPConfig()
         self.fallback = fallback if fallback is not None else BallLarusPredictor()
         self.interprocedural = interprocedural
+        self.incremental_store = incremental_store
+        #: :class:`repro.incremental.IncrementalOutcome` of the last
+        #: predict_module call, or None when the cold path ran.
+        self.last_incremental = None
 
     # -- module-level API ---------------------------------------------------------
 
@@ -93,6 +105,28 @@ class VRPPredictor(Predictor):
             if self.fallback
             else None
         )
+        self.last_incremental = None
+        if (
+            self.interprocedural
+            and self.incremental_store is not None
+            and self.config.incremental
+        ):
+            # Imported lazily: the incremental subsystem is optional at
+            # runtime and must not tax the cold import path.
+            from repro.incremental.driver import analyse_module_incremental
+
+            prediction, outcome = analyse_module_incremental(
+                module,
+                ssa_infos,
+                self.incremental_store,
+                config=self.config,
+                heuristic=heuristic,
+                entry=entry,
+                entry_param_ranges=entry_param_ranges,
+                analysis_cache=analysis_cache,
+            )
+            self.last_incremental = outcome
+            return prediction
         if self.interprocedural:
             return analyse_module(
                 module,

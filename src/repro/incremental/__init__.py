@@ -1,0 +1,44 @@
+"""Incremental analysis: content-addressed per-function summary reuse.
+
+The serve tier caches whole files and the pass manager caches per-CFG
+analyses, but editing one function still re-pays the whole module's
+interprocedural fixed point.  This package closes that gap:
+
+* :mod:`repro.incremental.fingerprint` -- a canonical IR normalizer and
+  SHA-256 fingerprint per function, stable under comments, whitespace
+  and local renames, sensitive to any semantic edit;
+* :mod:`repro.incremental.store` -- :class:`IncrementalStore`, a memory
+  LRU over the server ResultCache's atomic sharded on-disk format,
+  mapping component fingerprints to per-function summaries;
+* :mod:`repro.incremental.depgraph` -- the summary dependency graph over
+  the cached callgraph: an edit invalidates exactly the edited function
+  plus its summary-dependents;
+* :mod:`repro.incremental.driver` -- the incremental driver: replay
+  clean components byte-identically, re-run the fixed point only over
+  dirty ones;
+* :mod:`repro.incremental.watch` -- the ``repro watch`` polling loop.
+
+See docs/INCREMENTAL.md for the fingerprint contract and the
+invalidation rules.
+"""
+
+from repro.incremental.depgraph import SummaryDepGraph
+from repro.incremental.driver import IncrementalOutcome, analyse_module_incremental
+from repro.incremental.fingerprint import (
+    canonical_function_text,
+    exact_fingerprint,
+    function_fingerprint,
+    fingerprint_salt,
+)
+from repro.incremental.store import IncrementalStore
+
+__all__ = [
+    "IncrementalOutcome",
+    "IncrementalStore",
+    "SummaryDepGraph",
+    "analyse_module_incremental",
+    "canonical_function_text",
+    "exact_fingerprint",
+    "fingerprint_salt",
+    "function_fingerprint",
+]

@@ -1,0 +1,80 @@
+"""The summary dependency graph: what an edit invalidates.
+
+Interprocedural dependence is *bidirectional*: editing ``f`` moves the
+jump functions of its callees (argument ranges and call-site weights
+flow downward) and the return functions of its callers (return ranges
+flow upward).  The set of functions whose summaries can change when
+``f`` changes is therefore the transitive closure over the *undirected*
+call graph -- the weakly connected component of ``f``.  Conversely, no
+call edge crosses a component boundary (by definition of weak
+connectivity), so each component's fixed point is exactly
+self-contained: a clean component can be replayed from the store while
+a dirty one re-runs its rounds in isolation, and the union is
+byte-identical to a cold whole-module run.
+
+Components are SCC-aware: member order mirrors the interprocedural
+driver's bottom-up (callee-first, Tarjan condensation) order, which is
+also the replay and storage order.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Set, Tuple
+
+from repro.core.callgraph import CallGraph
+
+
+class SummaryDepGraph:
+    """Weakly connected callgraph components in bottom-up order."""
+
+    def __init__(self, callgraph: CallGraph):
+        self.callgraph = callgraph
+        order = callgraph.bottom_up_order()
+        position = {name: index for index, name in enumerate(order)}
+        adjacency: Dict[str, Set[str]] = {name: set() for name in order}
+        for name in order:
+            for callee in callgraph.callees.get(name, ()):
+                if callee in adjacency:
+                    adjacency[name].add(callee)
+                    adjacency[callee].add(name)
+        #: Components as tuples of function names, callees first.
+        self.components: List[Tuple[str, ...]] = []
+        #: Function name -> index into :attr:`components`.
+        self.component_index: Dict[str, int] = {}
+        seen: Set[str] = set()
+        for name in order:
+            if name in seen:
+                continue
+            members = [name]
+            seen.add(name)
+            frontier = [name]
+            while frontier:
+                current = frontier.pop()
+                for neighbour in adjacency[current]:
+                    if neighbour not in seen:
+                        seen.add(neighbour)
+                        members.append(neighbour)
+                        frontier.append(neighbour)
+            members.sort(key=position.__getitem__)
+            index = len(self.components)
+            self.components.append(tuple(members))
+            for member in members:
+                self.component_index[member] = index
+
+    def component_of(self, name: str) -> Tuple[str, ...]:
+        """The weakly connected component containing ``name``."""
+        return self.components[self.component_index[name]]
+
+    def affected(self, edited: Iterable[str]) -> Set[str]:
+        """Every function whose summary an edit to ``edited`` can move:
+        the edited functions plus their summary-dependents."""
+        out: Set[str] = set()
+        for name in edited:
+            if name in self.component_index:
+                out.update(self.component_of(name))
+        return out
+
+    def dependents(self, edited: Iterable[str]) -> Set[str]:
+        """The summary-dependents alone (affected minus edited)."""
+        edited = set(edited)
+        return self.affected(edited) - edited

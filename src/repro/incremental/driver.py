@@ -1,0 +1,513 @@
+"""The incremental interprocedural driver.
+
+A module's analysis decomposes exactly along the weakly connected
+components of its call graph (:mod:`repro.incremental.depgraph`): no
+call edge crosses a component boundary, so each component's fixed point
+is self-contained and Tarjan's bottom-up order restricted to one
+component equals the order a whole-module run would visit it in.  The
+driver exploits that:
+
+1. fingerprint every function (:mod:`repro.incremental.fingerprint`)
+   and address each component by the salted hash of its members'
+   semantic fingerprints (plus the entry seeding, when the entry
+   function is a member);
+2. components whose address hits the store *and* whose members' exact
+   fingerprints still match are **replayed**: final predictions, jump
+   and return function state, and context-refined seeds are
+   deserialized verbatim;
+3. every other component is **reanalyzed**: a sub-module holding just
+   its functions runs through the ordinary
+   :class:`~repro.core.interprocedural.InterproceduralVRP`, and the
+   result is stored for next time;
+4. the module-level products -- summary taint, provenance sources,
+   summaries -- are recomputed over the union, so rendered predict /
+   check / ranges output is byte-identical to a cold run.
+
+The exact-fingerprint guard exists because rendered output mentions SSA
+names and block labels, and because return ranges may carry a callee's
+symbolic names into a caller's values: a rename-only edit keeps the
+component's address (the semantic fingerprints are rename-stable) but
+must still reanalyze it, and doing so refreshes the stored entry under
+the same address.
+
+Work counters and fixed-point statistics are reconstructed from the
+store and match a cold run at ``context_depth`` 0; at k >= 1 the
+context memo trajectory differs (a cold run re-analyses contexts during
+rounds an isolated component never runs), so only the rendered analysis
+output -- not the counter telemetry -- is part of the byte-identity
+contract there.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.core import counters as counters_mod
+from repro.core.callgraph import CallGraph
+from repro.core.config import VRPConfig
+from repro.core.interprocedural import InterproceduralVRP, ModulePrediction
+from repro.core.propagation import FunctionPrediction, HeuristicFn
+from repro.core.rangeset import RangeSet
+from repro.incremental import serialize
+from repro.incremental.depgraph import SummaryDepGraph
+from repro.incremental.fingerprint import (
+    exact_fingerprint,
+    fingerprint_salt,
+    function_fingerprint,
+)
+from repro.incremental.serialize import PayloadError
+from repro.incremental.store import IncrementalStore
+from repro.ir.function import Module
+from repro.ir.ssa import SSAInfo
+
+#: Bumped whenever the stored payload layout changes.
+PAYLOAD_VERSION = 1
+
+
+class IncrementalOutcome:
+    """What one incremental run replayed, reanalyzed, and why."""
+
+    def __init__(
+        self,
+        reanalyzed: Tuple[str, ...],
+        replayed: Tuple[str, ...],
+        components_reanalyzed: int,
+        components_replayed: int,
+        store_hits: int,
+        store_misses: int,
+        store_stats: dict,
+    ):
+        #: Functions whose analysis ran this time, sorted.
+        self.reanalyzed = reanalyzed
+        #: Functions replayed from the store, sorted.
+        self.replayed = replayed
+        self.components_reanalyzed = components_reanalyzed
+        self.components_replayed = components_replayed
+        #: Component-level store lookups for *this run*.
+        self.store_hits = store_hits
+        self.store_misses = store_misses
+        #: Cumulative store counters (post-run snapshot).
+        self.store_stats = store_stats
+
+    def as_metrics(self) -> dict:
+        """The metrics schema v8 ``incremental`` document."""
+        return {
+            "reanalyzed": len(self.reanalyzed),
+            "replayed": len(self.replayed),
+            "components": {
+                "reanalyzed": self.components_reanalyzed,
+                "replayed": self.components_replayed,
+            },
+            "store": {
+                "hits": self.store_hits,
+                "misses": self.store_misses,
+                "evictions": int(
+                    self.store_stats.get("memory", {}).get("evictions", 0)
+                ),
+            },
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"IncrementalOutcome(reanalyzed={len(self.reanalyzed)}, "
+            f"replayed={len(self.replayed)})"
+        )
+
+
+def component_key(
+    members: Tuple[str, ...],
+    semantic_fps: Dict[str, str],
+    salt: str,
+    entry: str,
+    entry_param_ranges: Optional[Dict[str, RangeSet]],
+) -> str:
+    """The store address of one component's summaries."""
+    entry_seed = None
+    if entry in members:
+        entry_seed = {
+            "entry": entry,
+            "ranges": [
+                [param, serialize.rangeset_to_json(rangeset)]
+                for param, rangeset in sorted((entry_param_ranges or {}).items())
+            ],
+        }
+    document = json.dumps(
+        {
+            "v": PAYLOAD_VERSION,
+            "salt": salt,
+            "members": [[name, semantic_fps[name]] for name in members],
+            "entry": entry_seed,
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(document.encode("utf-8")).hexdigest()
+
+
+def analyse_module_incremental(
+    module: Module,
+    ssa_infos: Dict[str, SSAInfo],
+    store: IncrementalStore,
+    config: Optional[VRPConfig] = None,
+    heuristic: Optional[HeuristicFn] = None,
+    entry: str = "main",
+    entry_param_ranges: Optional[Dict[str, RangeSet]] = None,
+    max_rounds: int = 8,
+    analysis_cache=None,
+) -> Tuple[ModulePrediction, IncrementalOutcome]:
+    """Analyse a prepared module, replaying clean components from ``store``.
+
+    Returns the :class:`ModulePrediction` (byte-identical in rendered
+    form to :func:`repro.core.interprocedural.analyse_module`) and the
+    :class:`IncrementalOutcome` describing what was reused.
+    """
+    config = config or VRPConfig()
+    # The assembly shell provides the cached callgraph, purity, and the
+    # post-convergence product methods; its fixed point never runs.
+    shell = InterproceduralVRP(
+        module,
+        ssa_infos,
+        config=config,
+        heuristic=heuristic,
+        entry=entry,
+        entry_param_ranges=entry_param_ranges,
+        max_rounds=max_rounds,
+        analysis_cache=analysis_cache,
+    )
+    depgraph = SummaryDepGraph(shell.callgraph)
+    salt = fingerprint_salt(config)
+    semantic_fps = {
+        name: function_fingerprint(function, salt=salt)
+        for name, function in module.functions.items()
+    }
+    exact_fps = {
+        name: exact_fingerprint(function)
+        for name, function in module.functions.items()
+    }
+
+    predictions: Dict[str, FunctionPrediction] = {}
+    param_sets: Dict[str, Dict[str, RangeSet]] = {}
+    return_sets: Dict[str, RangeSet] = {}
+    refined: Dict[str, Dict[str, dict]] = {}
+    reanalyzed: Set[str] = set()
+    replayed: Set[str] = set()
+    components_reanalyzed = 0
+    components_replayed = 0
+    store_hits = 0
+    store_misses = 0
+    rounds_used = 0
+    round_cap_components = 0
+    contexts_analyzed = 0
+    context_counters = counters_mod.Counters()
+    summary_cache_stats = {"hits": 0, "misses": 0, "evictions": 0}
+
+    for members in depgraph.components:
+        key = component_key(
+            members, semantic_fps, salt, entry, entry_param_ranges
+        )
+        payload, _tier = store.get(key)
+        decoded = None
+        if payload is not None:
+            decoded = _decode_component(module, members, exact_fps, payload)
+        if decoded is None:
+            store_misses += 1
+            decoded = _analyse_component(
+                module,
+                ssa_infos,
+                members,
+                config,
+                heuristic,
+                entry,
+                entry_param_ranges,
+                max_rounds,
+            )
+            store.put(key, _encode_component(members, exact_fps, decoded))
+            reanalyzed.update(members)
+            components_reanalyzed += 1
+        else:
+            store_hits += 1
+            replayed.update(members)
+            components_replayed += 1
+        predictions.update(decoded["predictions"])
+        param_sets.update(decoded["param_sets"])
+        return_sets.update(decoded["return_sets"])
+        refined.update(decoded["refined"])
+        rounds_used = max(rounds_used, decoded["rounds"])
+        if decoded["round_cap"]:
+            round_cap_components += 1
+        contexts_analyzed += decoded["contexts_analyzed"]
+        context_counters.merge(decoded["context_counters"])
+        for field in summary_cache_stats:
+            summary_cache_stats[field] += int(
+                decoded["summary_cache"].get(field, 0)
+            )
+
+    store.note_functions(hits=len(replayed), misses=len(reanalyzed))
+    if not depgraph.components:
+        # A cold run's fixed point needs one no-change round past round
+        # 1 even over an empty module; match its reported round count.
+        rounds_used = 2
+
+    # -- assembly: module-level products over the union ----------------------
+    shell.predictions = {
+        name: predictions[name]
+        for name in shell.callgraph.bottom_up_order()
+        if name in predictions
+    }
+    shell.param_sets = param_sets
+    shell.return_sets = return_sets
+    shell.round_cap_hit = round_cap_components > 0
+    shell._contexts_analyzed = contexts_analyzed
+    shell._context_refined = _refresh_refined_sites(shell.callgraph, refined)
+
+    cache_lookups = summary_cache_stats["hits"] + summary_cache_stats["misses"]
+    summary_cache_stats["hit_rate"] = round(
+        summary_cache_stats["hits"] / cache_lookups if cache_lookups else 0.0, 6
+    )
+
+    total = counters_mod.Counters()
+    for prediction in shell.predictions.values():
+        total.merge(prediction.counters)
+    total.merge(context_counters)
+    total.interprocedural_round_caps += round_cap_components
+
+    summary_taint, taint_sources = shell._compute_taint()
+    prediction = ModulePrediction(
+        module,
+        dict(shell.predictions),
+        total,
+        rounds_used,
+        summaries=shell._build_summaries(),
+        summary_taint=summary_taint,
+        taint_sources=taint_sources,
+        interprocedural={
+            "rounds": rounds_used,
+            "max_rounds": max_rounds,
+            "converged": round_cap_components == 0,
+            "round_cap_hits": round_cap_components,
+            "context_depth": shell.context_depth,
+            "contexts_analyzed": contexts_analyzed,
+            "summary_cache": summary_cache_stats,
+        },
+    )
+    outcome = IncrementalOutcome(
+        reanalyzed=tuple(sorted(reanalyzed)),
+        replayed=tuple(sorted(replayed)),
+        components_reanalyzed=components_reanalyzed,
+        components_replayed=components_replayed,
+        store_hits=store_hits,
+        store_misses=store_misses,
+        store_stats=store.stats(),
+    )
+    return prediction, outcome
+
+
+# -- per-component analysis --------------------------------------------------
+
+
+def _analyse_component(
+    module: Module,
+    ssa_infos: Dict[str, SSAInfo],
+    members: Tuple[str, ...],
+    config: VRPConfig,
+    heuristic: Optional[HeuristicFn],
+    entry: str,
+    entry_param_ranges: Optional[Dict[str, RangeSet]],
+    max_rounds: int,
+) -> dict:
+    """Run the ordinary fixed point over one component in isolation.
+
+    The sub-module keeps the original module's function insertion order
+    (it drives call-site discovery order and hence jump-function merge
+    order) and the original function objects (no cloning).
+    """
+    member_set = set(members)
+    sub = Module(module.name)
+    for name, function in module.functions.items():
+        if name in member_set:
+            sub.add_function(function)
+    driver = InterproceduralVRP(
+        sub,
+        {name: ssa_infos[name] for name in sub.functions},
+        config=config,
+        heuristic=heuristic,
+        entry=entry,
+        entry_param_ranges=entry_param_ranges,
+        max_rounds=max_rounds,
+    )
+    # The summary cache tallies into the perf layer's *global* record;
+    # store this component's delta, not a cumulative snapshot, so the
+    # assembled module total reproduces a cold run's telemetry.
+    cache_before = driver._context_cache.stats()
+    sub_prediction = driver.run()
+    cache_after = driver._context_cache.stats()
+    cache_delta = {
+        field: cache_after[field] - cache_before[field]
+        for field in ("hits", "misses", "evictions")
+    }
+    return {
+        "predictions": dict(driver.predictions),
+        "param_sets": dict(driver.param_sets),
+        "return_sets": dict(driver.return_sets),
+        "refined": {
+            name: dict(dests)
+            for name, dests in driver._context_refined.items()
+            if dests
+        },
+        "rounds": sub_prediction.rounds,
+        "round_cap": driver.round_cap_hit,
+        "contexts_analyzed": driver._contexts_analyzed,
+        "context_counters": driver._context_counters,
+        "summary_cache": cache_delta,
+    }
+
+
+# -- payload encoding --------------------------------------------------------
+
+
+def _encode_component(
+    members: Tuple[str, ...], exact_fps: Dict[str, str], decoded: dict
+) -> dict:
+    refined = []
+    for name in members:
+        dests = decoded["refined"].get(name)
+        if not dests:
+            continue
+        refined.append(
+            [
+                name,
+                [
+                    # Sites are re-derived from the live IR on replay so
+                    # line numbers never go stale; store only identity.
+                    [dest, _strip_sites(descriptor)]
+                    for dest, descriptor in dests.items()
+                ],
+            ]
+        )
+    return {
+        "v": PAYLOAD_VERSION,
+        "exact": {name: exact_fps[name] for name in members},
+        "functions": [
+            [name, serialize.prediction_to_json(decoded["predictions"][name])]
+            for name in members
+        ],
+        "param_sets": [
+            [name, serialize.rangeset_map_to_json(decoded["param_sets"][name])]
+            for name in members
+            if name in decoded["param_sets"]
+        ],
+        "return_sets": [
+            [name, serialize.rangeset_to_json(decoded["return_sets"][name])]
+            for name in members
+            if name in decoded["return_sets"]
+        ],
+        "refined": refined,
+        "rounds": decoded["rounds"],
+        "round_cap": decoded["round_cap"],
+        "contexts_analyzed": decoded["contexts_analyzed"],
+        "context_counters": serialize.counters_to_json(
+            decoded["context_counters"]
+        ),
+        "summary_cache": dict(decoded["summary_cache"]),
+    }
+
+
+def _strip_sites(descriptor: dict) -> dict:
+    return {
+        field: value for field, value in descriptor.items() if field != "sites"
+    }
+
+
+def _decode_component(
+    module: Module,
+    members: Tuple[str, ...],
+    exact_fps: Dict[str, str],
+    payload: dict,
+) -> Optional[dict]:
+    """Deserialize one component entry; ``None`` means treat as a miss."""
+    try:
+        if payload.get("v") != PAYLOAD_VERSION:
+            return None
+        stored_exact = payload.get("exact")
+        if stored_exact != {name: exact_fps[name] for name in members}:
+            # Same semantics, different names/labels: rendered output
+            # would differ, so the entry is not replayable.
+            return None
+        predictions: Dict[str, FunctionPrediction] = {}
+        for name, data in payload["functions"]:
+            predictions[name] = serialize.prediction_from_json(
+                module.functions[name], data
+            )
+        if set(predictions) != set(members):
+            return None
+        param_sets = {
+            name: serialize.rangeset_map_from_json(data)
+            for name, data in payload["param_sets"]
+        }
+        return_sets = {
+            name: serialize.rangeset_from_json(data)
+            for name, data in payload["return_sets"]
+        }
+        refined: Dict[str, Dict[str, dict]] = {}
+        for name, dests in payload.get("refined", ()):
+            refined[name] = {dest: dict(descriptor) for dest, descriptor in dests}
+        return {
+            "predictions": predictions,
+            "param_sets": param_sets,
+            "return_sets": return_sets,
+            "refined": refined,
+            "rounds": int(payload["rounds"]),
+            "round_cap": bool(payload["round_cap"]),
+            "contexts_analyzed": int(payload["contexts_analyzed"]),
+            "context_counters": serialize.counters_from_json(
+                payload["context_counters"]
+            ),
+            "summary_cache": dict(payload["summary_cache"]),
+        }
+    except (KeyError, TypeError, ValueError, PayloadError):
+        return None
+
+
+def _refresh_refined_sites(
+    callgraph: CallGraph, refined: Dict[str, Dict[str, dict]]
+) -> Dict[str, Dict[str, dict]]:
+    """Rebuild context-refined seed descriptors against the live IR.
+
+    Stored descriptors carry only the identity (caller, dest, callee,
+    range); call-site locations are re-derived here so provenance
+    chains cite current line numbers even after pure line-shift edits.
+    """
+    out: Dict[str, Dict[str, dict]] = {}
+    for name, dests in refined.items():
+        rebuilt: Dict[str, dict] = {}
+        sites = callgraph.sites_in_caller(name)
+        for dest, descriptor in dests.items():
+            site = next(
+                (
+                    s
+                    for s in sites
+                    if s.instruction.dest is not None
+                    and s.instruction.dest.name == dest
+                ),
+                None,
+            )
+            rebuilt[dest] = {
+                "kind": descriptor.get("kind", "call"),
+                "function": descriptor.get("function", name),
+                "callee": descriptor.get("callee"),
+                "range": descriptor.get("range"),
+                "sites": [
+                    {
+                        "function": site.caller,
+                        "block": site.block_label,
+                        "line": getattr(site.instruction, "loc", None),
+                        "callee": site.callee,
+                    }
+                ]
+                if site is not None
+                else [],
+            }
+        out[name] = rebuilt
+    return out

@@ -1,0 +1,209 @@
+"""Canonical per-function IR normalization and fingerprinting.
+
+Two SHA-256 fingerprints per function, both computed over a canonical
+line-oriented serialization of the prepared (SSA) IR:
+
+* the **semantic fingerprint** (:func:`function_fingerprint`) renames
+  every function-local name -- SSA temps, parameters, arrays, block
+  labels -- to its canonical index of first occurrence.  It is stable
+  under comment/whitespace edits (source locations are excluded
+  entirely) and under renaming locals -- up to SSA's deterministic
+  phi-placement order, which sorts by variable name -- and changes on
+  any semantic edit: flipping an operator, a constant, a branch arm,
+  or a callee (callee and function names are global identity and stay
+  verbatim).
+* the **exact fingerprint** (:func:`exact_fingerprint`) keeps concrete
+  names and labels.  Rendered output mentions SSA names and block
+  labels, so a stored result may only be replayed when the exact form
+  still matches; the semantic fingerprint decides *addressing* (which
+  component a result belongs to), the exact fingerprint guards
+  *replayability*.
+
+Source locations appear in neither: predictions carry no line numbers
+(diagnostics re-derive them from the live IR), so shifting a function
+down a file must not invalidate anything.
+
+Keys derived from these fingerprints are salted with
+:func:`fingerprint_salt` -- the version-salted config fingerprint plus
+``context_depth`` -- so an engine upgrade or a config change invalidates
+the store instead of replaying stale summaries.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Callable, Dict, List, Optional
+
+from repro.core.config import VRPConfig
+from repro.core.perf.fingerprint import config_fingerprint, engine_salt
+from repro.ir.function import Function
+from repro.ir.instructions import (
+    BinOp,
+    Branch,
+    Call,
+    Cmp,
+    Copy,
+    Input,
+    Instruction,
+    Jump,
+    Load,
+    Phi,
+    Pi,
+    Return,
+    Store,
+    UnOp,
+)
+from repro.ir.values import Constant, Temp, Undef, Value
+
+
+def fingerprint_salt(config: Optional[VRPConfig] = None) -> str:
+    """The key salt shared by every store address.
+
+    ``context_depth`` is already part of the config fingerprint but is
+    repeated explicitly: it changes the *shape* of stored payloads
+    (context-refined seeds), not merely their values.
+    """
+    config = config or VRPConfig()
+    return json.dumps(
+        {
+            "engine": engine_salt(),
+            "config": config_fingerprint(config),
+            "context_depth": int(config.context_depth),
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+
+
+class _Namer:
+    """Maps one namespace of names to canonical first-occurrence tokens."""
+
+    def __init__(self, prefix: str):
+        self.prefix = prefix
+        self.mapping: Dict[str, str] = {}
+
+    def __call__(self, name: str) -> str:
+        token = self.mapping.get(name)
+        if token is None:
+            token = f"{self.prefix}{len(self.mapping)}"
+            self.mapping[name] = token
+        return token
+
+
+def _identity(name: str) -> str:
+    return name
+
+
+def canonical_function_text(function: Function, *, normalize_names: bool = True) -> str:
+    """The canonical line-oriented serialization the fingerprints hash.
+
+    With ``normalize_names`` (the semantic form) temps, params, arrays
+    and labels become canonical indices; without it (the exact form)
+    they stay verbatim.  Locations are excluded either way.
+    """
+    if normalize_names:
+        temp: Callable[[str], str] = _Namer("v")
+        label: Callable[[str], str] = _Namer("b")
+        array: Callable[[str], str] = _Namer("a")
+    else:
+        temp = label = array = _identity
+
+    def value(operand: Value) -> str:
+        if isinstance(operand, Constant):
+            return f"c:{operand.value!r}"
+        if isinstance(operand, Temp):
+            return f"t:{temp(operand.name)}"
+        if isinstance(operand, Undef):
+            return "undef"
+        raise TypeError(f"unknown operand {operand!r}")
+
+    lines: List[str] = [
+        f"func {function.name}({','.join(temp(p) for p in function.params)})"
+    ]
+    for name, size in function.arrays.items():
+        lines.append(f"array {array(name)} {size}")
+    # Pre-assign label tokens in block order so forward jump targets get
+    # the same token as the block header they name.
+    for block_label in function.blocks:
+        label(block_label)
+    lines.append(f"entry {label(function.entry_label)}")
+    for block_label, block in function.blocks.items():
+        lines.append(f"block {label(block_label)}")
+        for instr in block.instructions:
+            lines.append(_instr_line(instr, value, temp, label, array))
+    return "\n".join(lines)
+
+
+def _instr_line(
+    instr: Instruction,
+    value: Callable[[Value], str],
+    temp: Callable[[str], str],
+    label: Callable[[str], str],
+    array: Callable[[str], str],
+) -> str:
+    if isinstance(instr, BinOp):
+        return f"bin {instr.op} {temp(instr.dest.name)} {value(instr.lhs)} {value(instr.rhs)}"
+    if isinstance(instr, UnOp):
+        return f"un {instr.op} {temp(instr.dest.name)} {value(instr.operand)}"
+    if isinstance(instr, Cmp):
+        return f"cmp {instr.op} {temp(instr.dest.name)} {value(instr.lhs)} {value(instr.rhs)}"
+    if isinstance(instr, Copy):
+        return f"copy {temp(instr.dest.name)} {value(instr.src)}"
+    if isinstance(instr, Phi):
+        incomings = ",".join(
+            f"{label(pred)}:{value(operand)}" for pred, operand in instr.incomings
+        )
+        return f"phi {temp(instr.dest.name)} {incomings}"
+    if isinstance(instr, Pi):
+        parent = temp(instr.parent) if instr.parent is not None else "-"
+        return (
+            f"pi {temp(instr.dest.name)} {value(instr.src)} "
+            f"{instr.op} {value(instr.bound)} {parent}"
+        )
+    if isinstance(instr, Load):
+        return f"load {temp(instr.dest.name)} {array(instr.array)} {value(instr.index)}"
+    if isinstance(instr, Store):
+        return f"store {array(instr.array)} {value(instr.index)} {value(instr.value)}"
+    if isinstance(instr, Call):
+        dest = temp(instr.dest.name) if instr.dest is not None else "-"
+        args = ",".join(value(arg) for arg in instr.args)
+        # Callee names are global identity: never normalized.
+        return f"call {dest} {instr.callee} {args}"
+    if isinstance(instr, Input):
+        return f"input {temp(instr.dest.name)}"
+    if isinstance(instr, Jump):
+        return f"jump {label(instr.target)}"
+    if isinstance(instr, Branch):
+        return (
+            f"branch {value(instr.cond)} "
+            f"{label(instr.true_target)} {label(instr.false_target)}"
+        )
+    if isinstance(instr, Return):
+        return f"return {value(instr.value)}"
+    raise TypeError(f"unknown instruction {instr!r}")
+
+
+def _digest(text: str, salt: str) -> str:
+    return hashlib.sha256(f"{salt}\x00{text}".encode("utf-8")).hexdigest()
+
+
+def function_fingerprint(function: Function, *, salt: str = "") -> str:
+    """The semantic (rename-stable) fingerprint, hex SHA-256."""
+    return _digest(canonical_function_text(function, normalize_names=True), salt)
+
+
+def exact_fingerprint(function: Function, *, salt: str = "") -> str:
+    """The exact (name-sensitive, location-free) fingerprint, hex SHA-256."""
+    return _digest(canonical_function_text(function, normalize_names=False), salt)
+
+
+def module_fingerprints(module, *, salt: str = "") -> Dict[str, Dict[str, str]]:
+    """Both fingerprints for every function: name -> {semantic, exact}."""
+    return {
+        name: {
+            "semantic": function_fingerprint(function, salt=salt),
+            "exact": exact_fingerprint(function, salt=salt),
+        }
+        for name, function in module.functions.items()
+    }

@@ -1,0 +1,175 @@
+"""The content-addressed incremental summary store.
+
+Maps a component fingerprint (see :mod:`repro.incremental.driver`) to
+the per-function summaries -- final predictions, jump/return function
+state, context-refined seeds -- of one weakly-connected callgraph
+component.  Two tiers, exactly the server ResultCache's shape:
+
+* **memory** -- a bounded LRU; fastest, per-process;
+* **disk** -- one JSON file per key under ``<dir>/<key[:2]>/<key>.json``
+  written atomically (temp file + ``os.replace``), byte-compatible with
+  the serving tier's cache files so shards and the CLI can share a
+  store directory without coordination.
+
+The store is deliberately *not* the server's class: the server layer
+imports this package for shard integration, so the dependency must
+point upward only.  The disk format is kept in lockstep by
+``tests/incremental/test_store.py``.
+
+Besides the tier counters the store tracks **function_hits** /
+**function_misses** -- how many functions were replayed vs. reanalyzed
+across all lookups -- which the serve tier surfaces in ``/metricsz``
+and the Prometheus families.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import threading
+from collections import OrderedDict
+from typing import Optional, Tuple
+
+
+class IncrementalStore:
+    """Thread-safe two-tier (memory over disk) summary store.
+
+    ``memory_entries`` bounds the LRU tier (one entry per component);
+    ``disk_dir`` of ``None`` keeps the store memory-only, which is the
+    right shape for ``repro watch`` (one process, many rechecks).
+    """
+
+    def __init__(
+        self,
+        memory_entries: int = 256,
+        disk_dir: Optional[str] = None,
+    ):
+        if memory_entries < 0:
+            raise ValueError("memory_entries must be >= 0")
+        self.memory_entries = memory_entries
+        self.disk_dir = disk_dir
+        self._memory: "OrderedDict[str, dict]" = OrderedDict()
+        self._lock = threading.RLock()
+        self._stats = {
+            "memory": {"hits": 0, "misses": 0, "evictions": 0},
+            "disk": {"hits": 0, "misses": 0, "errors": 0},
+            "stores": 0,
+            "function_hits": 0,
+            "function_misses": 0,
+        }
+        if disk_dir is not None:
+            os.makedirs(disk_dir, exist_ok=True)
+
+    # -- lookup --------------------------------------------------------------
+
+    def get(self, key: str) -> Tuple[Optional[dict], Optional[str]]:
+        """Return ``(payload, tier)``; ``(None, None)`` on a full miss."""
+        with self._lock:
+            payload = self._memory.get(key)
+            if payload is not None:
+                self._memory.move_to_end(key)
+                self._stats["memory"]["hits"] += 1
+                return payload, "memory"
+            self._stats["memory"]["misses"] += 1
+            if self.disk_dir is None:
+                return None, None
+            payload = self._read_disk(key)
+            if payload is None:
+                self._stats["disk"]["misses"] += 1
+                return None, None
+            self._stats["disk"]["hits"] += 1
+            self._remember(key, payload)
+            return payload, "disk"
+
+    def put(self, key: str, payload: dict) -> None:
+        """Store one component's summaries in both tiers."""
+        with self._lock:
+            self._stats["stores"] += 1
+            self._remember(key, dict(payload))
+            if self.disk_dir is not None:
+                self._write_disk(key, payload)
+
+    def note_functions(self, hits: int = 0, misses: int = 0) -> None:
+        """Account per-function replay/reanalysis (driver callback)."""
+        with self._lock:
+            self._stats["function_hits"] += hits
+            self._stats["function_misses"] += misses
+
+    def clear(self) -> None:
+        """Drop the memory tier (the disk tier is left alone)."""
+        with self._lock:
+            self._memory.clear()
+
+    def stats(self) -> dict:
+        """A serialisable copy of the counters."""
+        with self._lock:
+            out = {
+                "memory": dict(self._stats["memory"]),
+                "disk": dict(self._stats["disk"]),
+                "stores": self._stats["stores"],
+                "function_hits": self._stats["function_hits"],
+                "function_misses": self._stats["function_misses"],
+            }
+            out["memory"]["entries"] = len(self._memory)
+            out["disk"]["enabled"] = self.disk_dir is not None
+            return out
+
+    # -- internals -----------------------------------------------------------
+
+    def _remember(self, key: str, payload: dict) -> None:
+        if self.memory_entries == 0:
+            return
+        self._memory[key] = payload
+        self._memory.move_to_end(key)
+        while len(self._memory) > self.memory_entries:
+            self._memory.popitem(last=False)
+            self._stats["memory"]["evictions"] += 1
+
+    def _disk_path(self, key: str) -> str:
+        assert self.disk_dir is not None
+        return os.path.join(self.disk_dir, key[:2], f"{key}.json")
+
+    def _read_disk(self, key: str) -> Optional[dict]:
+        path = self._disk_path(key)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except FileNotFoundError:
+            return None
+        except (OSError, ValueError):
+            # A corrupt or unreadable entry is a miss; drop it so the
+            # next store rewrites it cleanly.
+            self._stats["disk"]["errors"] += 1
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+            return None
+        if not isinstance(payload, dict):
+            self._stats["disk"]["errors"] += 1
+            return None
+        return payload
+
+    def _write_disk(self, key: str, payload: dict) -> None:
+        path = self._disk_path(key)
+        directory = os.path.dirname(path)
+        try:
+            os.makedirs(directory, exist_ok=True)
+            fd, temp_path = tempfile.mkstemp(
+                prefix=f".{key[:8]}-", suffix=".tmp", dir=directory
+            )
+            try:
+                with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                    json.dump(payload, handle, sort_keys=True)
+                os.replace(temp_path, path)
+            except BaseException:
+                try:
+                    os.unlink(temp_path)
+                except OSError:
+                    pass
+                raise
+        except OSError:
+            # Disk trouble degrades the store to memory-only for this
+            # entry; correctness never depends on the disk tier.
+            self._stats["disk"]["errors"] += 1

@@ -239,6 +239,25 @@ class ServerRequestEnd(TraceEvent):
     trace_id: Optional[str] = None
 
 
+@dataclass(frozen=True)
+class WatchRecheck(TraceEvent):
+    """``repro watch`` re-rendered one file after a content change.
+
+    ``reanalyzed``/``replayed`` count functions: how many the edit
+    actually invalidated (the edited function plus its
+    summary-dependents) versus how many the incremental store replayed
+    byte-identically.
+    """
+
+    kind: ClassVar[str] = "watch.recheck"
+
+    path: str
+    reanalyzed: int
+    replayed: int
+    elapsed_ms: float
+    initial: bool = False
+
+
 EVENT_KINDS: Tuple[str, ...] = tuple(
     cls.kind
     for cls in (
@@ -256,5 +275,6 @@ EVENT_KINDS: Tuple[str, ...] = tuple(
         PassEnd,
         ServerRequestBegin,
         ServerRequestEnd,
+        WatchRecheck,
     )
 )

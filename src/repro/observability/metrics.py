@@ -9,7 +9,7 @@ instead of scraped from tables.
 
 Top-level schema keys (``SCHEMA_KEYS``):
 
-* ``schema_version`` -- integer, currently 6;
+* ``schema_version`` -- integer, currently 8;
 * ``program``        -- module/workload name;
 * ``phases``         -- {span name: {"count": int, "seconds": float}};
 * ``counters``       -- the :class:`repro.core.counters.Counters` dict;
@@ -39,6 +39,10 @@ Top-level schema keys (``SCHEMA_KEYS``):
   (since v7; rounds vs the round cap, convergence, context depth,
   contexts analysed, summary-cache hit/miss/eviction stats; absent on
   single-function runs, v1-v6 documents still validate);
+* ``incremental``    -- incremental-analysis telemetry (since v8;
+  functions reanalyzed vs replayed, component-level splits, store
+  hit/miss/eviction counts; absent outside ``--incremental`` runs,
+  v1-v7 documents still validate);
 * ``meta``           -- rounds, function/event totals, drop counts.
 
 Each branch record has ``function``, ``label``, ``probability``,
@@ -55,7 +59,7 @@ from typing import Dict, List, Optional
 
 from repro.observability.events import BranchResolution, HeuristicChain
 
-SCHEMA_VERSION = 7
+SCHEMA_VERSION = 8
 
 SCHEMA_KEYS = (
     "schema_version",
@@ -70,6 +74,7 @@ SCHEMA_KEYS = (
     "profile",
     "tracing",
     "interprocedural",
+    "incremental",
     "meta",
 )
 
@@ -83,6 +88,7 @@ OPTIONAL_KEYS = (
     "profile",
     "tracing",
     "interprocedural",
+    "incremental",
 )
 
 BRANCH_KEYS = ("function", "label", "probability", "source")
@@ -103,6 +109,7 @@ class MetricsReport:
     profile: Dict[str, object] = field(default_factory=dict)
     tracing: Dict[str, object] = field(default_factory=dict)
     interprocedural: Dict[str, object] = field(default_factory=dict)
+    incremental: Dict[str, object] = field(default_factory=dict)
     meta: Dict[str, object] = field(default_factory=dict)
     schema_version: int = SCHEMA_VERSION
 
@@ -122,6 +129,7 @@ class MetricsReport:
             "profile": self.profile,
             "tracing": self.tracing,
             "interprocedural": self.interprocedural,
+            "incremental": self.incremental,
             "meta": self.meta,
         }
 
@@ -142,6 +150,7 @@ class MetricsReport:
             profile=data.get("profile", {}),
             tracing=data.get("tracing", {}),
             interprocedural=data.get("interprocedural", {}),
+            incremental=data.get("incremental", {}),
             meta=data.get("meta", {}),
             schema_version=data.get("schema_version", SCHEMA_VERSION),
         )
@@ -169,6 +178,7 @@ def build_metrics_report(
     passes=None,
     server_stats=None,
     profile=None,
+    incremental=None,
 ) -> "MetricsReport":
     """Assemble a report from a :class:`ModulePrediction` and a tracer.
 
@@ -186,6 +196,9 @@ def build_metrics_report(
     caller; ``profile`` (a
     :meth:`repro.observability.profiler.ProfileReport.as_metrics` dict)
     populates the ``profile`` key when ``repro profile`` is the caller.
+    ``incremental`` (an
+    :meth:`repro.incremental.IncrementalOutcome.as_metrics` dict)
+    populates the ``incremental`` key when the incremental driver ran.
     The ``tracing`` key fills itself from the ambient trace context
     (``repro.observability.context``) when one is active, and the
     ``interprocedural`` key from the prediction's fixed-point telemetry
@@ -256,6 +269,7 @@ def build_metrics_report(
         profile=profile or {},
         tracing=tracing,
         interprocedural=getattr(prediction, "interprocedural", None) or {},
+        incremental=incremental or {},
         meta=meta,
     )
 

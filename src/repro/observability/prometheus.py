@@ -29,6 +29,15 @@ family                                 type     labels
 ``repro_uptime_seconds``               gauge    --
 =====================================  =======  ==========================
 
+When the daemon runs with the incremental summary store (``repro serve
+--incremental``, see ``docs/INCREMENTAL.md``), four more families are
+emitted: ``repro_incremental_function_hits_total`` /
+``repro_incremental_function_misses_total`` (functions replayed vs.
+reanalyzed) and ``repro_incremental_store_hits_total`` /
+``repro_incremental_store_misses_total`` (component lookups, by
+``tier``).  Without the store the snapshot has no ``incremental`` key
+and the exposition is unchanged.
+
 When the snapshot comes from the sharded tier (it carries a ``shards``
 list), per-shard families are appended, all labelled ``shard="0"..``:
 ``repro_shard_queue_depth`` / ``repro_shard_queue_high_water`` (gauges),
@@ -234,6 +243,39 @@ def render_server_metrics(
             hits.add(int(tier_stats.get("hits", 0)), {"tier": tier})
             misses.add(int(tier_stats.get("misses", 0)), {"tier": tier})
         families += [entries, hits, misses]
+
+    incremental = server.get("incremental")
+    if isinstance(incremental, dict):
+        # Emitted only when the daemon runs with the incremental
+        # summary store (repro.incremental); absent otherwise, so the
+        # pre-incremental exposition is byte-for-byte unchanged.
+        function_hits = MetricFamily(
+            "repro_incremental_function_hits_total",
+            "counter",
+            "Functions replayed from the incremental summary store.",
+        )
+        function_hits.add(int(incremental.get("function_hits", 0)))
+        function_misses = MetricFamily(
+            "repro_incremental_function_misses_total",
+            "counter",
+            "Functions reanalyzed on incremental summary-store misses.",
+        )
+        function_misses.add(int(incremental.get("function_misses", 0)))
+        store_hits = MetricFamily(
+            "repro_incremental_store_hits_total",
+            "counter",
+            "Incremental summary-store component hits, by tier.",
+        )
+        store_misses = MetricFamily(
+            "repro_incremental_store_misses_total",
+            "counter",
+            "Incremental summary-store component misses, by tier.",
+        )
+        for tier in ("memory", "disk"):
+            tier_stats = incremental.get(tier) or {}
+            store_hits.add(int(tier_stats.get("hits", 0)), {"tier": tier})
+            store_misses.add(int(tier_stats.get("misses", 0)), {"tier": tier})
+        families += [function_hits, function_misses, store_hits, store_misses]
 
     queue = server.get("queue")
     if isinstance(queue, dict):

@@ -148,6 +148,7 @@ class ShardedServer:
         base_options: Optional[dict] = None,
         verbose: bool = False,
         ready_timeout_s: float = 120.0,
+        incremental: bool = False,
     ):
         if shards is not None and shards < 1:
             raise ValueError("shards must be >= 1")
@@ -159,6 +160,7 @@ class ShardedServer:
         self.max_request_bytes = max_request_bytes
         self.base_options = dict(base_options or {})
         self.verbose = verbose
+        self.incremental = incremental
         self.draining = False
         self.started_monotonic = time.monotonic()
 
@@ -167,6 +169,7 @@ class ShardedServer:
             "memory_cache_entries": memory_cache_entries,
             "timeout_s": timeout_s,
             "base_options": self.base_options or None,
+            "incremental": incremental,
         }
         # Shards fork/spawn *before* any server thread exists, so the
         # child processes never inherit a half-held lock.
@@ -279,6 +282,34 @@ class ShardedServer:
     def shard_snapshots(self) -> List[dict]:
         return [handle.snapshot() for handle in self.shards]
 
+    def _aggregate_incremental_stats(self) -> Optional[dict]:
+        """Shard summary-store counters summed into one document.
+
+        ``None`` when the tier runs without the incremental store, so
+        snapshots keep their pre-incremental shape.
+        """
+        if not self.incremental:
+            return None
+        total = {
+            "memory": {"hits": 0, "misses": 0, "evictions": 0, "entries": 0},
+            "disk": {"hits": 0, "misses": 0, "errors": 0,
+                     "enabled": self.cache_dir is not None},
+            "stores": 0,
+            "function_hits": 0,
+            "function_misses": 0,
+        }
+        for handle in self.shards:
+            stats = handle.stats_snapshot.get("incremental") or {}
+            for tier in ("memory", "disk"):
+                for field, value in (stats.get(tier) or {}).items():
+                    if isinstance(value, bool):
+                        continue
+                    if field in total[tier]:
+                        total[tier][field] += int(value)
+            for field in ("stores", "function_hits", "function_misses"):
+                total[field] += int(stats.get(field, 0))
+        return total
+
     def _server_snapshot(self) -> dict:
         return self.stats.snapshot(
             cache_stats=self._aggregate_cache_stats(),
@@ -288,6 +319,7 @@ class ShardedServer:
             ),
             tracer_summary=self.tracer_summary(),
             shards=self.shard_snapshots(),
+            incremental=self._aggregate_incremental_stats(),
         )
 
     def metrics_document(self) -> dict:

@@ -372,13 +372,29 @@ class ReproServer:
         max_request_bytes: int = 1 << 20,
         base_options: Optional[dict] = None,
         verbose: bool = False,
+        incremental: bool = False,
     ):
         self.cache = ResultCache(
             memory_entries=memory_cache_entries, disk_dir=cache_dir
         )
+        self.incremental_store = None
+        if incremental:
+            from repro.incremental import IncrementalStore
+
+            # The summary store's disk tier lives beside (not inside)
+            # the whole-file result cache: same durability story, no
+            # key-space collision.
+            self.incremental_store = IncrementalStore(
+                disk_dir=(
+                    os.path.join(cache_dir, "incremental") if cache_dir else None
+                )
+            )
         self.pool = WorkerPool(workers=workers, queue_size=queue_size)
         self.service = AnalysisService(
-            cache=self.cache, timeout_s=timeout_s, base_options=base_options
+            cache=self.cache,
+            timeout_s=timeout_s,
+            base_options=base_options,
+            incremental_store=self.incremental_store,
         )
         self.stats = ServerStats()
         self.tracer = Tracer(record_events=False)
@@ -459,6 +475,11 @@ class ReproServer:
             queue_depth=self.pool.depth(),
             queue_high_water=self.pool.high_water(),
             tracer_summary=self.tracer_summary(),
+            incremental=(
+                self.incremental_store.stats()
+                if self.incremental_store is not None
+                else None
+            ),
         )
         report = MetricsReport(
             program="repro-serve",
@@ -481,6 +502,11 @@ class ReproServer:
             cache_stats=self.cache.stats(),
             queue_depth=self.pool.depth(),
             queue_high_water=self.pool.high_water(),
+            incremental=(
+                self.incremental_store.stats()
+                if self.incremental_store is not None
+                else None
+            ),
         )
         return render_server_metrics(
             server,
@@ -526,6 +552,7 @@ def serve_daemon(
     base_options: Optional[dict] = None,
     verbose: bool = False,
     shards: Optional[int] = None,
+    incremental: bool = False,
 ) -> int:
     """Run the daemon until SIGTERM/SIGINT, then drain and exit.
 
@@ -546,11 +573,20 @@ def serve_daemon(
     call :func:`repro.observability.logging.configure_json_logging`
     themselves.
     """
+    import warnings
+
     from repro.observability.logging import configure_json_logging
 
     configure_json_logging()
     if shards is None:
         shards = os.cpu_count() or 1
+    elif shards == 0:
+        warnings.warn(
+            "--shards 0 (the single-process threaded tier) is deprecated; "
+            "use --shards 1 for a single shard process (see docs/SERVING.md)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
     if shards > 0:
         return _serve_sharded(
             host=host,
@@ -564,6 +600,7 @@ def serve_daemon(
             drain_timeout_s=drain_timeout_s,
             base_options=base_options,
             verbose=verbose,
+            incremental=incremental,
         )
     server = ReproServer(
         host=host,
@@ -576,6 +613,7 @@ def serve_daemon(
         max_request_bytes=max_request_bytes,
         base_options=base_options,
         verbose=verbose,
+        incremental=incremental,
     )
     print(
         f"repro serve: listening on {server.host}:{server.port} "
@@ -628,6 +666,7 @@ def _serve_sharded(
     drain_timeout_s: float,
     base_options: Optional[dict],
     verbose: bool,
+    incremental: bool = False,
 ) -> int:
     """The sharded-tier body of ``repro serve`` (``--shards >= 1``).
 
@@ -649,6 +688,7 @@ def _serve_sharded(
         max_request_bytes=max_request_bytes,
         base_options=base_options,
         verbose=verbose,
+        incremental=incremental,
     )
     print(
         f"repro serve: listening on {server.host}:{server.port} "

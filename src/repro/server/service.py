@@ -108,10 +108,24 @@ def _compile(source: str):
     return module, ssa_infos
 
 
-def _predict(source: str, options: Dict[str, object], config: VRPConfig):
+def _predict(
+    source: str,
+    options: Dict[str, object],
+    config: VRPConfig,
+    incremental_store=None,
+):
     module, ssa_infos = _compile(source)
+    if incremental_store is not None and not config.incremental:
+        # ``incremental`` is behaviour-neutral (NEUTRAL_FIELDS), so the
+        # copy shares the request's cache key; the replace only routes
+        # the predictor through the summary store.
+        import dataclasses
+
+        config = dataclasses.replace(config, incremental=True)
     predictor = VRPPredictor(
-        config=config, interprocedural=not options.get("intra", False)
+        config=config,
+        interprocedural=not options.get("intra", False),
+        incremental_store=incremental_store,
     )
     prediction = predictor.predict_module(module, ssa_infos)
     return module, prediction
@@ -134,12 +148,17 @@ def analyze_payload(
     name: str,
     options: Dict[str, object],
     config: Optional[VRPConfig] = None,
+    incremental_store=None,
 ) -> dict:
     """Execute one command fully; returns the deterministic core.
 
     Compile and runtime errors come back as ``status: "error"``
     payloads (they are deterministic and cacheable); only unexpected
-    exceptions propagate.
+    exceptions propagate.  ``incremental_store`` (an
+    :class:`repro.incremental.IncrementalStore`) lets whole-file cache
+    misses replay unchanged functions from per-function summaries --
+    output stays byte-identical by the incremental contract
+    (``docs/INCREMENTAL.md``), so the results *are* cacheable.
     """
     from repro.lang import LexError, LoweringError, ParseError
     from repro.profiling import run_module
@@ -148,7 +167,7 @@ def analyze_payload(
     config = config if config is not None else build_config(options)
     try:
         if command == "predict":
-            _, prediction = _predict(source, options, config)
+            _, prediction = _predict(source, options, config, incremental_store)
             return _ok(
                 command,
                 rendering.branch_table(
@@ -156,7 +175,7 @@ def analyze_payload(
                 ),
             )
         if command == "ranges":
-            _, prediction = _predict(source, options, config)
+            _, prediction = _predict(source, options, config, incremental_store)
             return _ok(command, rendering.ranges_listing(prediction))
         if command == "ir":
             module, _ = _compile(source)
@@ -176,7 +195,7 @@ def analyze_payload(
                 ),
             )
         if command == "check":
-            module, prediction = _predict(source, options, config)
+            module, prediction = _predict(source, options, config, incremental_store)
             program = name if name != "-" else module.name
             report, rendered = _render_check(module, prediction, program, options)
             return _ok(
@@ -300,11 +319,15 @@ class AnalysisService:
         cache: Optional[ResultCache] = None,
         timeout_s: Optional[float] = None,
         base_options: Optional[Dict[str, object]] = None,
+        incremental_store=None,
     ):
         self.cache = cache if cache is not None else ResultCache()
         self.timeout_s = timeout_s
         #: Server-wide option defaults, overridden per request.
         self.base_options = dict(base_options or {})
+        #: Optional per-function summary store consulted on whole-file
+        #: cache misses (:mod:`repro.incremental`).
+        self.incremental_store = incremental_store
 
     # -- single requests -----------------------------------------------------
 
@@ -343,14 +366,20 @@ class AnalysisService:
         payload, tier = self.cache.get(key)
         tracer = tracing.Tracer(record_events=False) if want_trace else None
         if payload is None:
+            store = self.incremental_store
+
             def compute() -> dict:
                 if tracer is None:
-                    return analyze_payload(command, source, name, merged, config)
+                    return analyze_payload(
+                        command, source, name, merged, config, store
+                    )
                 # The tracer enters the context *inside* the closure:
                 # under a deadline the closure runs on a helper thread
                 # that does not inherit this thread's context vars.
                 with tracing.use(tracer), tracer.span("request"):
-                    return analyze_payload(command, source, name, merged, config)
+                    return analyze_payload(
+                        command, source, name, merged, config, store
+                    )
 
             try:
                 payload = _run_with_deadline(compute, self.timeout_s)

@@ -55,9 +55,12 @@ from typing import Dict, Optional
 WARMUP_SOURCE = "func main(n) { if (n > 0) { return n; } return 0; }"
 
 
-def _shard_stats(cache, served: int, degraded: int) -> dict:
+def _shard_stats(cache, served: int, degraded: int, incremental_store=None) -> dict:
     """The per-shard telemetry piggybacked on every reply."""
-    return {"cache": cache.stats(), "served": served, "degraded": degraded}
+    stats = {"cache": cache.stats(), "served": served, "degraded": degraded}
+    if incremental_store is not None:
+        stats["incremental"] = incremental_store.stats()
+    return stats
 
 
 def shard_main(conn, shard_id: int, settings: dict) -> None:
@@ -66,7 +69,10 @@ def shard_main(conn, shard_id: int, settings: dict) -> None:
     ``settings`` carries the picklable subset of the daemon's
     configuration: ``cache_dir`` (shared across shards),
     ``memory_cache_entries`` (the shard-local LRU bound), ``timeout_s``,
-    and ``base_options``.
+    ``base_options``, and ``incremental`` (consult the per-function
+    summary store on whole-file cache misses; its disk tier, when
+    ``cache_dir`` is set, is shared across shards like the result
+    cache's).
     """
     signal.signal(signal.SIGINT, signal.SIG_IGN)
     signal.signal(signal.SIGTERM, signal.SIG_IGN)
@@ -78,10 +84,19 @@ def shard_main(conn, shard_id: int, settings: dict) -> None:
         memory_entries=int(settings.get("memory_cache_entries", 1024)),
         disk_dir=settings.get("cache_dir"),
     )
+    incremental_store = None
+    if settings.get("incremental"):
+        from repro.incremental import IncrementalStore
+
+        cache_dir = settings.get("cache_dir")
+        incremental_store = IncrementalStore(
+            disk_dir=os.path.join(cache_dir, "incremental") if cache_dir else None
+        )
     service = AnalysisService(
         cache=cache,
         timeout_s=settings.get("timeout_s"),
         base_options=settings.get("base_options"),
+        incremental_store=incremental_store,
     )
     try:
         # Warm the resident engine outside the cache: the warmup result
@@ -98,7 +113,7 @@ def shard_main(conn, shard_id: int, settings: dict) -> None:
                 "op": "ready",
                 "shard": shard_id,
                 "pid": os.getpid(),
-                "stats": _shard_stats(cache, served, degraded),
+                "stats": _shard_stats(cache, served, degraded, incremental_store),
             }
         )
         while True:
@@ -141,7 +156,7 @@ def shard_main(conn, shard_id: int, settings: dict) -> None:
                         "response": response,
                         "http_status": http_status,
                         "shard": shard_id,
-                        "stats": _shard_stats(cache, served, degraded),
+                        "stats": _shard_stats(cache, served, degraded, incremental_store),
                     }
                 )
             except (BrokenPipeError, OSError):
@@ -271,7 +286,7 @@ class ShardHandle:
 
     def snapshot(self) -> Dict[str, object]:
         """The per-shard document for ``/metricsz`` (``server.shards``)."""
-        return {
+        out = {
             "shard": self.shard_id,
             "queue": {"depth": self.inflight, "high_water": self.high_water},
             "cache": dict(self.stats_snapshot.get("cache") or {}),
@@ -280,3 +295,9 @@ class ShardHandle:
             "alive": self.alive,
             "restarts": self.restarts,
         }
+        incremental = self.stats_snapshot.get("incremental")
+        if incremental is not None:
+            # Present only when the shard runs with the summary store,
+            # so non-incremental snapshots keep their pre-store shape.
+            out["incremental"] = dict(incremental)
+        return out

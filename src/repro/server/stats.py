@@ -158,6 +158,7 @@ class ServerStats:
         queue_high_water: Optional[int] = None,
         tracer_summary: Optional[dict] = None,
         shards: Optional[List[dict]] = None,
+        incremental: Optional[dict] = None,
     ) -> dict:
         """The metrics schema v5 ``server`` document fragment.
 
@@ -193,4 +194,9 @@ class ServerStats:
             # (and the unlabeled Prometheus series rendered from them)
             # are byte-for-byte what they were before sharding existed.
             out["shards"] = [dict(shard) for shard in shards]
+        if incremental is not None:
+            # The incremental summary store's counters (function hits /
+            # misses, tier traffic); absent unless the daemon runs with
+            # the store, so pre-incremental snapshots are unchanged.
+            out["incremental"] = dict(incremental)
         return out

@@ -1,0 +1,59 @@
+"""Shared helpers for the incremental-analysis test suite."""
+
+from repro import rendering
+from repro.ir import prepare_module
+from repro.lang import compile_source
+
+
+def build(source: str):
+    """Compile and prepare a toy-language module: (module, ssa_infos)."""
+    module = compile_source(source)
+    infos = prepare_module(module)
+    return module, infos
+
+
+def rendered(prediction):
+    """The byte-identity surface: predict table + ranges listing."""
+    return (
+        rendering.branch_table(
+            prediction.all_branches(), prediction.heuristic_branches()
+        ),
+        rendering.ranges_listing(prediction),
+    )
+
+
+#: A three-component module: {helper, apply, main}, {leaf, outer}, {island}.
+MULTI_COMPONENT = """
+func helper(x) {
+  if (x > 10) { return x - 10; }
+  return x + 1;
+}
+
+func apply(n) {
+  var t = 0;
+  for (i = 0; i < n; i = i + 1) { t = t + helper(i); }
+  return t;
+}
+
+func main(n) {
+  if (n > 0) { return apply(n); }
+  return helper(0 - n);
+}
+
+func leaf(v) {
+  if (v < 3) { return v * 2; }
+  return v;
+}
+
+func outer(v) {
+  var s = leaf(v) + leaf(v + 1);
+  if (s > 7) { return s; }
+  return 0 - s;
+}
+
+func island(k) {
+  var acc = 1;
+  while (k > 1) { acc = acc * k; k = k - 1; }
+  return acc;
+}
+"""

@@ -1,0 +1,91 @@
+"""SummaryDepGraph: weakly connected components and invalidation sets."""
+
+from repro.core.callgraph import CallGraph
+from repro.incremental.depgraph import SummaryDepGraph
+
+from tests.incremental.helpers import MULTI_COMPONENT, build
+
+
+def graph_of(source: str) -> SummaryDepGraph:
+    module, _ = build(source)
+    return SummaryDepGraph(CallGraph(module))
+
+
+class TestComponents:
+    def test_three_components(self):
+        graph = graph_of(MULTI_COMPONENT)
+        assert sorted(sorted(c) for c in graph.components) == [
+            ["apply", "helper", "main"],
+            ["island"],
+            ["leaf", "outer"],
+        ]
+
+    def test_members_are_in_bottom_up_order(self):
+        graph = graph_of(MULTI_COMPONENT)
+        component = graph.component_of("main")
+        # Callees come first: helper before apply before main, matching
+        # the interprocedural driver's replay/storage order.
+        assert component == ("helper", "apply", "main")
+
+    def test_component_index_is_consistent(self):
+        graph = graph_of(MULTI_COMPONENT)
+        for index, members in enumerate(graph.components):
+            for name in members:
+                assert graph.component_index[name] == index
+
+    def test_recursion_stays_in_one_component(self):
+        graph = graph_of(
+            """
+            func fact(n) { if (n < 2) { return 1; } return n * fact(n - 1); }
+            func main(n) { return fact(n); }
+            """
+        )
+        assert len(graph.components) == 1
+        assert graph.component_of("fact") == graph.component_of("main")
+
+    def test_mutual_recursion_stays_in_one_component(self):
+        graph = graph_of(
+            """
+            func even(n) { if (n == 0) { return 1; } return odd(n - 1); }
+            func odd(n) { if (n == 0) { return 0; } return even(n - 1); }
+            func main(n) { return even(n); }
+            """
+        )
+        assert len(graph.components) == 1
+
+    def test_callers_and_callees_share_a_component(self):
+        # Weak connectivity: a shared *callee* links two otherwise
+        # unrelated callers, because its summary feeds both.
+        graph = graph_of(
+            """
+            func shared(x) { return x + 1; }
+            func a(n) { return shared(n); }
+            func b(n) { return shared(n * 2); }
+            func main(n) { return a(n) + b(n); }
+            """
+        )
+        assert len(graph.components) == 1
+
+
+class TestInvalidation:
+    def test_affected_is_the_whole_component(self):
+        graph = graph_of(MULTI_COMPONENT)
+        assert graph.affected(["helper"]) == {"helper", "apply", "main"}
+        assert graph.affected(["leaf"]) == {"leaf", "outer"}
+        assert graph.affected(["island"]) == {"island"}
+
+    def test_affected_unions_components(self):
+        graph = graph_of(MULTI_COMPONENT)
+        assert graph.affected(["island", "outer"]) == {
+            "island", "leaf", "outer"
+        }
+
+    def test_dependents_excludes_the_edit_itself(self):
+        graph = graph_of(MULTI_COMPONENT)
+        assert graph.dependents(["helper"]) == {"apply", "main"}
+        assert graph.dependents(["island"]) == set()
+
+    def test_unknown_names_are_ignored(self):
+        graph = graph_of(MULTI_COMPONENT)
+        assert graph.affected(["nosuch"]) == set()
+        assert graph.affected([]) == set()

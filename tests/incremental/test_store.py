@@ -1,0 +1,159 @@
+"""IncrementalStore: LRU tier, disk tier, and the shared disk format."""
+
+import json
+import os
+
+import pytest
+
+from repro.incremental.store import IncrementalStore
+
+KEY_A = "aa" + "0" * 62
+KEY_B = "bb" + "0" * 62
+KEY_C = "cc" + "0" * 62
+
+
+class TestMemoryTier:
+    def test_round_trip(self):
+        store = IncrementalStore()
+        store.put(KEY_A, {"v": 1})
+        payload, tier = store.get(KEY_A)
+        assert payload == {"v": 1}
+        assert tier == "memory"
+
+    def test_miss(self):
+        store = IncrementalStore()
+        assert store.get(KEY_A) == (None, None)
+        assert store.stats()["memory"]["misses"] == 1
+
+    def test_lru_evicts_the_coldest_entry(self):
+        store = IncrementalStore(memory_entries=2)
+        store.put(KEY_A, {"n": 1})
+        store.put(KEY_B, {"n": 2})
+        store.get(KEY_A)  # A is now hotter than B
+        store.put(KEY_C, {"n": 3})
+        assert store.get(KEY_B) == (None, None)
+        assert store.get(KEY_A)[0] == {"n": 1}
+        assert store.get(KEY_C)[0] == {"n": 3}
+        assert store.stats()["memory"]["evictions"] == 1
+
+    def test_zero_entries_disables_the_tier(self):
+        store = IncrementalStore(memory_entries=0)
+        store.put(KEY_A, {"n": 1})
+        assert store.get(KEY_A) == (None, None)
+        assert store.stats()["memory"]["entries"] == 0
+
+    def test_negative_entries_rejected(self):
+        with pytest.raises(ValueError):
+            IncrementalStore(memory_entries=-1)
+
+    def test_put_copies_the_payload(self):
+        store = IncrementalStore()
+        payload = {"n": 1}
+        store.put(KEY_A, payload)
+        payload["n"] = 99
+        assert store.get(KEY_A)[0] == {"n": 1}
+
+
+class TestDiskTier:
+    def test_survives_a_process_restart(self, tmp_path):
+        first = IncrementalStore(disk_dir=str(tmp_path))
+        first.put(KEY_A, {"rounds": 3})
+        fresh = IncrementalStore(disk_dir=str(tmp_path))
+        payload, tier = fresh.get(KEY_A)
+        assert payload == {"rounds": 3}
+        assert tier == "disk"
+        # Promoted into memory: the next lookup is a memory hit.
+        assert fresh.get(KEY_A)[1] == "memory"
+
+    def test_sharded_path_layout(self, tmp_path):
+        store = IncrementalStore(disk_dir=str(tmp_path))
+        store.put(KEY_A, {"n": 1})
+        path = tmp_path / KEY_A[:2] / f"{KEY_A}.json"
+        assert path.is_file()
+        assert json.loads(path.read_text()) == {"n": 1}
+
+    def test_disk_format_matches_the_server_result_cache(self, tmp_path):
+        # The serve tier and the CLI may point at the same directory
+        # tree; both caches must write byte-identical files for the
+        # same (key, payload).
+        from repro.server.cache import ResultCache
+
+        payload = {"output": "x\n", "zeta": 1, "alpha": [2, {"b": 3}]}
+        IncrementalStore(disk_dir=str(tmp_path / "inc")).put(KEY_A, payload)
+        ResultCache(disk_dir=str(tmp_path / "srv")).put(KEY_A, payload)
+        inc_file = tmp_path / "inc" / KEY_A[:2] / f"{KEY_A}.json"
+        srv_file = tmp_path / "srv" / KEY_A[:2] / f"{KEY_A}.json"
+        assert inc_file.read_bytes() == srv_file.read_bytes()
+
+    def test_corrupt_entry_is_a_miss_and_is_dropped(self, tmp_path):
+        store = IncrementalStore(disk_dir=str(tmp_path))
+        store.put(KEY_A, {"n": 1})
+        path = tmp_path / KEY_A[:2] / f"{KEY_A}.json"
+        path.write_text("{not json")
+        store.clear()  # force the disk read
+        assert store.get(KEY_A) == (None, None)
+        assert store.stats()["disk"]["errors"] == 1
+        assert not path.exists()
+
+    def test_non_dict_entry_is_a_miss(self, tmp_path):
+        store = IncrementalStore(disk_dir=str(tmp_path))
+        path = tmp_path / KEY_A[:2]
+        os.makedirs(path, exist_ok=True)
+        (path / f"{KEY_A}.json").write_text("[1, 2]")
+        assert store.get(KEY_A) == (None, None)
+        assert store.stats()["disk"]["errors"] == 1
+
+    def test_clear_keeps_the_disk_tier(self, tmp_path):
+        store = IncrementalStore(disk_dir=str(tmp_path))
+        store.put(KEY_A, {"n": 1})
+        store.clear()
+        payload, tier = store.get(KEY_A)
+        assert payload == {"n": 1}
+        assert tier == "disk"
+
+    def test_no_temp_files_left_behind(self, tmp_path):
+        store = IncrementalStore(disk_dir=str(tmp_path))
+        for key in (KEY_A, KEY_B, KEY_C):
+            store.put(key, {"k": key})
+        leftovers = [
+            name
+            for _, _, names in os.walk(tmp_path)
+            for name in names
+            if name.endswith(".tmp")
+        ]
+        assert leftovers == []
+
+
+class TestCounters:
+    def test_stats_shape(self):
+        stats = IncrementalStore().stats()
+        assert set(stats) == {
+            "memory", "disk", "stores", "function_hits", "function_misses"
+        }
+        assert set(stats["memory"]) == {"hits", "misses", "evictions", "entries"}
+        assert set(stats["disk"]) == {"hits", "misses", "errors", "enabled"}
+        assert stats["disk"]["enabled"] is False
+
+    def test_function_accounting(self):
+        store = IncrementalStore()
+        store.note_functions(hits=3, misses=1)
+        store.note_functions(hits=2)
+        stats = store.stats()
+        assert stats["function_hits"] == 5
+        assert stats["function_misses"] == 1
+
+    def test_tier_counters_track_lookups(self, tmp_path):
+        store = IncrementalStore(disk_dir=str(tmp_path))
+        store.get(KEY_A)                     # memory miss + disk miss
+        store.put(KEY_A, {"n": 1})
+        store.get(KEY_A)                     # memory hit
+        store.clear()
+        store.get(KEY_A)                     # memory miss + disk hit
+        stats = store.stats()
+        assert stats["memory"] == {
+            "hits": 1, "misses": 2, "evictions": 0, "entries": 1
+        }
+        assert stats["disk"] == {
+            "hits": 1, "misses": 1, "errors": 0, "enabled": True
+        }
+        assert stats["stores"] == 1

@@ -1,0 +1,227 @@
+"""The ``repro watch`` loop: polling, rechecks, events, CLI smoke."""
+
+import io
+import os
+
+import pytest
+
+from repro.cli import main
+from repro.incremental.watch import run_watch
+from repro.observability import Tracer, use
+from repro.observability.events import WatchRecheck
+
+
+class FakeOutcome:
+    def __init__(self, reanalyzed=(), replayed=()):
+        self.reanalyzed = tuple(reanalyzed)
+        self.replayed = tuple(replayed)
+
+
+class RenderSpy:
+    """Records render calls; returns canned (text, outcome, error)."""
+
+    def __init__(self, outcome=None, error=None):
+        self.calls = []
+        self.outcome = outcome if outcome is not None else FakeOutcome()
+        self.error = error
+
+    def __call__(self, path, source):
+        self.calls.append((path, source))
+        if self.error is not None:
+            return "", None, self.error
+        return f"render of {os.path.basename(path)}\n", self.outcome, None
+
+
+def bump_mtime(path):
+    stat = os.stat(path)
+    os.utime(path, (stat.st_atime, stat.st_mtime + 2.0))
+
+
+class TestPolling:
+    def test_initial_render_of_every_file(self, tmp_path):
+        a = tmp_path / "a.toy"
+        b = tmp_path / "b.toy"
+        a.write_text("func main() { return 1; }")
+        b.write_text("func main() { return 2; }")
+        spy = RenderSpy()
+        out, err = io.StringIO(), io.StringIO()
+        code = run_watch(
+            [str(a), str(b)], spy,
+            max_cycles=0, sleep=lambda s: None, out=out, err=err,
+        )
+        assert code == 0
+        assert [path for path, _ in spy.calls] == [str(a), str(b)]
+        assert out.getvalue() == (
+            f"== {a} ==\nrender of a.toy\n== {b} ==\nrender of b.toy\n"
+        )
+        assert f"watch: {a} reanalyzed=0 replayed=0" in err.getvalue()
+
+    def test_edit_triggers_a_recheck(self, tmp_path):
+        path = tmp_path / "w.toy"
+        path.write_text("one")
+
+        def sleep(_interval):
+            path.write_text("two")
+            bump_mtime(path)
+
+        spy = RenderSpy()
+        run_watch(
+            [str(path)], spy,
+            max_cycles=1, sleep=sleep, out=io.StringIO(), err=io.StringIO(),
+        )
+        assert [source for _, source in spy.calls] == ["one", "two"]
+
+    def test_unchanged_file_is_not_rerendered(self, tmp_path):
+        path = tmp_path / "w.toy"
+        path.write_text("one")
+        spy = RenderSpy()
+        run_watch(
+            [str(path)], spy,
+            max_cycles=3, sleep=lambda s: None,
+            out=io.StringIO(), err=io.StringIO(),
+        )
+        assert len(spy.calls) == 1
+
+    def test_touch_without_content_change_is_ignored(self, tmp_path):
+        path = tmp_path / "w.toy"
+        path.write_text("one")
+        spy = RenderSpy()
+        run_watch(
+            [str(path)], spy,
+            max_cycles=1, sleep=lambda s: bump_mtime(path),
+            out=io.StringIO(), err=io.StringIO(),
+        )
+        assert len(spy.calls) == 1
+
+    def test_missing_file_waits_then_comes_back(self, tmp_path):
+        path = tmp_path / "late.toy"
+        cycles = []
+
+        def sleep(_interval):
+            cycles.append(None)
+            if len(cycles) == 2:
+                path.write_text("now here")
+
+        spy = RenderSpy()
+        err = io.StringIO()
+        run_watch(
+            [str(path)], spy,
+            max_cycles=3, sleep=sleep, out=io.StringIO(), err=err,
+        )
+        messages = err.getvalue()
+        assert messages.count(f"watch: {path}: missing (waiting)") == 1
+        assert f"watch: {path}: back" in messages
+        assert [source for _, source in spy.calls] == ["now here"]
+
+    def test_render_error_goes_to_stderr_only(self, tmp_path):
+        path = tmp_path / "bad.toy"
+        path.write_text("func main( {")
+        spy = RenderSpy(error="parse error at 1:12")
+        out, err = io.StringIO(), io.StringIO()
+        run_watch(
+            [str(path)], spy,
+            max_cycles=0, sleep=lambda s: None, out=out, err=err,
+        )
+        assert out.getvalue() == ""
+        assert f"watch: {path}: parse error at 1:12" in err.getvalue()
+
+    def test_keyboard_interrupt_exits_cleanly(self, tmp_path):
+        path = tmp_path / "w.toy"
+        path.write_text("one")
+
+        def sleep(_interval):
+            raise KeyboardInterrupt
+
+        err = io.StringIO()
+        code = run_watch(
+            [str(path)], RenderSpy(),
+            max_cycles=None, sleep=sleep, out=io.StringIO(), err=err,
+        )
+        assert code == 0
+        assert "watch: interrupted" in err.getvalue()
+
+
+class TestRecheckEvents:
+    def test_events_carry_reanalysis_counts(self, tmp_path):
+        path = tmp_path / "w.toy"
+        path.write_text("one")
+        spy = RenderSpy(outcome=FakeOutcome(("f",), ("g", "h")))
+
+        def sleep(_interval):
+            path.write_text("two")
+            bump_mtime(path)
+
+        tracer = Tracer()
+        with use(tracer):
+            run_watch(
+                [str(path)], spy,
+                max_cycles=1, sleep=sleep,
+                out=io.StringIO(), err=io.StringIO(),
+            )
+        events = tracer.events_of(WatchRecheck)
+        assert len(events) == 2
+        initial, recheck = events
+        assert initial.initial is True
+        assert recheck.initial is False
+        for event in events:
+            assert event.kind == "watch.recheck"
+            assert event.path == str(path)
+            assert event.reanalyzed == 1
+            assert event.replayed == 2
+            assert event.elapsed_ms >= 0.0
+
+
+class TestCLI:
+    def test_watch_predict_smoke(self, tmp_path, capsys):
+        path = tmp_path / "main.toy"
+        path.write_text(
+            "func main(n) { if (n > 0) { return n; } return 0 - n; }"
+        )
+        code = main(
+            ["watch", str(path), "--interval", "0.01", "--max-cycles", "1"]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        assert f"== {path} ==" in captured.out
+        assert "P(taken)" in captured.out
+        assert "reanalyzed=1 replayed=0" in captured.err
+
+    def test_watch_check_recheck_replays(self, tmp_path, capsys):
+        path = tmp_path / "main.toy"
+        path.write_text(
+            "func main(n) { if (n > 3) { return 1; } return 2; }"
+        )
+
+        def sleep(_interval):
+            # Rewrite the same content plus a comment: semantics keep
+            # their fingerprints, so the recheck replays everything.
+            path.write_text(
+                "// edited\n"
+                "func main(n) { if (n > 3) { return 1; } return 2; }"
+            )
+            bump_mtime(path)
+
+        import repro.incremental.watch as watch_mod
+
+        original = watch_mod.run_watch
+
+        def patched(paths, render, **kwargs):
+            kwargs["sleep"] = sleep
+            return original(paths, render, **kwargs)
+
+        watch_mod.run_watch = patched
+        try:
+            code = main(
+                ["watch", str(path), "--command", "check",
+                 "--interval", "0.01", "--max-cycles", "1"]
+            )
+        finally:
+            watch_mod.run_watch = original
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "reanalyzed=1 replayed=0" in captured.err
+        assert "reanalyzed=0 replayed=1" in captured.err
+
+    def test_watch_rejects_stdin(self):
+        with pytest.raises(SystemExit, match="stdin"):
+            main(["watch", "-", "--max-cycles", "0"])

@@ -157,7 +157,7 @@ class TestEmitMetrics:
         assert f"metrics written to {path}" in out
         data = json.loads(path.read_text())
         assert validate_report_dict(data) is None
-        assert data["schema_version"] == 7
+        assert data["schema_version"] == 8
 
     def test_emitted_probabilities_match_predict_output(
         self, program_file, tmp_path, capsys

@@ -1,4 +1,4 @@
-"""Metrics schema compatibility: v1-v6 documents still validate under v7."""
+"""Metrics schema compatibility: v1-v7 documents still validate under v8."""
 
 from repro.observability.metrics import (
     OPTIONAL_KEYS,
@@ -67,10 +67,23 @@ class TestHistoricalDocuments:
         )
         assert validate_report_dict(document) is None
 
+    def test_v8_with_incremental_validates(self):
+        document = dict(
+            base_document(8),
+            diagnostics=[], perf={}, passes={}, server={},
+            profile={}, tracing={}, interprocedural={},
+            incremental={
+                "reanalyzed": 1, "replayed": 4,
+                "components": {"reanalyzed": 1, "replayed": 2},
+                "store": {"hits": 2, "misses": 1, "evictions": 0},
+            },
+        )
+        assert validate_report_dict(document) is None
+
 
 class TestSchemaShape:
-    def test_current_version_is_7(self):
-        assert SCHEMA_VERSION == 7
+    def test_current_version_is_8(self):
+        assert SCHEMA_VERSION == 8
 
     def test_every_new_key_since_v1_is_optional(self):
         required = set(SCHEMA_KEYS) - set(OPTIONAL_KEYS)
@@ -87,6 +100,10 @@ class TestSchemaShape:
     def test_v7_key_is_optional(self):
         assert "interprocedural" in OPTIONAL_KEYS
         assert "interprocedural" in SCHEMA_KEYS
+
+    def test_v8_key_is_optional(self):
+        assert "incremental" in OPTIONAL_KEYS
+        assert "incremental" in SCHEMA_KEYS
 
     def test_missing_required_key_is_an_error(self):
         document = base_document(6)
@@ -114,8 +131,16 @@ class TestSchemaShape:
         assert clone.profile == {"wall_seconds": 1.5, "spans": []}
         assert clone.tracing == {"trace_id": "ab" * 16, "span_id": "cd" * 8}
 
+    def test_report_roundtrip_preserves_the_incremental_key(self):
+        report = MetricsReport(
+            program="p", incremental={"reanalyzed": 2, "replayed": 7}
+        )
+        clone = MetricsReport.from_dict(report.to_dict())
+        assert clone.incremental == {"reanalyzed": 2, "replayed": 7}
+
     def test_from_dict_accepts_documents_without_new_keys(self):
         report = MetricsReport.from_dict(base_document(4))
         assert report.server == {}
         assert report.profile == {}
         assert report.tracing == {}
+        assert report.incremental == {}

@@ -106,7 +106,7 @@ class TestEndpoints:
         client.analyze("predict", PROGRAM)
         document = client.metricsz()
         assert validate_report_dict(document) is None
-        assert document["schema_version"] == 7
+        assert document["schema_version"] == 8
         assert document["program"] == "repro-serve"
         server_block = document["server"]
         assert server_block["endpoints"]["/v1/predict"]["count"] == 1
